@@ -1,0 +1,73 @@
+// Command gendata writes the simulated evaluation datasets to CSV so they
+// can be inspected or fed back through cmd/reptile.
+//
+//	gendata -dataset covid-us -out covid_us.csv
+//	gendata -dataset fist -out fist.csv -aux-out rainfall.csv
+//
+// Datasets: covid-us, covid-global, fist, vote, absentee, compas.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/datasets"
+)
+
+func main() {
+	var (
+		which  = flag.String("dataset", "", "covid-us | covid-global | fist | vote | absentee | compas (required)")
+		out    = flag.String("out", "", "output CSV path (required)")
+		auxOut = flag.String("aux-out", "", "auxiliary table CSV path (fist: rainfall; vote: 2016 results)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		rows   = flag.Int("rows", 0, "row count override (absentee/compas; 0 = paper scale)")
+	)
+	flag.Parse()
+	if *which == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var ds, aux *data.Dataset
+	switch *which {
+	case "covid-us":
+		ds = datasets.GenerateCovidUS(*seed)
+	case "covid-global":
+		ds = datasets.GenerateCovidGlobal(*seed)
+	case "fist":
+		f := datasets.GenerateFIST(*seed)
+		ds, aux = f.DS, f.Rainfall
+	case "vote":
+		v := datasets.GenerateVote(*seed)
+		ds, aux = v.DS, v.Aux2016
+	case "absentee":
+		ds = datasets.GenerateAbsentee(*seed, *rows)
+	case "compas":
+		ds = datasets.GenerateCompas(*seed, *rows)
+	default:
+		log.Fatalf("unknown dataset %q", *which)
+	}
+
+	if err := writeCSV(ds, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d rows to %s\n", ds.NumRows(), *out)
+	if aux != nil && *auxOut != "" {
+		if err := writeCSV(aux, *auxOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d auxiliary rows to %s\n", aux.NumRows(), *auxOut)
+	}
+}
+
+func writeCSV(ds *data.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ds.WriteCSV(f)
+}

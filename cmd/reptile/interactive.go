@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// runInteractive drives an iterative drill-down session: the user submits
+// complaints, inspects the ranked recommendations, and drills down — the
+// paper's "overview, zoom, details-on-demand" loop.
+//
+// Commands:
+//
+//	complain agg=<count|sum|mean|std> measure=<col> dir=<high|low> [attr=val ...]
+//	drill <hierarchy>
+//	groupby
+//	help
+//	quit
+func runInteractive(eng *core.Engine, groupBy []string, in io.Reader, out io.Writer) error {
+	sess, err := eng.NewSession(groupBy)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "reptile interactive session — type 'help' for commands")
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch cmd {
+		case "quit", "exit":
+			return nil
+		case "help":
+			fmt.Fprintln(out, "  complain agg=<f> measure=<col> dir=<high|low> [attr=val ...]")
+			fmt.Fprintln(out, "  drill <hierarchy>     accept a recommendation")
+			fmt.Fprintln(out, "  groupby               show the current group-by attributes")
+			fmt.Fprintln(out, "  quit")
+		case "groupby":
+			fmt.Fprintf(out, "  group-by: %s\n", strings.Join(sess.GroupBy(), ", "))
+		case "drill":
+			h := strings.TrimSpace(rest)
+			if err := sess.Drill(h); err != nil {
+				fmt.Fprintf(out, "  error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(out, "  drilled %s; group-by is now %s\n", h, strings.Join(sess.GroupBy(), ", "))
+		case "complain":
+			c, err := parseComplaint(rest)
+			if err != nil {
+				fmt.Fprintf(out, "  error: %v\n", err)
+				continue
+			}
+			rec, err := sess.Recommend(c)
+			if err != nil {
+				fmt.Fprintf(out, "  error: %v\n", err)
+				continue
+			}
+			printRecommendation(out, rec)
+		default:
+			fmt.Fprintf(out, "  unknown command %q (try 'help')\n", cmd)
+		}
+	}
+}
+
+func printRecommendation(out io.Writer, rec *core.Recommendation) {
+	for _, hr := range rec.All {
+		marker := " "
+		if hr.Hierarchy == rec.Best.Hierarchy {
+			marker = "*"
+		}
+		fmt.Fprintf(out, "%s drill %s -> %s (current %.4g, best repaired %.4g):\n",
+			marker, hr.Hierarchy, hr.Attr, hr.Current, hr.Ranked[0].Repaired)
+		for i, gs := range hr.Ranked {
+			fmt.Fprintf(out, "    %d. %v  repaired=%.4g gain=%.4g\n",
+				i+1, strings.Join(gs.Group.Vals, "/"), gs.Repaired, gs.Gain)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command reptile answers complaint-based drill-down queries over a CSV
+// dataset from the command line.
+//
+// Usage:
+//
+//	reptile -data survey.csv \
+//	        -hierarchies "geo:region,district,village;time:year" \
+//	        -measures severity \
+//	        -groupby district,year \
+//	        -complain "agg=mean measure=severity dir=low district=Ofla year=1986" \
+//	        [-aux "rain:rainfall.csv:village:rainfall"] [-topk 5]
+//
+// The tool loads the dataset, validates the hierarchy metadata, evaluates
+// every candidate drill-down and prints the ranked groups per hierarchy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/feature"
+)
+
+func main() {
+	var (
+		dataPath    = flag.String("data", "", "CSV dataset path (required)")
+		hierSpec    = flag.String("hierarchies", "", `hierarchies, e.g. "geo:region,district,village;time:year" (required)`)
+		measureList = flag.String("measures", "", "comma-separated measure columns (required)")
+		groupBy     = flag.String("groupby", "", "comma-separated current group-by attributes")
+		complain    = flag.String("complain", "", `complaint, e.g. "agg=mean measure=severity dir=low district=Ofla year=1986" (required unless -interactive)`)
+		interactive = flag.Bool("interactive", false, "start an iterative drill-down session on stdin")
+		auxSpec     = flag.String("aux", "", `auxiliary datasets, e.g. "rain:rainfall.csv:village:rainfall;..."`)
+		topK        = flag.Int("topk", 5, "groups to report per hierarchy")
+		emIters     = flag.Int("em-iterations", 20, "EM iterations per model")
+	)
+	flag.Parse()
+	if *dataPath == "" || *hierSpec == "" || *measureList == "" || (*complain == "" && !*interactive) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	hierarchies, err := parseHierarchies(*hierSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measures := splitNonEmpty(*measureList, ",")
+	ds, err := data.ReadCSVFile(*dataPath, *dataPath, measures, hierarchies)
+	if err != nil {
+		log.Fatalf("loading %s: %v", *dataPath, err)
+	}
+
+	opts := core.Options{EMIterations: *emIters, TopK: *topK}
+	if *auxSpec != "" {
+		auxes, err := parseAux(*auxSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Aux = auxes
+	}
+	eng, err := core.NewEngine(ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *interactive {
+		if err := runInteractive(eng, splitNonEmpty(*groupBy, ","), os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	sess, err := eng.NewSession(splitNonEmpty(*groupBy, ","))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := parseComplaint(*complain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := sess.Recommend(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("complaint: %s(%s) of %v is %v (current %.4g)\n\n",
+		c.Agg, c.Measure, c.Tuple, c.Direction, rec.Best.Current)
+	for _, hr := range rec.All {
+		marker := " "
+		if hr.Hierarchy == rec.Best.Hierarchy {
+			marker = "*"
+		}
+		fmt.Printf("%s drill %s → %s (best score %.4g):\n", marker, hr.Hierarchy, hr.Attr, hr.BestScore)
+		for i, gs := range hr.Ranked {
+			fmt.Printf("    %d. %v  repaired=%.4g gain=%.4g\n",
+				i+1, strings.Join(gs.Group.Vals, "/"), gs.Repaired, gs.Gain)
+		}
+	}
+}
+
+func parseHierarchies(spec string) ([]data.Hierarchy, error) {
+	var out []data.Hierarchy
+	for _, part := range splitNonEmpty(spec, ";") {
+		name, attrs, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad hierarchy %q: want name:attr1,attr2", part)
+		}
+		out = append(out, data.Hierarchy{Name: name, Attrs: splitNonEmpty(attrs, ",")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no hierarchies in %q", spec)
+	}
+	return out, nil
+}
+
+func parseAux(spec string) ([]feature.Aux, error) {
+	var out []feature.Aux
+	for _, part := range splitNonEmpty(spec, ";") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("bad aux %q: want name:path:joinattr:measure", part)
+		}
+		table, err := data.ReadCSVFile(fields[1], fields[0], []string{fields[3]}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("loading aux %s: %w", fields[0], err)
+		}
+		out = append(out, feature.Aux{Name: fields[0], Table: table, JoinAttr: fields[2], Measure: fields[3]})
+	}
+	return out, nil
+}
+
+func parseComplaint(spec string) (core.Complaint, error) {
+	c := core.Complaint{Tuple: data.Predicate{}}
+	for _, kv := range strings.Fields(spec) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return c, fmt.Errorf("bad complaint field %q", kv)
+		}
+		switch k {
+		case "agg":
+			f, err := agg.ParseFunc(v)
+			if err != nil {
+				return c, err
+			}
+			c.Agg = f
+		case "measure":
+			c.Measure = v
+		case "dir":
+			switch v {
+			case "high":
+				c.Direction = core.TooHigh
+			case "low":
+				c.Direction = core.TooLow
+			default:
+				return c, fmt.Errorf("bad direction %q: want high or low", v)
+			}
+		default:
+			c.Tuple[k] = v
+		}
+	}
+	if c.Agg == "" || c.Measure == "" {
+		return c, fmt.Errorf("complaint needs agg= and measure=")
+	}
+	return c, nil
+}
+
+// readCSVString loads a dataset from an in-memory CSV (tests and scripting).
+func readCSVString(csv string, hierarchies []data.Hierarchy) (*data.Dataset, error) {
+	return data.ReadCSV(strings.NewReader(csv), "inline", []string{"severity"}, hierarchies)
+}
+
+func splitNonEmpty(s, sep string) []string {
+	var out []string
+	for _, p := range strings.Split(s, sep) {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

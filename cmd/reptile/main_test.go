@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+func TestParseHierarchies(t *testing.T) {
+	hs, err := parseHierarchies("geo:district,village;time:year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 || hs[0].Name != "geo" || len(hs[0].Attrs) != 2 || hs[1].Attrs[0] != "year" {
+		t.Errorf("parsed = %+v", hs)
+	}
+	if _, err := parseHierarchies("noattrs"); err == nil {
+		t.Error("expected error for missing colon")
+	}
+	if _, err := parseHierarchies(""); err == nil {
+		t.Error("expected error for empty spec")
+	}
+}
+
+func TestParseComplaint(t *testing.T) {
+	c, err := parseComplaint("agg=mean measure=severity dir=low district=Ofla year=1986")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Agg != agg.Mean || c.Measure != "severity" || c.Direction != core.TooLow {
+		t.Errorf("parsed = %+v", c)
+	}
+	if c.Tuple["district"] != "Ofla" || c.Tuple["year"] != "1986" {
+		t.Errorf("tuple = %v", c.Tuple)
+	}
+	if _, err := parseComplaint("agg=mean"); err == nil {
+		t.Error("expected error for missing measure")
+	}
+	if _, err := parseComplaint("agg=bogus measure=m dir=low"); err == nil {
+		t.Error("expected error for bad aggregate")
+	}
+	if _, err := parseComplaint("agg=mean measure=m dir=sideways"); err == nil {
+		t.Error("expected error for bad direction")
+	}
+	if _, err := parseComplaint("notakv"); err == nil {
+		t.Error("expected error for malformed field")
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty(" a, ,b ,", ",")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitNonEmpty = %v", got)
+	}
+	if splitNonEmpty("", ",") != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestInteractiveSession(t *testing.T) {
+	// Build a dataset inline (mirrors the quickstart shape).
+	eng := buildTestEngine(t)
+	in := strings.NewReader(strings.Join([]string{
+		"groupby",
+		"help",
+		"bogus",
+		"complain agg=mean measure=severity dir=low district=Ofla year=1986",
+		"drill geo",
+		"drill nope",
+		"complain agg=notreal",
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	if err := runInteractive(eng, []string{"district", "year"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"group-by: district, year", "unknown command", "drill geo -> village", "drilled geo", "error:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func buildTestEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	csv := "district,village,year,severity\n" +
+		"Ofla,Adishim,1986,8\nOfla,Adishim,1987,7\nOfla,Zata,1986,2\nOfla,Zata,1987,7\n" +
+		"Raya,Kukufto,1986,8\nRaya,Kukufto,1987,6\nRaya,Mehoni,1986,7\nRaya,Mehoni,1987,6\n"
+	hs, err := parseHierarchies("geo:district,village;time:year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := readCSVString(csv, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds, core.Options{EMIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}

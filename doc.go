@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Reptile:
+// Aggregation-level Explanations for Hierarchical Data" (Huang & Wu, SIGMOD
+// 2022). The public entry points live under internal/core (the explanation
+// engine), with the factorised-representation machinery in internal/factor
+// and internal/fmatrix, the multi-level model trainer in internal/mlm, and
+// one runner per paper table/figure in internal/experiments. See README.md
+// and DESIGN.md.
+package repro

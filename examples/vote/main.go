@@ -1,0 +1,63 @@
+// Vote: the Appendix N election case study — why is Georgia's 2020 Trump
+// share lower than expected? Comparing the default model with one that joins
+// the 2016 county shares shows how auxiliary data changes the explanation:
+// model 1 flags outlier counties, model 2 flags counties that *moved*.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/datasets"
+	"repro/internal/feature"
+)
+
+func run(v *datasets.Vote, withAux bool) *core.Recommendation {
+	opts := core.Options{EMIterations: 15, TopK: 5}
+	if withAux {
+		opts.Aux = []feature.Aux{{Name: "pct2016", Table: v.Aux2016, JoinAttr: "county", Measure: "pct2016"}}
+	}
+	eng, err := core.NewEngine(v.DS, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := eng.NewSession([]string{"state"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := sess.Recommend(core.Complaint{
+		Agg:       agg.Mean,
+		Measure:   "pct2020",
+		Tuple:     data.Predicate{"state": "Georgia"},
+		Direction: core.TooLow,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rec
+}
+
+func main() {
+	v := datasets.GenerateVote(9)
+	fmt.Println("complaint: Georgia's mean 2020 Trump share across counties is too low")
+
+	for _, cfg := range []struct {
+		name    string
+		withAux bool
+	}{
+		{"model 1 (default features)", false},
+		{"model 2 (+2016 county shares)", true},
+	} {
+		rec := run(v, cfg.withAux)
+		fmt.Printf("\n%s — top counties by margin gain:\n", cfg.name)
+		for i, gs := range rec.Best.Ranked {
+			county, _ := gs.Group.Value([]string{"state", "county"}, "county")
+			fmt.Printf("  %d. %-14s observed %.1f%%, expected %.1f%% (gain %.3f)\n",
+				i+1, county, gs.Group.Stats.Mean(), gs.Predicted[agg.Mean], gs.Gain)
+		}
+	}
+	fmt.Println("\nModel 2's ranking tracks the 2016→2020 change rather than raw low shares (Appendix N).")
+}

@@ -1,0 +1,272 @@
+// Package agg implements the distributive aggregation functions Reptile
+// complains about — COUNT, SUM, MEAN, STD — together with the merge function
+// G of Appendix A that reassembles a parent aggregate from its partition, and
+// a group-by engine over datasets.
+//
+// Internally a group's statistics are carried as the distributive triple
+// (count, sum, sum of squares), from which every supported aggregate and the
+// merge function are derived exactly.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Func identifies a distributive aggregation function.
+type Func string
+
+// Supported aggregation functions.
+const (
+	Count Func = "count"
+	Sum   Func = "sum"
+	Mean  Func = "mean"
+	Std   Func = "std"
+)
+
+// ParseFunc converts a string into a Func, validating it.
+func ParseFunc(s string) (Func, error) {
+	switch Func(s) {
+	case Count, Sum, Mean, Std:
+		return Func(s), nil
+	}
+	return "", fmt.Errorf("agg: unknown aggregation function %q", s)
+}
+
+// Stats is the distributive statistic triple for one group of records.
+// Merging partitions is component-wise addition, which makes every derived
+// aggregate (COUNT, SUM, MEAN, STD) distributive in the sense of §3.1.
+type Stats struct {
+	Count float64
+	Sum   float64
+	SumSq float64
+}
+
+// FromValues summarizes a slice of measure values.
+func FromValues(vals []float64) Stats {
+	var s Stats
+	for _, v := range vals {
+		s.Count++
+		s.Sum += v
+		s.SumSq += v * v
+	}
+	return s
+}
+
+// Add returns the merge of two partitions' statistics.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Count: s.Count + o.Count, Sum: s.Sum + o.Sum, SumSq: s.SumSq + o.SumSq}
+}
+
+// Merge implements G: it reassembles the parent statistics from a partition.
+func Merge(parts ...Stats) Stats {
+	var out Stats
+	for _, p := range parts {
+		out = out.Add(p)
+	}
+	return out
+}
+
+// Mean returns the group mean (0 for an empty group).
+func (s Stats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Variance returns the sample variance (n-1 denominator, 0 when count < 2).
+func (s Stats) Variance() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := (s.SumSq - s.Count*m*m) / (s.Count - 1)
+	if v < 0 { // guard against floating point cancellation
+		return 0
+	}
+	return v
+}
+
+// Std returns the sample standard deviation.
+func (s Stats) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Get evaluates one aggregation function on the group.
+func (s Stats) Get(f Func) float64 {
+	switch f {
+	case Count:
+		return s.Count
+	case Sum:
+		return s.Sum
+	case Mean:
+		return s.Mean()
+	case Std:
+		return s.Std()
+	}
+	panic(fmt.Sprintf("agg: unknown function %q", f))
+}
+
+// WithAggregate returns a copy of s in which aggregate f has been replaced by
+// value v, keeping the other distributive components consistent. This is the
+// repair primitive: repairing MEAN keeps COUNT and the dispersion around the
+// mean; repairing COUNT keeps MEAN and STD; repairing SUM scales the mean at
+// fixed count; repairing STD keeps COUNT and MEAN.
+func (s Stats) WithAggregate(f Func, v float64) Stats {
+	switch f {
+	case Count:
+		return FromMoments(v, s.Mean(), s.Std())
+	case Mean:
+		return FromMoments(s.Count, v, s.Std())
+	case Std:
+		return FromMoments(s.Count, s.Mean(), v)
+	case Sum:
+		if s.Count == 0 {
+			return FromMoments(1, v, 0)
+		}
+		return FromMoments(s.Count, v/s.Count, s.Std())
+	}
+	panic(fmt.Sprintf("agg: unknown function %q", f))
+}
+
+// FromMoments builds the distributive triple from (count, mean, std). It is
+// the inverse of the Appendix A decomposition.
+func FromMoments(count, mean, std float64) Stats {
+	if count < 0 {
+		count = 0
+	}
+	s := Stats{Count: count, Sum: count * mean}
+	variance := std * std
+	if count >= 2 {
+		s.SumSq = (count-1)*variance + count*mean*mean
+	} else {
+		s.SumSq = count * mean * mean
+	}
+	return s
+}
+
+// MergeMoments implements the Appendix A formulas for G over (count, mean,
+// std) triples directly. It exists to cross-check Merge; both agree exactly
+// on the derived aggregates.
+func MergeMoments(parts ...Stats) (count, mean, std float64) {
+	var n float64
+	for _, p := range parts {
+		n += p.Count
+	}
+	count = n
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var ws float64
+	for _, p := range parts {
+		ws += p.Count * p.Mean()
+	}
+	mean = ws / n
+	if n < 2 {
+		return count, mean, 0
+	}
+	var acc float64
+	for _, p := range parts {
+		if p.Count >= 1 {
+			acc += (p.Count - 1) * p.Variance()
+			d := mean - p.Mean()
+			acc += p.Count * d * d
+		}
+	}
+	v := acc / (n - 1)
+	if v < 0 {
+		v = 0
+	}
+	return count, mean, math.Sqrt(v)
+}
+
+// Group is one output tuple of a group-by: its key values (in attribute
+// order) and statistics.
+type Group struct {
+	Key   string   // encoded key (data.EncodeKey of Vals)
+	Vals  []string // one value per group-by attribute
+	Stats Stats
+}
+
+// Value returns the group's value for attribute a given the result's
+// attribute list.
+func (g Group) Value(attrs []string, a string) (string, bool) {
+	for i, x := range attrs {
+		if x == a {
+			return g.Vals[i], true
+		}
+	}
+	return "", false
+}
+
+// Result is the output of a group-by aggregation: the ordered group list and
+// an index from encoded key to position.
+type Result struct {
+	Attrs   []string
+	Measure string
+	Groups  []Group
+	Index   map[string]int
+}
+
+// Get returns the group with the given key values.
+func (r *Result) Get(vals []string) (Group, bool) {
+	i, ok := r.Index[data.EncodeKey(vals)]
+	if !ok {
+		return Group{}, false
+	}
+	return r.Groups[i], true
+}
+
+// Total merges every group back into one statistic (G over the partition).
+func (r *Result) Total() Stats {
+	var out Stats
+	for _, g := range r.Groups {
+		out = out.Add(g.Stats)
+	}
+	return out
+}
+
+// GroupBy aggregates measure over the given attributes. Groups are sorted by
+// their key values lexicographically, attribute by attribute.
+func GroupBy(d *data.Dataset, attrs []string, measure string) *Result {
+	cols := make([][]string, len(attrs))
+	for i, a := range attrs {
+		cols[i] = d.Dim(a)
+	}
+	ms := d.Measure(measure)
+	index := make(map[string]int)
+	var groups []Group
+	vals := make([]string, len(attrs))
+	for row := 0; row < d.NumRows(); row++ {
+		for i := range attrs {
+			vals[i] = cols[i][row]
+		}
+		key := data.EncodeKey(vals)
+		gi, ok := index[key]
+		if !ok {
+			gi = len(groups)
+			index[key] = gi
+			groups = append(groups, Group{Key: key, Vals: append([]string(nil), vals...)})
+		}
+		g := &groups[gi]
+		v := ms[row]
+		g.Stats.Count++
+		g.Stats.Sum += v
+		g.Stats.SumSq += v * v
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		ga, gb := groups[a].Vals, groups[b].Vals
+		for i := range ga {
+			if ga[i] != gb[i] {
+				return ga[i] < gb[i]
+			}
+		}
+		return false
+	})
+	for i, g := range groups {
+		index[g.Key] = i
+	}
+	return &Result{Attrs: attrs, Measure: measure, Groups: groups, Index: index}
+}

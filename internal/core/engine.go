@@ -1,0 +1,754 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/data"
+	"repro/internal/factor"
+	"repro/internal/feature"
+	"repro/internal/fmatrix"
+	"repro/internal/mlm"
+)
+
+// TrainerKind selects how the multi-level model is trained.
+type TrainerKind int
+
+const (
+	// TrainerAuto picks Factorised when the observed groups nearly fill the
+	// cross product of hierarchy paths (and the cross product is
+	// enumerable), and Naive otherwise.
+	TrainerAuto TrainerKind = iota
+	// TrainerNaive materializes the design matrix over observed groups.
+	TrainerNaive
+	// TrainerFactorised trains over the factorised representation; missing
+	// cross-product cells carry y = 0 (the worst-case regime of §5.1.4).
+	TrainerFactorised
+	// TrainerNaiveFull materializes the complete cross-product feature
+	// matrix (including empty groups) and trains densely over it — the
+	// paper's Matlab regime, used as the Figure 10 comparator.
+	TrainerNaiveFull
+)
+
+// RandomEffects selects the random-effects design Z (§3.3.4).
+type RandomEffects int
+
+const (
+	// ZAuto uses intercept-only random effects when clusters are too small
+	// to identify per-cluster coefficients for every feature (which would
+	// let the random effects absorb the very anomalies Reptile looks for),
+	// and the full Z = X design otherwise.
+	ZAuto RandomEffects = iota
+	// ZFull uses Z = X (minus features excluded via ExcludeFromZ).
+	ZFull
+	// ZIntercept uses intercept-only random effects.
+	ZIntercept
+)
+
+// Options configures an Engine.
+type Options struct {
+	// EMIterations is the number of EM iterations per model (paper: 20).
+	EMIterations int
+	// Trainer selects the training backend.
+	Trainer TrainerKind
+	// TopK bounds the groups reported per hierarchy (0 = all).
+	TopK int
+	// Aux lists auxiliary datasets available for featurization.
+	Aux []feature.Aux
+	// Custom lists custom featurizations.
+	Custom []feature.Custom
+	// GroupFeatures lists multi-attribute (per-group) features such as
+	// temporal lags. Their presence forces the naive trainer (Appendix H).
+	GroupFeatures []feature.GroupFeature
+	// ExcludeFromZ names features excluded from the random-effects design.
+	ExcludeFromZ []string
+	// RandomEffects selects the Z design (default ZAuto).
+	RandomEffects RandomEffects
+	// Repair, when non-nil, replaces the default model-based frepair
+	// (§3.1): it receives a drill-down group's statistics and the model's
+	// expected values for the complaint's base statistics, and returns the
+	// repaired statistics.
+	Repair func(s agg.Stats, pred map[agg.Func]float64) agg.Stats
+	// KeepLeaky disables the one-to-one main-effect guard (tests only).
+	KeepLeaky bool
+	// FactorisedFillThreshold is the minimum observed-group fill ratio for
+	// TrainerAuto to pick the factorised backend (default 0.7).
+	FactorisedFillThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.EMIterations <= 0 {
+		o.EMIterations = 20
+	}
+	if o.FactorisedFillThreshold <= 0 {
+		o.FactorisedFillThreshold = 0.7
+	}
+	return o
+}
+
+// Engine answers complaint-based drill-down queries over one dataset.
+type Engine struct {
+	ds   *data.Dataset
+	opts Options
+
+	// sources caches the per-hierarchy factorizer sources: the dataset is
+	// immutable by convention, so the distinct hierarchy paths never change
+	// across invocations (the §4.4 caching regime).
+	sources map[string]*factor.Source
+}
+
+// NewEngine validates the dataset's hierarchy metadata and builds an engine.
+func NewEngine(ds *data.Dataset, opts Options) (*Engine, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Hierarchies) == 0 {
+		return nil, fmt.Errorf("core: dataset %q has no hierarchies", ds.Name)
+	}
+	return &Engine{ds: ds, opts: opts.withDefaults(), sources: map[string]*factor.Source{}}, nil
+}
+
+// sourceFor returns the (cached) factorizer source of a hierarchy.
+func (e *Engine) sourceFor(h data.Hierarchy) (*factor.Source, error) {
+	if src, ok := e.sources[h.Name]; ok {
+		return src, nil
+	}
+	src, err := factor.SourceFromDataset(e.ds, h)
+	if err != nil {
+		return nil, err
+	}
+	e.sources[h.Name] = src
+	return src, nil
+}
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *data.Dataset { return e.ds }
+
+// Session tracks the user's drill-down state: the current group-by
+// attributes (per-hierarchy prefixes).
+type Session struct {
+	eng   *Engine
+	depth map[string]int // hierarchy name → number of attributes in Agb
+}
+
+// NewSession starts a session with the given initial group-by attributes.
+// Each hierarchy's attributes must form a prefix.
+func (e *Engine) NewSession(groupBy []string) (*Session, error) {
+	s := &Session{eng: e, depth: make(map[string]int)}
+	for _, h := range e.ds.Hierarchies {
+		s.depth[h.Name] = 0
+	}
+	for _, a := range groupBy {
+		h, ok := e.ds.HierarchyOf(a)
+		if !ok {
+			return nil, fmt.Errorf("core: group-by attribute %q not in any hierarchy", a)
+		}
+		lvl := h.Level(a)
+		if lvl+1 > s.depth[h.Name] {
+			s.depth[h.Name] = lvl + 1
+		}
+	}
+	// Verify prefixes: depth k means attributes 0..k-1 are all present.
+	for _, h := range e.ds.Hierarchies {
+		d := s.depth[h.Name]
+		present := make(map[string]bool)
+		for _, a := range groupBy {
+			present[a] = true
+		}
+		for l := 0; l < d; l++ {
+			if !present[h.Attrs[l]] {
+				return nil, fmt.Errorf("core: group-by attributes of hierarchy %q are not a prefix (missing %q)", h.Name, h.Attrs[l])
+			}
+		}
+	}
+	return s, nil
+}
+
+// GroupBy returns the current group-by attributes in canonical order
+// (hierarchy by hierarchy, least to most specific).
+func (s *Session) GroupBy() []string {
+	var out []string
+	for _, h := range s.eng.ds.Hierarchies {
+		for l := 0; l < s.depth[h.Name]; l++ {
+			out = append(out, h.Attrs[l])
+		}
+	}
+	return out
+}
+
+// Drill accepts a recommendation: it extends the named hierarchy's group-by
+// prefix by one attribute.
+func (s *Session) Drill(hierarchy string) error {
+	for _, h := range s.eng.ds.Hierarchies {
+		if h.Name != hierarchy {
+			continue
+		}
+		if s.depth[h.Name] >= len(h.Attrs) {
+			return fmt.Errorf("core: hierarchy %q is fully drilled", hierarchy)
+		}
+		s.depth[h.Name]++
+		return nil
+	}
+	return fmt.Errorf("core: unknown hierarchy %q", hierarchy)
+}
+
+// GroupScore is one ranked drill-down group: its statistics, the model's
+// expected values, and the complaint score after repairing it.
+type GroupScore struct {
+	Group     agg.Group
+	Predicted map[agg.Func]float64
+	// Repaired is the complained tuple's aggregate after repairing this
+	// group; Score is fcomp(Repaired). Gain is fcomp(current) − Score.
+	Repaired float64
+	Score    float64
+	Gain     float64
+}
+
+// HierarchyResult is the evaluation of one candidate drill-down hierarchy.
+type HierarchyResult struct {
+	Hierarchy string
+	Attr      string // the attribute the drill-down adds
+	Current   float64
+	Ranked    []GroupScore
+	BestScore float64
+}
+
+// Recommendation is the output of one Reptile invocation: every candidate
+// hierarchy's evaluation and the best one.
+type Recommendation struct {
+	Best *HierarchyResult
+	All  []HierarchyResult
+}
+
+// Recommend solves the complaint-based drill-down problem (Problem 1): for
+// every hierarchy with a remaining attribute it drills down, estimates each
+// group's expected statistics with a multi-level model trained on the
+// parallel groups, and ranks the groups by the repaired complaint value.
+func (s *Session) Recommend(c Complaint) (*Recommendation, error) {
+	if !s.eng.ds.HasMeasure(c.Measure) && c.Agg != agg.Count {
+		return nil, fmt.Errorf("core: unknown measure %q", c.Measure)
+	}
+	if c.Measure == "" {
+		return nil, fmt.Errorf("core: complaint needs a measure attribute")
+	}
+	var results []HierarchyResult
+	for _, h := range s.eng.ds.Hierarchies {
+		if s.depth[h.Name] >= len(h.Attrs) {
+			continue
+		}
+		hr, err := s.evaluateHierarchy(h, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating hierarchy %q: %w", h.Name, err)
+		}
+		results = append(results, *hr)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("core: every hierarchy is fully drilled")
+	}
+	best := &results[0]
+	for i := range results {
+		if results[i].BestScore < best.BestScore {
+			best = &results[i]
+		}
+	}
+	return &Recommendation{Best: best, All: results}, nil
+}
+
+// drillAttrs returns the canonical attribute order after drilling hierarchy
+// h: other hierarchies first (in dataset order), the drilled hierarchy's
+// attributes last (§3.4's ordering restriction).
+func (s *Session) drillAttrs(h data.Hierarchy) []string {
+	var out []string
+	for _, other := range s.eng.ds.Hierarchies {
+		if other.Name == h.Name {
+			continue
+		}
+		for l := 0; l < s.depth[other.Name]; l++ {
+			out = append(out, other.Attrs[l])
+		}
+	}
+	for l := 0; l <= s.depth[h.Name]; l++ {
+		out = append(out, h.Attrs[l])
+	}
+	return out
+}
+
+func (s *Session) evaluateHierarchy(h data.Hierarchy, c Complaint) (*HierarchyResult, error) {
+	eng := s.eng
+	attr := h.Attrs[s.depth[h.Name]]
+	attrs := s.drillAttrs(h)
+
+	// Parallel groups: the whole dataset at the drilled granularity.
+	groups := agg.GroupBy(eng.ds, attrs, c.Measure)
+
+	// One model per required base statistic.
+	models, err := s.fitModels(h, groups, c)
+	if err != nil {
+		return nil, err
+	}
+
+	// The complained tuple's children: groups matching the tuple predicate.
+	var children []int
+	for gi, g := range groups.Groups {
+		match := true
+		for a, want := range c.Tuple {
+			v, ok := g.Value(groups.Attrs, a)
+			if !ok {
+				return nil, fmt.Errorf("complaint attribute %q not in drill-down", a)
+			}
+			if v != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			children = append(children, gi)
+		}
+	}
+	if len(children) == 0 {
+		return nil, fmt.Errorf("complaint tuple %v has no provenance", c.Tuple)
+	}
+
+	// Empty drill-down groups: values of the drilled attribute that exist in
+	// the hierarchy under the tuple's ancestors but have no rows in the
+	// tuple's provenance (e.g. a village with no reports in the complained
+	// year). Repairing their statistics to the expectation resolves
+	// missing-group errors that observed groups cannot explain.
+	emptyVals := s.emptyChildValues(h, attr, attrs, groups, children, c)
+
+	// Current complaint value from the children partition (G merge).
+	var total agg.Stats
+	for _, gi := range children {
+		total = total.Add(groups.Groups[gi].Stats)
+	}
+	current := total.Get(c.Agg)
+
+	repair := c.repairStats
+	if eng.opts.Repair != nil {
+		repair = eng.opts.Repair
+	}
+	score := func(g agg.Group, pred map[agg.Func]float64) GroupScore {
+		repairedChild := repair(g.Stats, pred)
+		// t'c = G(V'/{t} ∪ {frepair(t)})
+		newTotal := total.Add(agg.Stats{
+			Count: repairedChild.Count - g.Stats.Count,
+			Sum:   repairedChild.Sum - g.Stats.Sum,
+			SumSq: repairedChild.SumSq - g.Stats.SumSq,
+		})
+		repaired := newTotal.Get(c.Agg)
+		sc := c.Eval(repaired)
+		return GroupScore{
+			Group:     g,
+			Predicted: pred,
+			Repaired:  repaired,
+			Score:     sc,
+			Gain:      c.Eval(current) - sc,
+		}
+	}
+
+	hr := &HierarchyResult{Hierarchy: h.Name, Attr: attr, Current: current}
+	for _, gi := range children {
+		g := groups.Groups[gi]
+		pred := make(map[agg.Func]float64, len(models))
+		for f, sm := range models {
+			pred[f] = sm.preds[gi]
+		}
+		hr.Ranked = append(hr.Ranked, score(g, pred))
+	}
+	// Score the empty groups using model predictions for their feature rows,
+	// with the random effects of the cluster containing their observed
+	// siblings.
+	sibling := children[0]
+	for _, v := range emptyVals {
+		vals := make(map[string]string, len(attrs))
+		gvals := make([]string, len(attrs))
+		for ai, a := range attrs {
+			if a == attr {
+				vals[a] = v
+			} else {
+				vals[a] = c.Tuple[a]
+			}
+			gvals[ai] = vals[a]
+		}
+		pred := make(map[agg.Func]float64, len(models))
+		for f, sm := range models {
+			pred[f] = sm.predict(sm.fs.Row(vals), sm.rowOf(sibling))
+		}
+		g := agg.Group{Key: data.EncodeKey(gvals), Vals: gvals}
+		hr.Ranked = append(hr.Ranked, score(g, pred))
+	}
+	sort.SliceStable(hr.Ranked, func(a, b int) bool { return hr.Ranked[a].Score < hr.Ranked[b].Score })
+	if eng.opts.TopK > 0 && len(hr.Ranked) > eng.opts.TopK {
+		hr.Ranked = hr.Ranked[:eng.opts.TopK]
+	}
+	hr.BestScore = hr.Ranked[0].Score
+	return hr, nil
+}
+
+// emptyChildValues returns the drilled attribute's values that appear under
+// the tuple's same-hierarchy ancestors somewhere in the dataset but have no
+// group in the tuple's provenance.
+func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string, groups *agg.Result, children []int, c Complaint) []string {
+	anc := data.Predicate{}
+	for _, a := range h.Attrs {
+		if v, ok := c.Tuple[a]; ok {
+			anc[a] = v
+		}
+	}
+	observed := make(map[string]bool, len(children))
+	for _, gi := range children {
+		v, _ := groups.Groups[gi].Value(attrs, attr)
+		observed[v] = true
+	}
+	ds := s.eng.ds
+	col := ds.Dim(attr)
+	seen := make(map[string]bool)
+	var out []string
+	for row := 0; row < ds.NumRows(); row++ {
+		v := col[row]
+		if observed[v] || seen[v] {
+			continue
+		}
+		if ds.Matches(row, anc) {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// statModel is one fitted base-statistic model: fitted values per observed
+// group, plus a predictor for synthetic (empty-group) feature rows.
+type statModel struct {
+	fs    *feature.Set
+	preds []float64
+	// predict scores feature row x using the random effects of the cluster
+	// containing model row sibRow.
+	predict func(x []float64, sibRow int) float64
+	// rowOf maps a group index to its model row.
+	rowOf func(gi int) int
+}
+
+// fitModels trains one multi-level model per required base statistic.
+func (s *Session) fitModels(h data.Hierarchy, groups *agg.Result, c Complaint) (map[agg.Func]*statModel, error) {
+	models := make(map[agg.Func]*statModel)
+	for _, stat := range c.baseStats() {
+		spec := feature.Spec{
+			Target:       stat,
+			Aux:          s.eng.opts.Aux,
+			Custom:       s.eng.opts.Custom,
+			ExcludeFromZ: s.eng.opts.ExcludeFromZ,
+			KeepLeaky:    s.eng.opts.KeepLeaky,
+		}
+		fs, err := feature.BuildWithGroupFeatures(groups, spec, s.eng.opts.GroupFeatures)
+		if err != nil {
+			return nil, err
+		}
+		y := make([]float64, len(groups.Groups))
+		for gi, g := range groups.Groups {
+			y[gi] = g.Stats.Get(stat)
+		}
+		sm, err := s.trainAndPredict(h, groups, fs, y)
+		if err != nil {
+			return nil, err
+		}
+		sm.fs = fs
+		models[stat] = sm
+	}
+	return models, nil
+}
+
+// trainAndPredict fits the multi-level model with the configured backend and
+// returns the fitted statistic model.
+func (s *Session) trainAndPredict(h data.Hierarchy, groups *agg.Result, fs *feature.Set, y []float64) (*statModel, error) {
+	eng := s.eng
+	kind := eng.opts.Trainer
+	if len(fs.Extra) > 0 {
+		// Multi-attribute features have no factorised form (Appendix H).
+		kind = TrainerNaive
+	}
+	var fz *factor.Factorizer
+	if kind == TrainerAuto || kind == TrainerFactorised || kind == TrainerNaiveFull {
+		var err error
+		fz, err = s.buildFactorizer(h)
+		if err != nil {
+			return nil, err
+		}
+		if kind == TrainerAuto {
+			if _, err := fz.RowCount(); err != nil {
+				kind = TrainerNaive
+			} else if float64(len(groups.Groups))/fz.N() < eng.opts.FactorisedFillThreshold {
+				kind = TrainerNaive
+			} else {
+				kind = TrainerFactorised
+			}
+		}
+	}
+
+	opts := mlm.Options{Iterations: eng.opts.EMIterations}
+	switch kind {
+	case TrainerFactorised:
+		return trainCross(fz, groups, fs, y, opts, eng.opts.RandomEffects, false)
+	case TrainerNaiveFull:
+		return trainCross(fz, groups, fs, y, opts, eng.opts.RandomEffects, true)
+	}
+	return trainNaive(groups, fs, y, opts, eng.opts.RandomEffects)
+}
+
+// zMaskFor resolves the random-effects column mask: the feature-level mask
+// restricted by the RandomEffects policy. numCols is the design width,
+// typicalCluster the average cluster size.
+func zMaskFor(re RandomEffects, featMask []bool, typicalCluster float64) []bool {
+	mask := append([]bool(nil), featMask...)
+	interceptOnly := re == ZIntercept ||
+		(re == ZAuto && typicalCluster < 3*float64(len(mask)))
+	if interceptOnly {
+		for i := range mask {
+			mask[i] = i == 0 // the intercept is always the first column
+		}
+	}
+	return mask
+}
+
+func allTrue(mask []bool) bool {
+	for _, m := range mask {
+		if !m {
+			return false
+		}
+	}
+	return true
+}
+
+// buildFactorizer constructs the factorised representation of the drilled
+// view: every hierarchy at its current depth, the drilled hierarchy one
+// level deeper and ordered last.
+func (s *Session) buildFactorizer(h data.Hierarchy) (*factor.Factorizer, error) {
+	eng := s.eng
+	var sources []*factor.Source
+	var depths []int
+	for _, other := range eng.ds.Hierarchies {
+		if other.Name == h.Name {
+			continue
+		}
+		d := s.depth[other.Name]
+		if d == 0 {
+			continue // hierarchy not part of the view
+		}
+		src, err := eng.sourceFor(other)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, src)
+		depths = append(depths, d)
+	}
+	src, err := eng.sourceFor(h)
+	if err != nil {
+		return nil, err
+	}
+	sources = append(sources, src)
+	depths = append(depths, s.depth[h.Name]+1)
+	return factor.New(sources, depths)
+}
+
+// predictor builds the synthetic-row predictor: x·β + z·b_cluster with z the
+// Z-masked subset of x.
+func predictor(model *mlm.MultiLevel, zmask []bool) func(x []float64, sibRow int) float64 {
+	return func(x []float64, sibRow int) float64 {
+		cl := model.ClusterOf(sibRow)
+		p := 0.0
+		for j, v := range x {
+			p += v * model.Beta[j]
+		}
+		zj := 0
+		for j, keep := range zmask {
+			if keep {
+				p += x[j] * model.B[cl][zj]
+				zj++
+			}
+		}
+		return p
+	}
+}
+
+func trainNaive(groups *agg.Result, fs *feature.Set, y []float64, opts mlm.Options, re RandomEffects) (*statModel, error) {
+	x := fs.DenseX(groups)
+	starts := feature.ClusterStarts(groups)
+	backend, err := mlm.NewDense(x, starts)
+	if err != nil {
+		return nil, err
+	}
+	zmask := zMaskFor(re, fs.ZMask(), float64(len(groups.Groups))/float64(len(starts)))
+	bz, err := zBackend(backend, zmask)
+	if err != nil {
+		return nil, err
+	}
+	model, err := mlm.FitEMZ(backend, bz, y, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &statModel{
+		preds:   model.Fitted(backend, bz),
+		predict: predictor(model, zmask),
+		rowOf:   func(gi int) int { return gi },
+	}, nil
+}
+
+// zBackend derives the random-effects backend for a Z column mask: the full
+// backend when Z = X, the closed-form intercept design when only the
+// (constant-1) intercept column is kept, and a column subset otherwise.
+func zBackend(backend mlm.Backend, zmask []bool) (mlm.Backend, error) {
+	if allTrue(zmask) {
+		return backend, nil
+	}
+	kept, only0 := 0, true
+	for j, m := range zmask {
+		if m {
+			kept++
+			if j != 0 {
+				only0 = false
+			}
+		}
+	}
+	if kept == 1 && only0 {
+		return mlm.NewInterceptZ(backend), nil
+	}
+	switch b := backend.(type) {
+	case *mlm.Dense:
+		return b.SubsetCols(zmask)
+	case *mlm.Factorised:
+		return b.SubsetCols(zmask)
+	}
+	return nil, fmt.Errorf("core: cannot subset backend %T", backend)
+}
+
+// trainCross trains over the complete cross product of hierarchy paths
+// (empty cells carry y = 0, the §5.1.4 worst case). With materialize=false
+// it uses the factorised backend; with materialize=true it expands the full
+// feature matrix and trains densely — the Matlab comparator regime.
+func trainCross(fz *factor.Factorizer, groups *agg.Result, fs *feature.Set, y []float64, opts mlm.Options, re RandomEffects, materialize bool) (*statModel, error) {
+	cols, err := fs.FactorColumns(fz)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := fmatrix.New(fz, cols)
+	if err != nil {
+		return nil, err
+	}
+	var backend mlm.Backend
+	fb, err := mlm.NewFactorised(fm)
+	if err != nil {
+		return nil, err
+	}
+	backend = fb
+	if materialize {
+		x, err := fm.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		starts := make([]int, fb.NumClusters())
+		for i := range starts {
+			starts[i], _ = fb.Cluster(i).Rows()
+		}
+		db, err := mlm.NewDense(x, starts)
+		if err != nil {
+			return nil, err
+		}
+		backend = db
+	}
+	zmask := zMaskFor(re, fs.ZMask(), float64(backend.NumRows())/float64(backend.NumClusters()))
+	bz, err := zBackend(backend, zmask)
+	if err != nil {
+		return nil, err
+	}
+	// Dense y over the cross product: observed groups at their row index,
+	// empty cells at 0 (the worst-case regime the paper trains in).
+	rowOf, err := groupRowIndex(fz, groups)
+	if err != nil {
+		return nil, err
+	}
+	yd := make([]float64, backend.NumRows())
+	for gi := range groups.Groups {
+		yd[rowOf[gi]] = y[gi]
+	}
+	model, err := mlm.FitEMZ(backend, bz, yd, opts)
+	if err != nil {
+		return nil, err
+	}
+	fitted := model.Fitted(backend, bz)
+	out := make([]float64, len(groups.Groups))
+	for gi := range groups.Groups {
+		out[gi] = fitted[rowOf[gi]]
+	}
+	return &statModel{
+		preds:   out,
+		predict: predictor(model, zmask),
+		rowOf:   func(gi int) int { return rowOf[gi] },
+	}, nil
+}
+
+// PredictGroupStats trains the engine's multi-level model over the given
+// group-by attributes and returns each group's expected value of stat,
+// together with the group-by result. It exposes the model-based expectation
+// on its own, without complaint-driven ranking — the basis of the Outlier
+// baseline (§5.2.3).
+func (e *Engine) PredictGroupStats(attrs []string, measure string, stat agg.Func) ([]float64, *agg.Result, error) {
+	groups := agg.GroupBy(e.ds, attrs, measure)
+	spec := feature.Spec{
+		Target:       stat,
+		Aux:          e.opts.Aux,
+		Custom:       e.opts.Custom,
+		ExcludeFromZ: e.opts.ExcludeFromZ,
+		KeepLeaky:    e.opts.KeepLeaky,
+	}
+	fs, err := feature.BuildWithGroupFeatures(groups, spec, e.opts.GroupFeatures)
+	if err != nil {
+		return nil, nil, err
+	}
+	y := make([]float64, len(groups.Groups))
+	for gi, g := range groups.Groups {
+		y[gi] = g.Stats.Get(stat)
+	}
+	sm, err := trainNaive(groups, fs, y, mlm.Options{Iterations: e.opts.EMIterations}, e.opts.RandomEffects)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sm.preds, groups, nil
+}
+
+// groupRowIndex maps every observed group to its row in the factorised
+// matrix's iteration order.
+func groupRowIndex(fz *factor.Factorizer, groups *agg.Result) ([]int, error) {
+	// Per hierarchy-order position, the deepest attribute's index within
+	// groups.Attrs.
+	nh := fz.NumHierarchies()
+	deepAttr := make([]int, nh)
+	for pos := 0; pos < nh; pos++ {
+		ch := fz.Chain(pos)
+		name := ch.Levels[ch.Depth()-1].Attr
+		idx := -1
+		for ai, a := range groups.Attrs {
+			if a == name {
+				idx = ai
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("core: factorizer attribute %q missing from group-by %v", name, groups.Attrs)
+		}
+		deepAttr[pos] = idx
+	}
+	rowOf := make([]int, len(groups.Groups))
+	leaf := make([]int, nh)
+	for gi, g := range groups.Groups {
+		for pos := 0; pos < nh; pos++ {
+			li := fz.LeafIndex(pos, g.Vals[deepAttr[pos]])
+			if li < 0 {
+				return nil, fmt.Errorf("core: value %q not in factorizer hierarchy %q", g.Vals[deepAttr[pos]], fz.HierarchyName(pos))
+			}
+			leaf[pos] = li
+		}
+		rowOf[gi] = fz.RowIndexOf(leaf)
+	}
+	return rowOf, nil
+}

@@ -1,0 +1,115 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV loads a dataset from CSV. Columns named in measureNames are parsed
+// as float64 measures; all other columns become dimensions. The header row is
+// required. hierarchies may be nil and attached later.
+func ReadCSV(r io.Reader, name string, measureNames []string, hierarchies []Hierarchy) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+	}
+	header = append([]string(nil), header...)
+
+	isMeasure := make(map[string]bool, len(measureNames))
+	for _, m := range measureNames {
+		isMeasure[m] = true
+	}
+	var dimNames, msNames []string
+	for _, c := range header {
+		if isMeasure[c] {
+			msNames = append(msNames, c)
+		} else {
+			dimNames = append(dimNames, c)
+		}
+	}
+	for _, m := range measureNames {
+		found := false
+		for _, c := range header {
+			if c == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("data: measure column %q not in CSV header", m)
+		}
+	}
+
+	d := New(name, dimNames, msNames, hierarchies)
+	dimVals := make([]string, len(dimNames))
+	msVals := make([]float64, len(msNames))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		di, mi := 0, 0
+		for col, c := range header {
+			if isMeasure[c] {
+				v, err := strconv.ParseFloat(rec[col], 64)
+				if err != nil {
+					return nil, fmt.Errorf("data: line %d column %q: %w", line, c, err)
+				}
+				msVals[mi] = v
+				mi++
+			} else {
+				dimVals[di] = rec[col]
+				di++
+			}
+		}
+		d.AppendRowVals(dimVals, msVals)
+	}
+	return d, nil
+}
+
+// ReadCSVFile loads a dataset from a CSV file on disk.
+func ReadCSVFile(path, name string, measureNames []string, hierarchies []Hierarchy) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, name, measureNames, hierarchies)
+}
+
+// WriteCSV serializes the dataset: dimensions first, then measures, in
+// declaration order.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(d.DimNames(), d.MeasureNames()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for row := 0; row < d.n; row++ {
+		i := 0
+		for _, c := range d.dimNames {
+			rec[i] = d.dims[c][row]
+			i++
+		}
+		for _, c := range d.measureNames {
+			rec[i] = strconv.FormatFloat(d.measures[c][row], 'g', -1, 64)
+			i++
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

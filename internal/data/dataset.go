@@ -1,0 +1,310 @@
+// Package data provides the relational substrate Reptile runs on: columnar
+// in-memory datasets with categorical dimension attributes and numeric
+// measures, hierarchy (dimension) metadata with functional-dependency
+// validation, filtering with provenance, and CSV I/O.
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hierarchy is one dimension of the dataset: an ordered list of attributes
+// from least specific to most specific (e.g. [Region, District, Village]).
+// Every more specific attribute functionally determines all less specific
+// ones (Village → District → Region).
+type Hierarchy struct {
+	Name  string
+	Attrs []string
+}
+
+// Contains reports whether the hierarchy includes attribute a.
+func (h Hierarchy) Contains(a string) bool {
+	for _, x := range h.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Level returns the 0-based depth of attribute a, or -1 if absent.
+func (h Hierarchy) Level(a string) int {
+	for i, x := range h.Attrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Dataset is an immutable-by-convention columnar table. Dimension columns
+// hold categorical string values; measure columns hold float64 values. All
+// columns have identical length.
+type Dataset struct {
+	Name        string
+	Hierarchies []Hierarchy
+
+	dimNames     []string
+	measureNames []string
+	dims         map[string][]string
+	measures     map[string][]float64
+	n            int
+}
+
+// New creates an empty dataset with the given dimension and measure columns.
+func New(name string, dimNames, measureNames []string, hierarchies []Hierarchy) *Dataset {
+	d := &Dataset{
+		Name:         name,
+		Hierarchies:  hierarchies,
+		dimNames:     append([]string(nil), dimNames...),
+		measureNames: append([]string(nil), measureNames...),
+		dims:         make(map[string][]string, len(dimNames)),
+		measures:     make(map[string][]float64, len(measureNames)),
+	}
+	for _, c := range dimNames {
+		d.dims[c] = nil
+	}
+	for _, c := range measureNames {
+		d.measures[c] = nil
+	}
+	return d
+}
+
+// NumRows returns the number of rows.
+func (d *Dataset) NumRows() int { return d.n }
+
+// DimNames returns the dimension column names in declaration order.
+func (d *Dataset) DimNames() []string { return append([]string(nil), d.dimNames...) }
+
+// MeasureNames returns the measure column names in declaration order.
+func (d *Dataset) MeasureNames() []string { return append([]string(nil), d.measureNames...) }
+
+// HasDim reports whether the dataset has dimension column name.
+func (d *Dataset) HasDim(name string) bool { _, ok := d.dims[name]; return ok }
+
+// HasMeasure reports whether the dataset has measure column name.
+func (d *Dataset) HasMeasure(name string) bool { _, ok := d.measures[name]; return ok }
+
+// Dim returns the dimension column by name. The returned slice is shared;
+// callers must not modify it.
+func (d *Dataset) Dim(name string) []string {
+	col, ok := d.dims[name]
+	if !ok {
+		panic(fmt.Sprintf("data: unknown dimension %q in dataset %q", name, d.Name))
+	}
+	return col
+}
+
+// Measure returns the measure column by name. The returned slice is shared;
+// callers must not modify it.
+func (d *Dataset) Measure(name string) []float64 {
+	col, ok := d.measures[name]
+	if !ok {
+		panic(fmt.Sprintf("data: unknown measure %q in dataset %q", name, d.Name))
+	}
+	return col
+}
+
+// AppendRow adds one row. dims and measures are keyed by column name; every
+// declared column must be present.
+func (d *Dataset) AppendRow(dims map[string]string, measures map[string]float64) {
+	for _, c := range d.dimNames {
+		v, ok := dims[c]
+		if !ok {
+			panic(fmt.Sprintf("data: AppendRow missing dimension %q", c))
+		}
+		d.dims[c] = append(d.dims[c], v)
+	}
+	for _, c := range d.measureNames {
+		v, ok := measures[c]
+		if !ok {
+			panic(fmt.Sprintf("data: AppendRow missing measure %q", c))
+		}
+		d.measures[c] = append(d.measures[c], v)
+	}
+	d.n++
+}
+
+// AppendRowVals adds one row with dimension and measure values given in
+// declaration order. It is the fast path for generators.
+func (d *Dataset) AppendRowVals(dimVals []string, measureVals []float64) {
+	if len(dimVals) != len(d.dimNames) || len(measureVals) != len(d.measureNames) {
+		panic(fmt.Sprintf("data: AppendRowVals arity mismatch: %d/%d dims, %d/%d measures",
+			len(dimVals), len(d.dimNames), len(measureVals), len(d.measureNames)))
+	}
+	for i, c := range d.dimNames {
+		d.dims[c] = append(d.dims[c], dimVals[i])
+	}
+	for i, c := range d.measureNames {
+		d.measures[c] = append(d.measures[c], measureVals[i])
+	}
+	d.n++
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	c := New(d.Name, d.dimNames, d.measureNames, d.Hierarchies)
+	for name, col := range d.dims {
+		c.dims[name] = append([]string(nil), col...)
+	}
+	for name, col := range d.measures {
+		c.measures[name] = append([]float64(nil), col...)
+	}
+	c.n = d.n
+	return c
+}
+
+// Select returns a new dataset containing the rows at the given indices, in
+// order. Indices may repeat (used by error injectors to duplicate rows).
+func (d *Dataset) Select(idx []int) *Dataset {
+	out := New(d.Name, d.dimNames, d.measureNames, d.Hierarchies)
+	for _, name := range d.dimNames {
+		src := d.dims[name]
+		col := make([]string, len(idx))
+		for i, r := range idx {
+			col[i] = src[r]
+		}
+		out.dims[name] = col
+	}
+	for _, name := range d.measureNames {
+		src := d.measures[name]
+		col := make([]float64, len(idx))
+		for i, r := range idx {
+			col[i] = src[r]
+		}
+		out.measures[name] = col
+	}
+	out.n = len(idx)
+	return out
+}
+
+// Filter returns the rows satisfying pred as a new dataset. pred receives
+// the row index.
+func (d *Dataset) Filter(pred func(row int) bool) *Dataset {
+	var idx []int
+	for i := 0; i < d.n; i++ {
+		if pred(i) {
+			idx = append(idx, i)
+		}
+	}
+	return d.Select(idx)
+}
+
+// Predicate is a conjunction of attribute = value conditions.
+type Predicate map[string]string
+
+// Matches reports whether row satisfies every condition of p.
+func (d *Dataset) Matches(row int, p Predicate) bool {
+	for attr, want := range p {
+		if d.Dim(attr)[row] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Where returns the provenance of predicate p: the sub-dataset of rows whose
+// dimension values match every condition.
+func (d *Dataset) Where(p Predicate) *Dataset {
+	if len(p) == 0 {
+		return d.Clone()
+	}
+	return d.Filter(func(row int) bool { return d.Matches(row, p) })
+}
+
+// Distinct returns the sorted distinct values of a dimension column.
+func (d *Dataset) Distinct(attr string) []string {
+	col := d.Dim(attr)
+	seen := make(map[string]struct{})
+	for _, v := range col {
+		seen[v] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HierarchyOf returns the hierarchy containing attribute a, or false.
+func (d *Dataset) HierarchyOf(a string) (Hierarchy, bool) {
+	for _, h := range d.Hierarchies {
+		if h.Contains(a) {
+			return h, true
+		}
+	}
+	return Hierarchy{}, false
+}
+
+// Validate checks structural invariants: every hierarchy attribute exists as
+// a dimension, hierarchies do not share attributes, and within each hierarchy
+// every more specific attribute functionally determines its parent (the FD
+// A_n → A_m for m < n required by the problem definition).
+func (d *Dataset) Validate() error {
+	seen := make(map[string]string)
+	for _, h := range d.Hierarchies {
+		if len(h.Attrs) == 0 {
+			return fmt.Errorf("data: hierarchy %q has no attributes", h.Name)
+		}
+		for _, a := range h.Attrs {
+			if !d.HasDim(a) {
+				return fmt.Errorf("data: hierarchy %q references unknown attribute %q", h.Name, a)
+			}
+			if prev, dup := seen[a]; dup {
+				return fmt.Errorf("data: attribute %q appears in hierarchies %q and %q", a, prev, h.Name)
+			}
+			seen[a] = h.Name
+		}
+		for lvl := 1; lvl < len(h.Attrs); lvl++ {
+			child, parent := h.Attrs[lvl], h.Attrs[lvl-1]
+			if err := d.checkFD(child, parent); err != nil {
+				return fmt.Errorf("data: hierarchy %q: %w", h.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFD verifies the functional dependency child → parent.
+func (d *Dataset) checkFD(child, parent string) error {
+	cc, pc := d.Dim(child), d.Dim(parent)
+	m := make(map[string]string)
+	for i := range cc {
+		if prev, ok := m[cc[i]]; ok {
+			if prev != pc[i] {
+				return fmt.Errorf("FD violation: %s=%q maps to %s=%q and %q", child, cc[i], parent, prev, pc[i])
+			}
+		} else {
+			m[cc[i]] = pc[i]
+		}
+	}
+	return nil
+}
+
+// Key encodes an ordered list of dimension values as a single group key.
+// The separator is unlikely to occur in attribute values; EncodeKey and
+// DecodeKey round-trip as long as values avoid "\x1f".
+const keySep = "\x1f"
+
+// EncodeKey joins dimension values into a group key.
+func EncodeKey(vals []string) string { return strings.Join(vals, keySep) }
+
+// DecodeKey splits a group key back into its dimension values.
+func DecodeKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, keySep)
+}
+
+// RowKey returns the group key of row over the given attributes.
+func (d *Dataset) RowKey(row int, attrs []string) string {
+	vals := make([]string, len(attrs))
+	for i, a := range attrs {
+		vals[i] = d.Dim(a)[row]
+	}
+	return EncodeKey(vals)
+}

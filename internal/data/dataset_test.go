@@ -1,0 +1,239 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// demo builds the running-example dataset from the paper: a geography
+// hierarchy (district → village) and a time hierarchy (year), with a
+// severity measure.
+func demo() *Dataset {
+	h := []Hierarchy{
+		{Name: "geo", Attrs: []string{"district", "village"}},
+		{Name: "time", Attrs: []string{"year"}},
+	}
+	d := New("drought", []string{"district", "village", "year"}, []string{"severity"}, h)
+	rows := []struct {
+		dist, vil, yr string
+		sev           float64
+	}{
+		{"Ofla", "Adishim", "1986", 8},
+		{"Ofla", "Adishim", "1986", 9},
+		{"Ofla", "Darube", "1986", 2},
+		{"Ofla", "Zata", "1986", 1},
+		{"Ofla", "Adishim", "1987", 7},
+		{"Raya", "Kukufto", "1986", 6},
+	}
+	for _, r := range rows {
+		d.AppendRowVals([]string{r.dist, r.vil, r.yr}, []float64{r.sev})
+	}
+	return d
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	d := demo()
+	if d.NumRows() != 6 {
+		t.Fatalf("NumRows = %d, want 6", d.NumRows())
+	}
+	if got := d.Dim("village")[2]; got != "Darube" {
+		t.Errorf("village[2] = %q", got)
+	}
+	if got := d.Measure("severity")[3]; got != 1 {
+		t.Errorf("severity[3] = %v", got)
+	}
+	if !d.HasDim("district") || d.HasDim("bogus") {
+		t.Error("HasDim wrong")
+	}
+	if !d.HasMeasure("severity") || d.HasMeasure("bogus") {
+		t.Error("HasMeasure wrong")
+	}
+}
+
+func TestAppendRowMap(t *testing.T) {
+	d := New("x", []string{"a"}, []string{"m"}, nil)
+	d.AppendRow(map[string]string{"a": "v"}, map[string]float64{"m": 1.5})
+	if d.NumRows() != 1 || d.Dim("a")[0] != "v" || d.Measure("m")[0] != 1.5 {
+		t.Error("AppendRow failed")
+	}
+}
+
+func TestAppendRowMissingColumnPanics(t *testing.T) {
+	d := New("x", []string{"a"}, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.AppendRow(map[string]string{}, nil)
+}
+
+func TestWhereAndPredicate(t *testing.T) {
+	d := demo()
+	sub := d.Where(Predicate{"district": "Ofla", "year": "1986"})
+	if sub.NumRows() != 4 {
+		t.Fatalf("Where rows = %d, want 4", sub.NumRows())
+	}
+	all := d.Where(nil)
+	if all.NumRows() != d.NumRows() {
+		t.Errorf("empty predicate should return all rows")
+	}
+	none := d.Where(Predicate{"district": "Nowhere"})
+	if none.NumRows() != 0 {
+		t.Errorf("non-matching predicate rows = %d", none.NumRows())
+	}
+}
+
+func TestSelectWithDuplicates(t *testing.T) {
+	d := demo()
+	s := d.Select([]int{0, 0, 5})
+	if s.NumRows() != 3 {
+		t.Fatalf("Select rows = %d", s.NumRows())
+	}
+	if s.Dim("village")[0] != s.Dim("village")[1] {
+		t.Error("duplicated row differs")
+	}
+	if s.Dim("district")[2] != "Raya" {
+		t.Error("wrong row selected")
+	}
+}
+
+func TestDistinctSorted(t *testing.T) {
+	d := demo()
+	got := d.Distinct("village")
+	want := []string{"Adishim", "Darube", "Kukufto", "Zata"}
+	if len(got) != len(want) {
+		t.Fatalf("Distinct = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Distinct = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := demo().Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateFDViolation(t *testing.T) {
+	d := demo()
+	// The same village under two districts violates village → district.
+	d.AppendRowVals([]string{"Raya", "Adishim", "1986"}, []float64{5})
+	if err := d.Validate(); err == nil {
+		t.Error("expected FD violation error")
+	} else if !strings.Contains(err.Error(), "FD violation") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateUnknownAttr(t *testing.T) {
+	d := New("x", []string{"a"}, nil, []Hierarchy{{Name: "h", Attrs: []string{"missing"}}})
+	if err := d.Validate(); err == nil {
+		t.Error("expected unknown-attribute error")
+	}
+}
+
+func TestValidateSharedAttr(t *testing.T) {
+	d := New("x", []string{"a"}, nil, []Hierarchy{
+		{Name: "h1", Attrs: []string{"a"}},
+		{Name: "h2", Attrs: []string{"a"}},
+	})
+	if err := d.Validate(); err == nil {
+		t.Error("expected shared-attribute error")
+	}
+}
+
+func TestValidateEmptyHierarchy(t *testing.T) {
+	d := New("x", []string{"a"}, nil, []Hierarchy{{Name: "h"}})
+	if err := d.Validate(); err == nil {
+		t.Error("expected empty-hierarchy error")
+	}
+}
+
+func TestHierarchyHelpers(t *testing.T) {
+	h := Hierarchy{Name: "geo", Attrs: []string{"district", "village"}}
+	if !h.Contains("village") || h.Contains("year") {
+		t.Error("Contains wrong")
+	}
+	if h.Level("district") != 0 || h.Level("village") != 1 || h.Level("x") != -1 {
+		t.Error("Level wrong")
+	}
+	d := demo()
+	if got, ok := d.HierarchyOf("village"); !ok || got.Name != "geo" {
+		t.Error("HierarchyOf wrong")
+	}
+	if _, ok := d.HierarchyOf("bogus"); ok {
+		t.Error("HierarchyOf found bogus attr")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	key := EncodeKey([]string{"a", "b"})
+	vals := DecodeKey(key)
+	if len(vals) != 2 || vals[0] != "a" || vals[1] != "b" {
+		t.Errorf("key round trip = %v", vals)
+	}
+	if DecodeKey("") != nil {
+		t.Error("DecodeKey empty should be nil")
+	}
+	d := demo()
+	if got := d.RowKey(0, []string{"district", "year"}); got != EncodeKey([]string{"Ofla", "1986"}) {
+		t.Errorf("RowKey = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := demo()
+	c := d.Clone()
+	c.AppendRowVals([]string{"X", "Y", "1999"}, []float64{1})
+	if d.NumRows() == c.NumRows() {
+		t.Error("Clone shares row storage")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := demo()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "drought", []string{"severity"}, d.Hierarchies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != d.NumRows() {
+		t.Fatalf("round trip rows = %d, want %d", back.NumRows(), d.NumRows())
+	}
+	for i := 0; i < d.NumRows(); i++ {
+		if back.Dim("village")[i] != d.Dim("village")[i] {
+			t.Fatalf("row %d village mismatch", i)
+		}
+		if back.Measure("severity")[i] != d.Measure("severity")[i] {
+			t.Fatalf("row %d severity mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,m\nx,notanumber\n"), "t", []string{"m"}, nil); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\nx,y\n"), "t", []string{"m"}, nil); err == nil {
+		t.Error("expected missing-measure error")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), "t", nil, nil); err == nil {
+		t.Error("expected header error")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	d := demo()
+	sub := d.Filter(func(row int) bool { return d.Measure("severity")[row] >= 7 })
+	if sub.NumRows() != 3 {
+		t.Errorf("Filter rows = %d, want 3", sub.NumRows())
+	}
+}

@@ -1,0 +1,327 @@
+// Package datasets provides seeded synthetic stand-ins for the paper's
+// evaluation datasets (see DESIGN.md §2 for the substitution rationale):
+// the JHU COVID-19 US and global datasets with the 30 resolved data issues
+// of Tables 1–2, the FIST Ethiopian drought surveys with the §5.4 user-study
+// complaints, the 2016/2020 county vote data of Appendices K and N, and the
+// Absentee / COMPAS runtime datasets of §5.1.4.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// CovidDays is the number of days in the generated COVID datasets.
+const CovidDays = 120
+
+// dayName renders day index i as a sortable dimension value.
+func dayName(i int) string { return fmt.Sprintf("d%03d", i) }
+
+// usStateScale fixes each location's reporting scale deterministically
+// (roughly population-proportional). The near-zero territories matter for
+// baseline fidelity: on the real data, deletion-based ranking under a
+// "too low" complaint gravitates to locations that barely report at all.
+var usStateScale = map[string]float64{
+	"California": 22, "Texas": 18, "Florida": 14, "NewYork": 13,
+	"Pennsylvania": 9, "Illinois": 9, "Ohio": 8.5, "Georgia": 7.5,
+	"NorthCarolina": 7, "Michigan": 7, "NewJersey": 6.5, "Virginia": 6,
+	"Washington": 5.5, "Arizona": 5.2, "Massachusetts": 5, "Tennessee": 4.8,
+	"Indiana": 4.7, "Missouri": 4.3, "Maryland": 4.2, "Wisconsin": 4.1,
+	"Colorado": 4, "Minnesota": 3.9, "SouthCarolina": 3.6, "Alabama": 3.5,
+	"Louisiana": 3.2, "Kentucky": 3.1, "Oregon": 2.9, "Oklahoma": 2.8,
+	"Connecticut": 2.5, "Utah": 2.3, "Iowa": 2.2, "Nevada": 2.2,
+	"Arkansas": 2.1, "Mississippi": 2.1, "Kansas": 2, "NewMexico": 1.5,
+	"Nebraska": 1.4, "Idaho": 1.3, "WestVirginia": 1.2, "Hawaii": 1,
+	"NewHampshire": 1, "Maine": 0.95, "Montana": 0.8, "RhodeIsland": 0.75,
+	"Delaware": 0.7, "SouthDakota": 0.65, "NorthDakota": 0.55,
+	"Alaska": 0.5, "DistrictOfColumbia": 0.5, "Vermont": 0.45, "Wyoming": 0.4,
+	// Territories that barely report.
+	"Guam": 0.02, "VirginIslands": 0.015, "NorthernMarianas": 0.01, "AmericanSamoa": 0.005,
+}
+
+// usStates lists the locations in deterministic order.
+var usStates = sortedKeys(usStateScale)
+
+// covidCountryScale fixes each country's reporting scale per region.
+var covidCountryScale = map[string]map[string]float64{
+	"Africa": {
+		"Egypt": 1.2, "Ethiopia": 0.8, "Kenya": 0.7, "Morocco": 2.4,
+		"Nigeria": 1, "SouthAfrica": 6, "Tanzania": 0.02, "Tunisia": 1.1,
+	},
+	"Americas": {
+		"Argentina": 6, "Brazil": 22, "Canada": 3.5, "Chile": 3,
+		"Colombia": 6.5, "Mexico": 5, "Peru": 4, "US": 60, "Belize": 0.03,
+	},
+	"EastAsia": {
+		"China": 0.6, "Japan": 2.5, "Mongolia": 0.05, "SouthKorea": 0.9, "Taiwan": 0.02,
+	},
+	"Europe": {
+		"France": 12, "Germany": 11, "Italy": 10, "Netherlands": 4,
+		"Poland": 6, "Russia": 14, "Spain": 9, "Sweden": 3, "Turkey": 13,
+		"UK": 13, "Ukraine": 5, "SanMarino": 0.01,
+	},
+	"MiddleEast": {
+		"Afghanistan": 0.3, "Iran": 5, "Iraq": 2.5, "Israel": 2.8,
+		"Jordan": 2.6, "Kazakhstan": 2.0, "SaudiArabia": 1.5, "UAE": 1.4, "Yemen": 0.01,
+	},
+	"SouthAsia": {
+		"Bangladesh": 2, "India": 40, "Indonesia": 3.5, "Malaysia": 1.3,
+		"Pakistan": 2.2, "Philippines": 2.3, "Thailand": 0.4, "Vietnam": 0.02,
+	},
+}
+
+var covidRegionOrder = []string{"Africa", "Americas", "EastAsia", "Europe", "MiddleEast", "SouthAsia"}
+
+// covidRegions maps each region to its countries (sorted).
+var covidRegions = func() map[string][]string {
+	out := make(map[string][]string, len(covidCountryScale))
+	for r, cs := range covidCountryScale {
+		out[r] = sortedKeys(cs)
+	}
+	return out
+}()
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// covidWave is the national epidemic curve: two overlapping waves plus a
+// weekly reporting cycle.
+func covidWave(day int) float64 {
+	t := float64(day)
+	w := 600*math.Exp(-(t-35)*(t-35)/(2*18*18)) + 1000*math.Exp(-(t-90)*(t-90)/(2*22*22)) + 120
+	weekly := 1 + 0.05*math.Sin(2*math.Pi*t/7)
+	return w * weekly
+}
+
+// GenerateCovidUS builds the simulated US dataset: one row per (state, day)
+// with daily confirmed and death counts.
+func GenerateCovidUS(seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	h := []data.Hierarchy{
+		{Name: "location", Attrs: []string{"state"}},
+		{Name: "time", Attrs: []string{"day"}},
+	}
+	ds := data.New("covid-us", []string{"state", "day"}, []string{"confirmed", "deaths"}, h)
+	for _, s := range usStates {
+		for d := 0; d < CovidDays; d++ {
+			base := usStateScale[s] * covidWave(d)
+			conf := base * (1 + 0.02*rng.NormFloat64())
+			deaths := base * 0.018 * (1 + 0.02*rng.NormFloat64())
+			ds.AppendRowVals([]string{s, dayName(d)}, []float64{math.Max(0, conf), math.Max(0, deaths)})
+		}
+	}
+	return ds
+}
+
+// GenerateCovidGlobal builds the simulated global dataset: one row per
+// (region, country, day) with daily confirmed, deaths and recovered counts.
+func GenerateCovidGlobal(seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	h := []data.Hierarchy{
+		{Name: "location", Attrs: []string{"region", "country"}},
+		{Name: "time", Attrs: []string{"day"}},
+	}
+	ds := data.New("covid-global", []string{"region", "country", "day"},
+		[]string{"confirmed", "deaths", "recovered"}, h)
+	for _, region := range covidRegionOrder {
+		for _, country := range covidRegions[region] {
+			sc := covidCountryScale[region][country]
+			phase := rng.Float64() * 20
+			for d := 0; d < CovidDays; d++ {
+				base := sc * covidWave(d+int(phase)-10)
+				conf := base * (1 + 0.02*rng.NormFloat64())
+				deaths := base * 0.02 * (1 + 0.02*rng.NormFloat64())
+				rec := base * 0.9 * (1 + 0.02*rng.NormFloat64())
+				ds.AppendRowVals([]string{region, country, dayName(d)},
+					[]float64{math.Max(0, conf), math.Max(0, deaths), math.Max(0, rec)})
+			}
+		}
+	}
+	return ds
+}
+
+// IssueClass is the error taxonomy of the COVID case study (Appendix L).
+type IssueClass int
+
+const (
+	// MissingReports zeroes (most of) the location's value on the issue day.
+	MissingReports IssueClass = iota
+	// Backlog moves the prior three days' values onto the issue day.
+	Backlog
+	// OverReported inflates the issue day's value.
+	OverReported
+	// DefinitionAltered applies a level shift from the issue day onward.
+	DefinitionAltered
+	// PrevalentSource scales every day of the location — a prevalent error
+	// Reptile cannot localize to the complaint day (expected failure).
+	PrevalentSource
+	// Typo perturbs the value by a sub-noise amount (expected failure).
+	Typo
+	// DayShift moves a small fraction of the day's reports to the next day
+	// (expected failure at state granularity).
+	DayShift
+	// WronglyReported replaces the value with a clearly wrong one.
+	WronglyReported
+	// SubtleError perturbs the value by an amount below the natural
+	// variation (expected failure).
+	SubtleError
+	// Nullified resets cumulative counts, producing a large negative daily
+	// value (the one error class deletion-based baselines also catch).
+	Nullified
+)
+
+// Issue is one reproduced GitHub data issue.
+type Issue struct {
+	ID       string
+	Title    string
+	Dataset  string // "us" or "global"
+	Region   string // global issues only
+	Location string // state (US) or country (global)
+	Day      int
+	Measure  string
+	Class    IssueClass
+	// Direction of the complaint at the parent level.
+	Direction core.Direction
+	// ExpectDetect records the paper's per-issue Reptile outcome
+	// (Tables 1–2); prevalent and sub-noise issues are expected failures.
+	ExpectDetect bool
+}
+
+// DayName returns the issue day's dimension value.
+func (i Issue) DayName() string { return dayName(i.Day) }
+
+// USIssues reproduces Table 1 (16 issues, 12 detected by Reptile).
+func USIssues() []Issue {
+	return []Issue{
+		{ID: "3572", Title: "Texas confirmed missing reports", Dataset: "us", Location: "Texas", Day: 70, Measure: "confirmed", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3521", Title: "Arizona death methodology altered", Dataset: "us", Location: "Arizona", Day: 64, Measure: "deaths", Class: DefinitionAltered, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3482", Title: "Washington missing reports", Dataset: "us", Location: "Washington", Day: 58, Measure: "confirmed", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3476", Title: "Utah missing source", Dataset: "us", Location: "Utah", Day: 55, Measure: "confirmed", Class: PrevalentSource, Direction: core.TooLow, ExpectDetect: false},
+		{ID: "3468", Title: "New York death missing reports", Dataset: "us", Location: "NewYork", Day: 52, Measure: "deaths", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3466", Title: "Montana missing reports", Dataset: "us", Location: "Montana", Day: 51, Measure: "confirmed", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3456", Title: "North Dakota confirmed backlog", Dataset: "us", Location: "NorthDakota", Day: 48, Measure: "confirmed", Class: Backlog, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3451", Title: "Iowa death missing reports", Dataset: "us", Location: "Iowa", Day: 46, Measure: "deaths", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3449", Title: "Arizona test over reported", Dataset: "us", Location: "Arizona", Day: 45, Measure: "confirmed", Class: OverReported, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3448", Title: "Washington death wrongly reported", Dataset: "us", Location: "Washington", Day: 44, Measure: "deaths", Class: WronglyReported, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3441", Title: "Albany confirmed day shift", Dataset: "us", Location: "NewYork", Day: 42, Measure: "confirmed", Class: DayShift, Direction: core.TooLow, ExpectDetect: false},
+		{ID: "3438", Title: "Ohio confirmed backlog", Dataset: "us", Location: "Ohio", Day: 40, Measure: "confirmed", Class: Backlog, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3424", Title: "Massachusetts confirmed backlog", Dataset: "us", Location: "Massachusetts", Day: 38, Measure: "confirmed", Class: SubtleError, Direction: core.TooHigh, ExpectDetect: false},
+		{ID: "3416", Title: "Nevada death over reported", Dataset: "us", Location: "Nevada", Day: 36, Measure: "deaths", Class: OverReported, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3414", Title: "Eureka death over reported", Dataset: "us", Location: "Nevada", Day: 34, Measure: "deaths", Class: OverReported, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3402", Title: "Washington confirmed typo", Dataset: "us", Location: "Washington", Day: 32, Measure: "confirmed", Class: Typo, Direction: core.TooHigh, ExpectDetect: false},
+	}
+}
+
+// GlobalIssues reproduces Table 2 (14 issues, 9 detected by Reptile).
+func GlobalIssues() []Issue {
+	return []Issue{
+		{ID: "3623", Title: "Germany recovered over reported", Dataset: "global", Region: "Europe", Location: "Germany", Day: 80, Measure: "recovered", Class: OverReported, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3618", Title: "Quebec death missing source", Dataset: "global", Region: "Americas", Location: "Canada", Day: 78, Measure: "deaths", Class: PrevalentSource, Direction: core.TooLow, ExpectDetect: false},
+		{ID: "3578", Title: "US recovery nullified", Dataset: "global", Region: "Americas", Location: "US", Day: 74, Measure: "recovered", Class: Nullified, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3567", Title: "India confirmed missing reports", Dataset: "global", Region: "SouthAsia", Location: "India", Day: 72, Measure: "confirmed", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3546", Title: "Thailand confirmed missing source", Dataset: "global", Region: "SouthAsia", Location: "Thailand", Day: 68, Measure: "confirmed", Class: PrevalentSource, Direction: core.TooLow, ExpectDetect: false},
+		{ID: "3538a", Title: "Mexico confirmed definition altered", Dataset: "global", Region: "Americas", Location: "Mexico", Day: 66, Measure: "confirmed", Class: DefinitionAltered, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3538b", Title: "Mexico confirmed missing reports", Dataset: "global", Region: "Americas", Location: "Mexico", Day: 64, Measure: "confirmed", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3518", Title: "Sweden death missing source", Dataset: "global", Region: "Europe", Location: "Sweden", Day: 62, Measure: "deaths", Class: PrevalentSource, Direction: core.TooLow, ExpectDetect: false},
+		{ID: "3498", Title: "Alberta missing source", Dataset: "global", Region: "Americas", Location: "Canada", Day: 60, Measure: "confirmed", Class: PrevalentSource, Direction: core.TooLow, ExpectDetect: false},
+		{ID: "3494", Title: "UK death missing reports", Dataset: "global", Region: "Europe", Location: "UK", Day: 58, Measure: "deaths", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3471", Title: "Turkey confirmed definition altered", Dataset: "global", Region: "Europe", Location: "Turkey", Day: 54, Measure: "confirmed", Class: Backlog, Direction: core.TooHigh, ExpectDetect: true},
+		{ID: "3423", Title: "Afghanistan confirmed wrongly reported", Dataset: "global", Region: "MiddleEast", Location: "Afghanistan", Day: 50, Measure: "confirmed", Class: SubtleError, Direction: core.TooLow, ExpectDetect: false},
+		{ID: "3413", Title: "France missing reports", Dataset: "global", Region: "Europe", Location: "France", Day: 48, Measure: "confirmed", Class: MissingReports, Direction: core.TooLow, ExpectDetect: true},
+		{ID: "3408", Title: "Kazakhstan confirmed over reported", Dataset: "global", Region: "MiddleEast", Location: "Kazakhstan", Day: 46, Measure: "confirmed", Class: OverReported, Direction: core.TooHigh, ExpectDetect: true},
+	}
+}
+
+// Apply injects the issue into a copy of the dataset. The location dimension
+// is "state" for US issues and "country" for global ones.
+func (i Issue) Apply(ds *data.Dataset) *data.Dataset {
+	out := ds.Clone()
+	locAttr := "state"
+	if i.Dataset == "global" {
+		locAttr = "country"
+	}
+	loc := out.Dim(locAttr)
+	day := out.Dim("day")
+	ms := out.Measure(i.Measure)
+
+	// Index the location's rows by day.
+	dayRow := make(map[string]int, CovidDays)
+	for r := 0; r < out.NumRows(); r++ {
+		if loc[r] == i.Location {
+			dayRow[day[r]] = r
+		}
+	}
+	rowOf := func(d int) int {
+		if r, ok := dayRow[dayName(d)]; ok {
+			return r
+		}
+		return -1
+	}
+	r := rowOf(i.Day)
+	if r < 0 {
+		panic(fmt.Sprintf("datasets: issue %s: no row for %s %s", i.ID, i.Location, i.DayName()))
+	}
+	switch i.Class {
+	case MissingReports:
+		ms[r] *= 0.04
+	case Backlog:
+		var moved float64
+		for d := i.Day - 3; d < i.Day; d++ {
+			if pr := rowOf(d); pr >= 0 {
+				moved += ms[pr] * 0.95
+				ms[pr] *= 0.05
+			}
+		}
+		ms[r] += moved
+	case OverReported:
+		ms[r] *= 2.5
+	case DefinitionAltered:
+		for d := i.Day; d < CovidDays; d++ {
+			if dr := rowOf(d); dr >= 0 {
+				ms[dr] *= 1.7
+			}
+		}
+	case PrevalentSource:
+		for d := 0; d < CovidDays; d++ {
+			if dr := rowOf(d); dr >= 0 {
+				ms[dr] *= 0.88
+			}
+		}
+	case Typo:
+		ms[r] *= 1.01
+	case DayShift:
+		if nr := rowOf(i.Day + 1); nr >= 0 {
+			// Only one county's reports shift (Albany within New York), a
+			// small fraction of the state total.
+			shift := ms[r] * 0.015
+			ms[r] -= shift
+			ms[nr] += shift
+		}
+	case WronglyReported:
+		ms[r] *= 3.2
+	case SubtleError:
+		ms[r] *= 0.995
+	case Nullified:
+		// Resetting a cumulative series makes the daily difference a large
+		// negative value.
+		total := 0.0
+		for d := 0; d < i.Day; d++ {
+			if dr := rowOf(d); dr >= 0 {
+				total += ms[dr]
+			}
+		}
+		ms[r] = -total
+	}
+	return out
+}

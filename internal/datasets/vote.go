@@ -1,0 +1,79 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// Vote simulates the 2016/2020 US presidential county-level vote data of
+// Appendices K and N: one row per county with the 2020 Trump vote share and
+// total votes, plus an auxiliary table carrying the 2016 share (the strong
+// predictor that drives the Appendix K AIC comparison).
+type Vote struct {
+	DS      *data.Dataset // one row per county: pct2020, votes2020
+	Aux2016 *data.Dataset // county → pct2016
+	States  []string
+	// GeorgiaCounties lists the counties of the Figure 18 case study.
+	GeorgiaCounties []string
+}
+
+// GenerateVote builds the simulated election data: 50 states with 40–80
+// counties each (Georgia gets 159, as in the real data). The 2016→2020
+// swing has a state-level component, which is what makes the multi-level
+// model with the 2016 auxiliary the best Appendix K fit.
+func GenerateVote(seed int64) *Vote {
+	rng := rand.New(rand.NewSource(seed))
+	h := []data.Hierarchy{{Name: "location", Attrs: []string{"state", "county"}}}
+	ds := data.New("vote", []string{"state", "county"}, []string{"pct2020", "votes2020"}, h)
+	aux := data.New("vote2016", []string{"county"}, []string{"pct2016", "votes2016"}, nil)
+	v := &Vote{DS: ds, Aux2016: aux}
+	for s := 0; s < 50; s++ {
+		state := fmt.Sprintf("S%02d", s)
+		if s == 10 {
+			state = "Georgia"
+		}
+		v.States = append(v.States, state)
+		stateLean := 50 + rng.NormFloat64()*8
+		stateSwing := -1.2 + rng.NormFloat64()*1.5
+		nCounties := 40 + rng.Intn(41)
+		if state == "Georgia" {
+			nCounties = 159
+		}
+		for c := 0; c < nCounties; c++ {
+			county := fmt.Sprintf("%s_C%03d", state, c)
+			lean16 := clampPct(stateLean + rng.NormFloat64()*12)
+			lean20 := clampPct(lean16 + stateSwing + rng.NormFloat64()*2.0)
+			votes := math.Exp(rng.NormFloat64()*1.1 + 9.5)
+			votes16 := votes * (1 + 0.05*rng.NormFloat64())
+			ds.AppendRowVals([]string{state, county}, []float64{lean20, votes})
+			aux.AppendRowVals([]string{county}, []float64{lean16, votes16})
+			if state == "Georgia" {
+				v.GeorgiaCounties = append(v.GeorgiaCounties, county)
+			}
+		}
+	}
+	return v
+}
+
+func clampPct(x float64) float64 { return math.Max(2, math.Min(98, x)) }
+
+// InjectMissingVotes halves votes2020 in the given counties — the Figure 18h
+// missing-records variant.
+func (v *Vote) InjectMissingVotes(counties []string) *Vote {
+	ds := v.DS.Clone()
+	cc := ds.Dim("county")
+	votes := ds.Measure("votes2020")
+	target := make(map[string]bool, len(counties))
+	for _, c := range counties {
+		target[c] = true
+	}
+	for i := range votes {
+		if target[cc[i]] {
+			votes[i] /= 2
+		}
+	}
+	return &Vote{DS: ds, Aux2016: v.Aux2016, States: v.States, GeorgiaCounties: v.GeorgiaCounties}
+}

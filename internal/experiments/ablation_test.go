@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	zrows, zt := AblationZ(1)
+	t.Log("\n" + zt.String())
+	var zi, zf float64
+	for _, r := range zrows {
+		if r.Variant == "ZIntercept" {
+			zi = r.Accuracy
+		}
+		if r.Variant == "ZFull" {
+			zf = r.Accuracy
+		}
+	}
+	if zi <= zf {
+		t.Errorf("ZIntercept %.2f should beat ZFull %.2f", zi, zf)
+	}
+	lrows, lt := AblationLeakGuard(20, 1)
+	t.Log("\n" + lt.String())
+	if lrows[0].Accuracy <= lrows[1].Accuracy {
+		t.Errorf("leak guard on %.2f should beat off %.2f", lrows[0].Accuracy, lrows[1].Accuracy)
+	}
+	prows, pt := AblationParallelGroups(1)
+	t.Log("\n" + pt.String())
+	if prows[0].Accuracy <= prows[1].Accuracy {
+		t.Errorf("parallel groups %.2f should beat children-only %.2f", prows[0].Accuracy, prows[1].Accuracy)
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/agg"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/feature"
+	"repro/internal/synth"
+)
+
+// Fig11Row is one cell of the Figure 11 accuracy comparison: error type ×
+// auxiliary correlation × method.
+type Fig11Row struct {
+	Error    synth.ErrorType
+	Rho      float64
+	Method   string
+	Accuracy float64
+}
+
+// fig11Complaint maps an error type to its §5.2.1 complaint.
+func fig11Complaint(et synth.ErrorType) core.Complaint {
+	switch et {
+	case synth.Missing:
+		return core.Complaint{Agg: agg.Count, Measure: "val", Direction: core.TooLow}
+	case synth.Dup:
+		return core.Complaint{Agg: agg.Count, Measure: "val", Direction: core.TooHigh}
+	case synth.DriftUp:
+		return core.Complaint{Agg: agg.Mean, Measure: "val", Direction: core.TooHigh}
+	case synth.DriftDown:
+		return core.Complaint{Agg: agg.Mean, Measure: "val", Direction: core.TooLow}
+	case synth.MissingDriftDown:
+		return core.Complaint{Agg: agg.Sum, Measure: "val", Direction: core.TooLow}
+	case synth.DupDriftUp:
+		return core.Complaint{Agg: agg.Sum, Measure: "val", Direction: core.TooHigh}
+	}
+	panic(fmt.Sprintf("experiments: unknown error type %v", et))
+}
+
+// auxStatFor picks the aggregate statistic the auxiliary table correlates
+// with (§5.2.1: one auxiliary table per statistic; the complaint's
+// distributive components decide which is useful).
+func auxStatFor(et synth.ErrorType) agg.Func {
+	switch et {
+	case synth.Missing, synth.Dup:
+		return agg.Count
+	case synth.DriftUp, synth.DriftDown:
+		return agg.Mean
+	default:
+		return agg.Sum
+	}
+}
+
+// Fig11Methods are the §5.2.2 comparison methods.
+var Fig11Methods = []string{"Reptile", "Raw", "Sensitivity", "Support"}
+
+// Fig11 runs the synthetic accuracy comparison. trials per cell (paper:
+// 1000) and the rho sweep are configurable; zero values select defaults.
+func Fig11(trials int, rhos []float64, seed int64) ([]Fig11Row, *Table) {
+	if trials <= 0 {
+		trials = 100
+	}
+	if len(rhos) == 0 {
+		rhos = []float64{0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	errors := []synth.ErrorType{
+		synth.Missing, synth.Dup, synth.DriftUp, synth.DriftDown,
+		synth.MissingDriftDown, synth.DupDriftUp,
+	}
+	var rows []Fig11Row
+	for _, et := range errors {
+		for _, rho := range rhos {
+			hits := map[string]int{}
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(seed + int64(trial)*7919))
+				outcome := runFig11Trial(et, rho, rng)
+				for m, ok := range outcome {
+					if ok {
+						hits[m]++
+					}
+				}
+			}
+			for _, m := range Fig11Methods {
+				rows = append(rows, Fig11Row{
+					Error: et, Rho: rho, Method: m,
+					Accuracy: float64(hits[m]) / float64(trials),
+				})
+			}
+		}
+	}
+	t := &Table{
+		Title:  "Figure 11: explanation accuracy vs baselines (top-1 accuracy)",
+		Header: append([]string{"error", "rho"}, Fig11Methods...),
+	}
+	for i := 0; i < len(rows); i += len(Fig11Methods) {
+		r := rows[i]
+		cells := []any{r.Error.String(), r.Rho}
+		for j := 0; j < len(Fig11Methods); j++ {
+			cells = append(cells, fmt.Sprintf("%.2f", rows[i+j].Accuracy))
+		}
+		t.Add(cells...)
+	}
+	return rows, t
+}
+
+// runFig11Trial generates one corrupted dataset and reports, per method,
+// whether its top recommendation is the corrupted group.
+func runFig11Trial(et synth.ErrorType, rho float64, rng *rand.Rand) map[string]bool {
+	clean := synth.Generate(synth.Config{}, rng)
+	target := clean.Groups[rng.Intn(len(clean.Groups))]
+	corrupted := clean.Inject(target, et)
+	complaint := fig11Complaint(et)
+	complaint.Tuple = data.Predicate{}
+
+	// Auxiliary tables correlate with the *clean* statistics — the external
+	// signal reflects ground truth, which is what makes the corruption
+	// stand out.
+	auxStat := auxStatFor(et)
+	var auxes []feature.Aux
+	switch auxStat {
+	case agg.Sum:
+		// SUM decomposes into MEAN and COUNT models; provide both tables.
+		for _, st := range []agg.Func{agg.Mean, agg.Count} {
+			aux := synth.CorrelatedAux(clean.Groups, clean.GroupStat(st, clean.Groups), rho, rng)
+			auxes = append(auxes, feature.Aux{Name: "aux-" + string(st), Table: aux, JoinAttr: "grp", Measure: "auxval"})
+		}
+	default:
+		aux := synth.CorrelatedAux(clean.Groups, clean.GroupStat(auxStat, clean.Groups), rho, rng)
+		auxes = append(auxes, feature.Aux{Name: "aux", Table: aux, JoinAttr: "grp", Measure: "auxval"})
+	}
+
+	out := map[string]bool{}
+
+	eng, err := core.NewEngine(corrupted.DS, core.Options{
+		EMIterations: 10,
+		Trainer:      core.TrainerNaive,
+		Aux:          auxes,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sess, err := eng.NewSession(nil)
+	if err != nil {
+		panic(err)
+	}
+	rec, err := sess.Recommend(complaint)
+	if err != nil {
+		panic(err)
+	}
+	out["Reptile"] = rec.Best.Ranked[0].Group.Vals[0] == target
+
+	// The baselines rank the same candidate groups.
+	groups := agg.GroupBy(corrupted.DS, []string{"grp"}, "val")
+	children := make([]agg.Group, len(groups.Groups))
+	childIdx := make([]int, len(groups.Groups))
+	for i, g := range groups.Groups {
+		children[i] = g
+		childIdx[i] = i
+	}
+	sens := baselines.Sensitivity(children, complaint)
+	out["Sensitivity"] = children[sens[0]].Vals[0] == target
+	sup := baselines.Support(children)
+	out["Support"] = children[sup[0]].Vals[0] == target
+	raw := baselines.Raw(corrupted.DS, groups, childIdx, "val", complaint)
+	out["Raw"] = groups.Groups[childIdx[raw[0]]].Vals[0] == target
+	return out
+}

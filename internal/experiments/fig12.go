@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/agg"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/feature"
+	"repro/internal/synth"
+)
+
+// Fig12Condition is one multi-error condition of §5.2.3: two groups carry
+// the true error and one group carries an error in the opposite direction
+// (the false positive only an outlier detector would flag).
+type Fig12Condition struct {
+	Name      string
+	TrueErr   synth.ErrorType
+	FalseErr  synth.ErrorType
+	Complaint core.Complaint
+}
+
+// Fig12Conditions reproduces the three conditions of Figure 12.
+func Fig12Conditions() []Fig12Condition {
+	return []Fig12Condition{
+		{
+			Name: "Missing+Dup", TrueErr: synth.Missing, FalseErr: synth.Dup,
+			Complaint: core.Complaint{Agg: agg.Count, Measure: "val", Direction: core.TooLow},
+		},
+		{
+			Name: "Decrease+Increase", TrueErr: synth.DriftDown, FalseErr: synth.DriftUp,
+			Complaint: core.Complaint{Agg: agg.Mean, Measure: "val", Direction: core.TooLow},
+		},
+		{
+			Name: "All", TrueErr: synth.MissingDriftDown, FalseErr: synth.DupDriftUp,
+			Complaint: core.Complaint{Agg: agg.Sum, Measure: "val", Direction: core.TooLow},
+		},
+	}
+}
+
+// Fig12Row is one cell of the complaint-ablation study.
+type Fig12Row struct {
+	Condition string
+	Rho       float64
+	Method    string
+	Accuracy  float64
+}
+
+// Fig12 compares Reptile with the complaint-blind Outlier method on
+// datasets containing two true errors and one false positive. Outlier
+// cannot use the complaint direction, so its accuracy is bounded by 2/3.
+func Fig12(trials int, rhos []float64, seed int64) ([]Fig12Row, *Table) {
+	if trials <= 0 {
+		trials = 100
+	}
+	if len(rhos) == 0 {
+		rhos = []float64{0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	var rows []Fig12Row
+	for _, cond := range Fig12Conditions() {
+		for _, rho := range rhos {
+			hitsReptile, hitsOutlier := 0, 0
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(seed + int64(trial)*104729))
+				rep, out := runFig12Trial(cond, rho, rng)
+				if rep {
+					hitsReptile++
+				}
+				if out {
+					hitsOutlier++
+				}
+			}
+			rows = append(rows,
+				Fig12Row{cond.Name, rho, "Reptile", float64(hitsReptile) / float64(trials)},
+				Fig12Row{cond.Name, rho, "Outlier", float64(hitsOutlier) / float64(trials)},
+			)
+		}
+	}
+	t := &Table{
+		Title:  "Figure 12: complaint ablation with multiple errors (top-1 accuracy)",
+		Header: []string{"condition", "rho", "Reptile", "Outlier"},
+	}
+	for i := 0; i < len(rows); i += 2 {
+		t.Add(rows[i].Condition, rows[i].Rho,
+			fmt.Sprintf("%.2f", rows[i].Accuracy), fmt.Sprintf("%.2f", rows[i+1].Accuracy))
+	}
+	return rows, t
+}
+
+func runFig12Trial(cond Fig12Condition, rho float64, rng *rand.Rand) (reptileHit, outlierHit bool) {
+	clean := synth.Generate(synth.Config{}, rng)
+	perm := rng.Perm(len(clean.Groups))
+	trueA, trueB := clean.Groups[perm[0]], clean.Groups[perm[1]]
+	falseC := clean.Groups[perm[2]]
+	corrupted := clean.Inject(trueA, cond.TrueErr).Inject(trueB, cond.TrueErr).Inject(falseC, cond.FalseErr)
+
+	complaint := cond.Complaint
+	complaint.Tuple = data.Predicate{}
+
+	var auxes []feature.Aux
+	stats := []agg.Func{auxStatFor(cond.TrueErr)}
+	if stats[0] == agg.Sum {
+		stats = []agg.Func{agg.Mean, agg.Count}
+	}
+	for _, st := range stats {
+		aux := synth.CorrelatedAux(clean.Groups, clean.GroupStat(st, clean.Groups), rho, rng)
+		auxes = append(auxes, feature.Aux{Name: "aux-" + string(st), Table: aux, JoinAttr: "grp", Measure: "auxval"})
+	}
+
+	eng, err := core.NewEngine(corrupted.DS, core.Options{
+		EMIterations: 10,
+		Trainer:      core.TrainerNaive,
+		Aux:          auxes,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sess, _ := eng.NewSession(nil)
+	rec, err := sess.Recommend(complaint)
+	if err != nil {
+		panic(err)
+	}
+	top := rec.Best.Ranked[0].Group.Vals[0]
+	reptileHit = top == trueA || top == trueB
+
+	// Outlier: model prediction of the complained aggregate, no complaint.
+	preds, groups, err := eng.PredictGroupStats([]string{"grp"}, "val", cond.Complaint.Agg)
+	if err != nil {
+		panic(err)
+	}
+	order := baselines.Outlier(groups.Groups, preds, cond.Complaint.Agg)
+	otop := groups.Groups[order[0]].Vals[0]
+	outlierHit = otop == trueA || otop == trueB
+	return reptileHit, outlierHit
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/datasets"
+	"repro/internal/feature"
+	"repro/internal/mlm"
+)
+
+// Fig16Row is one ΔAIC measurement of the Appendix K model-quality study.
+type Fig16Row struct {
+	Dataset string
+	Model   string
+	AIC     float64
+	DeltaIC float64
+}
+
+// fitFig16Models fits the four Appendix K models on one dataset's group-by
+// view and returns their AICs: Linear / Linear-f (with auxiliary features) /
+// Multi-level / Multi-level-f.
+func fitFig16Models(groups *agg.Result, spec feature.Spec, gfs []feature.GroupFeature, emIters int) (map[string]float64, error) {
+	out := map[string]float64{}
+	y := make([]float64, len(groups.Groups))
+	for gi, g := range groups.Groups {
+		y[gi] = g.Stats.Get(spec.Target)
+	}
+	starts := feature.ClusterStarts(groups)
+
+	for _, withAux := range []bool{false, true} {
+		s := spec
+		var g []feature.GroupFeature
+		if !withAux {
+			s.Aux = nil
+		} else {
+			g = gfs
+		}
+		fs, err := feature.BuildWithGroupFeatures(groups, s, g)
+		if err != nil {
+			return nil, err
+		}
+		x := fs.DenseX(groups)
+		suffix := ""
+		if withAux {
+			suffix = "-f"
+		}
+		lin, err := mlm.FitLinear(x, y)
+		if err != nil {
+			return nil, err
+		}
+		out["Linear"+suffix] = lin.AIC()
+		backend, err := mlm.NewDense(x, starts)
+		if err != nil {
+			return nil, err
+		}
+		// Random intercepts: the classic multi-level design for comparing
+		// against plain linear regression.
+		zmask := make([]bool, x.Cols)
+		zmask[0] = true
+		bz, err := backend.SubsetCols(zmask)
+		if err != nil {
+			return nil, err
+		}
+		ml, err := mlm.FitEMZ(backend, bz, y, mlm.Options{Iterations: emIters})
+		if err != nil {
+			return nil, err
+		}
+		out["Multi-level"+suffix] = ml.AIC(backend, bz, y)
+	}
+	return out, nil
+}
+
+// Fig16Models lists the Appendix K models in presentation order.
+var Fig16Models = []string{"Linear", "Linear-f", "Multi-level", "Multi-level-f"}
+
+// Fig16 evaluates the four models on the FIST and Vote datasets and reports
+// ΔAIC relative to the best model per dataset.
+func Fig16(emIters int, seed int64) ([]Fig16Row, *Table) {
+	if emIters <= 0 {
+		emIters = 20
+	}
+	var rows []Fig16Row
+
+	// FIST: mean severity per (year, region, district, village) with the
+	// rainfall auxiliary joined on (village, year) — village-level mean as a
+	// plain auxiliary feature, the per-year values as a group feature.
+	fist := datasets.GenerateFIST(seed)
+	fistGroups := agg.GroupBy(fist.DS, []string{"year", "region", "district", "village"}, "severity")
+	fistSpec := feature.Spec{
+		Target: agg.Mean,
+		Aux:    []feature.Aux{{Name: "rainfall-village", Table: fist.Rainfall, JoinAttr: "village", Measure: "rainfall"}},
+	}
+	fistGF := []feature.GroupFeature{
+		feature.AuxGroupFeature("rainfall", fist.Rainfall, []string{"village", "year"}, "rainfall"),
+	}
+	fistAIC, err := fitFig16Models(fistGroups, fistSpec, fistGF, emIters)
+	if err != nil {
+		panic(err)
+	}
+	rows = append(rows, deltaRows("FIST", fistAIC)...)
+
+	// Vote: 2020 Trump share per (state, county) with the 2016 share as the
+	// auxiliary feature.
+	vote := datasets.GenerateVote(seed)
+	voteGroups := agg.GroupBy(vote.DS, []string{"state", "county"}, "pct2020")
+	voteSpec := feature.Spec{
+		Target: agg.Mean,
+		Aux:    []feature.Aux{{Name: "pct2016", Table: vote.Aux2016, JoinAttr: "county", Measure: "pct2016"}},
+	}
+	voteAIC, err := fitFig16Models(voteGroups, voteSpec, nil, emIters)
+	if err != nil {
+		panic(err)
+	}
+	rows = append(rows, deltaRows("Vote", voteAIC)...)
+
+	t := &Table{
+		Title:  "Figure 16 (App. K): model quality, ΔAIC per dataset (lower is better; >10 is substantial)",
+		Header: []string{"dataset", "model", "AIC", "ΔAIC"},
+	}
+	for _, r := range rows {
+		t.Add(r.Dataset, r.Model, fmt.Sprintf("%.1f", r.AIC), fmt.Sprintf("%.1f", r.DeltaIC))
+	}
+	return rows, t
+}
+
+func deltaRows(dataset string, aic map[string]float64) []Fig16Row {
+	best := aic[Fig16Models[0]]
+	for _, m := range Fig16Models {
+		if aic[m] < best {
+			best = aic[m]
+		}
+	}
+	var rows []Fig16Row
+	for _, m := range Fig16Models {
+		rows = append(rows, Fig16Row{Dataset: dataset, Model: m, AIC: aic[m], DeltaIC: aic[m] - best})
+	}
+	return rows
+}

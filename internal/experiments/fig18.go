@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/datasets"
+	"repro/internal/feature"
+	"repro/internal/mat"
+)
+
+// Fig18Row holds one county's margin gains under the two Appendix N models.
+type Fig18Row struct {
+	County      string
+	Pct2016     float64
+	Pct2020     float64
+	GainModel1  float64 // default features only
+	GainModel2  float64 // default + 2016 auxiliary
+	GainMissing float64 // model 2 on the missing-records variant
+}
+
+// Fig18Summary aggregates the case-study diagnostics.
+type Fig18Summary struct {
+	// CorrModel2ChangeGain is the correlation between each county's
+	// 2016→2020 share change and its model-2 margin gain; Appendix N
+	// interprets model 2 as "calculating the change of percentage of vote"
+	// so this should be strongly negative (big drops → big repair gains).
+	CorrModel2ChangeGain float64
+	// MissingTargets are the counties whose votes were halved.
+	MissingTargets []string
+	// MissingTopHits counts how many injected counties appear in the top 10
+	// gains of the missing-records variant.
+	MissingTopHits int
+}
+
+// georgiaGains runs a "Georgia share too low" complaint and returns each
+// county's margin gain (the improvement in the complaint after repairing
+// that county).
+func georgiaGains(v *datasets.Vote, withAux bool, sum bool) map[string]float64 {
+	opts := core.Options{EMIterations: 15, Trainer: core.TrainerNaive}
+	if withAux {
+		opts.Aux = []feature.Aux{{Name: "pct2016", Table: v.Aux2016, JoinAttr: "county", Measure: "pct2016"}}
+		if sum {
+			// The missing-records variant complains about total votes; the
+			// 2016 turnout is the predictive signal for county vote counts.
+			opts.Aux = append(opts.Aux, feature.Aux{Name: "votes2016", Table: v.Aux2016, JoinAttr: "county", Measure: "votes2016"})
+		}
+	}
+	eng, err := core.NewEngine(v.DS, opts)
+	if err != nil {
+		panic(err)
+	}
+	sess, err := eng.NewSession([]string{"state"})
+	if err != nil {
+		panic(err)
+	}
+	c := core.Complaint{
+		Agg:       agg.Mean,
+		Measure:   "pct2020",
+		Tuple:     data.Predicate{"state": "Georgia"},
+		Direction: core.TooLow,
+	}
+	if sum {
+		c = core.Complaint{
+			Agg:       agg.Sum,
+			Measure:   "votes2020",
+			Tuple:     data.Predicate{"state": "Georgia"},
+			Direction: core.TooLow,
+		}
+	}
+	rec, err := sess.Recommend(c)
+	if err != nil {
+		panic(err)
+	}
+	gains := make(map[string]float64)
+	for _, gs := range rec.Best.Ranked {
+		county := gs.Group.Vals[len(gs.Group.Vals)-1]
+		gains[county] = gs.Gain
+	}
+	return gains
+}
+
+// Fig18 reproduces the Appendix N Georgia case study: margin gains with the
+// default model, with the 2016 auxiliary model, and with injected missing
+// records.
+func Fig18(seed int64) ([]Fig18Row, Fig18Summary, *Table) {
+	v := datasets.GenerateVote(seed)
+	g1 := georgiaGains(v, false, false)
+	g2 := georgiaGains(v, true, false)
+
+	// Missing-records variant (Figure 18h/18i): halve votes in five
+	// counties, complain that total votes are too low, use model 2.
+	targets := append([]string(nil), v.GeorgiaCounties[10:15]...)
+	vMissing := v.InjectMissingVotes(targets)
+	gm := georgiaGains(vMissing, true, true)
+
+	// County-level shares for context.
+	pct20 := map[string]float64{}
+	cc := v.DS.Dim("county")
+	p20 := v.DS.Measure("pct2020")
+	for i := range cc {
+		pct20[cc[i]] = p20[i]
+	}
+	pct16 := map[string]float64{}
+	ac := v.Aux2016.Dim("county")
+	p16 := v.Aux2016.Measure("pct2016")
+	for i := range ac {
+		pct16[ac[i]] = p16[i]
+	}
+
+	var rows []Fig18Row
+	var changes, gains2 []float64
+	for _, county := range v.GeorgiaCounties {
+		r := Fig18Row{
+			County:      county,
+			Pct2016:     pct16[county],
+			Pct2020:     pct20[county],
+			GainModel1:  g1[county],
+			GainModel2:  g2[county],
+			GainMissing: gm[county],
+		}
+		rows = append(rows, r)
+		changes = append(changes, r.Pct2020-r.Pct2016)
+		gains2 = append(gains2, r.GainModel2)
+	}
+	summary := Fig18Summary{
+		CorrModel2ChangeGain: mat.PearsonCorr(changes, gains2),
+		MissingTargets:       targets,
+	}
+	// Top-10 gains in the missing variant.
+	byMissing := append([]Fig18Row(nil), rows...)
+	sort.Slice(byMissing, func(a, b int) bool { return byMissing[a].GainMissing > byMissing[b].GainMissing })
+	top := map[string]bool{}
+	for i := 0; i < 10 && i < len(byMissing); i++ {
+		top[byMissing[i].County] = true
+	}
+	for _, c := range targets {
+		if top[c] {
+			summary.MissingTopHits++
+		}
+	}
+
+	t := &Table{
+		Title:  "Figure 18 (App. N): Georgia margin gains (top 10 by model-2 gain)",
+		Header: []string{"county", "pct2016", "pct2020", "gain model1", "gain model2", "gain missing-variant"},
+	}
+	byG2 := append([]Fig18Row(nil), rows...)
+	sort.Slice(byG2, func(a, b int) bool { return byG2[a].GainModel2 > byG2[b].GainModel2 })
+	for i := 0; i < 10 && i < len(byG2); i++ {
+		r := byG2[i]
+		t.Add(r.County, fmt.Sprintf("%.1f", r.Pct2016), fmt.Sprintf("%.1f", r.Pct2020),
+			fmt.Sprintf("%.3f", r.GainModel1), fmt.Sprintf("%.3f", r.GainModel2), fmt.Sprintf("%.3f", r.GainMissing))
+	}
+	t.Add("corr(2016→2020 change, model-2 gain)", "", "", "", fmt.Sprintf("%.3f", summary.CorrModel2ChangeGain), "")
+	t.Add("missing-record counties in top-10", "", "", "", "", fmt.Sprintf("%d/%d", summary.MissingTopHits, len(targets)))
+	return rows, summary, t
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/factor"
+)
+
+// Fig8Row is one measurement of the Figure 8 multi-query execution
+// comparison: the work-shared plan vs the serial (LMFAO-style) plan that
+// materializes cross-hierarchy COF products.
+type Fig8Row struct {
+	Cardinality int
+	Shared      time.Duration
+	Serial      time.Duration
+}
+
+// chainSource builds a t-level hierarchy with roughly w leaves arranged as a
+// balanced tree.
+func chainSource(name string, t, w int) *factor.Source {
+	attrs := make([]string, t)
+	for l := range attrs {
+		attrs[l] = fmt.Sprintf("%s_a%d", name, l)
+	}
+	// Fanout per level so that fanout^t ≈ w.
+	fan := 1
+	for pow(fan+1, t) <= w {
+		fan++
+	}
+	var paths [][]string
+	var build func(prefix []string, level, id int)
+	next := 0
+	build = func(prefix []string, level, id int) {
+		if level == t {
+			paths = append(paths, append([]string(nil), prefix...))
+			return
+		}
+		k := fan
+		if level == t-1 {
+			// Stretch the leaf level toward the requested cardinality.
+			k = fan + (w-pow(fan, t))/max(1, pow(fan, t-1))
+			if k < 1 {
+				k = 1
+			}
+		}
+		for c := 0; c < k; c++ {
+			next++
+			build(append(prefix, fmt.Sprintf("%s_l%d_%d", name, level, next)), level+1, next)
+		}
+	}
+	build(nil, 0, 0)
+	src, err := factor.NewSource(name, attrs, paths)
+	if err != nil {
+		panic(err)
+	}
+	return src
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig8 sweeps the attribute cardinality and measures computing the full set
+// of decomposed aggregates (COUNT, TOTAL and every COF pair): the
+// work-shared plan reuses the chains' extension counts and keeps
+// cross-hierarchy COF factorised; the serial baseline rescans per query and
+// materializes the cross products.
+func Fig8(cards []int, seed int64) ([]Fig8Row, *Table) {
+	if len(cards) == 0 {
+		cards = []int{200, 400, 800, 1600}
+	}
+	_ = seed
+	var rows []Fig8Row
+	for _, w := range cards {
+		srcs := []*factor.Source{
+			chainSource("h0", 3, w),
+			chainSource("h1", 3, w),
+			chainSource("h2", 3, w),
+		}
+		fz, err := factor.New(srcs, []int{3, 3, 3})
+		if err != nil {
+			panic(err)
+		}
+		var shared, serial *factor.Aggregates
+		tShared := timeIt(func() { shared = fz.ComputeAggregates() })
+		tSerial := timeIt(func() { serial = fz.ComputeAggregatesSerial() })
+		// Cross-check the two plans.
+		for k, v := range shared.CofChecksums {
+			s := serial.CofChecksums[k]
+			if s < v*(1-1e-9)-1e-9 || s > v*(1+1e-9)+1e-9 {
+				panic(fmt.Sprintf("fig8: checksum mismatch at %v: %v vs %v", k, v, s))
+			}
+		}
+		rows = append(rows, Fig8Row{Cardinality: w, Shared: tShared, Serial: tSerial})
+	}
+	t := &Table{
+		Title:  "Figure 8: multi-query execution, work-shared vs serial (LMFAO-style)",
+		Header: []string{"cardinality", "serial", "shared", "speedup"},
+	}
+	for _, r := range rows {
+		t.Add(r.Cardinality, r.Serial, r.Shared, ratio(r.Serial, r.Shared))
+	}
+	return rows, t
+}

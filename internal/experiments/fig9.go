@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/factor"
+)
+
+// Fig9Row is one measurement of the §5.1.3 drill-down optimization
+// comparison: the total cost of three successive Reptile invocations (each
+// evaluating both candidate hierarchies) under one recomputation mode.
+type Fig9Row struct {
+	PreDrilledB int
+	Mode        factor.DrillMode
+	Total       time.Duration
+}
+
+// Fig9 reproduces the drill-down optimization experiment: two hierarchies
+// A and B with six attributes each; A starts at depth 3 and is drilled three
+// times; B is pre-drilled to n attributes. Each invocation evaluates
+// drilling every hierarchy (clone + drill + compute decomposed aggregates),
+// then commits the drill on A. Static recomputes everything, Dynamic reuses
+// the untouched hierarchies, Cache+Dynamic additionally reuses chains built
+// by earlier invocations.
+func Fig9(leafCount int, seed int64) ([]Fig9Row, *Table) {
+	if leafCount <= 0 {
+		leafCount = 30000
+	}
+	_ = seed
+	var rows []Fig9Row
+	for _, n := range []int{3, 4, 5} {
+		for _, mode := range []factor.DrillMode{factor.Static, factor.Dynamic, factor.CacheDynamic} {
+			srcA := chainSource("A", 6, leafCount)
+			srcB := chainSource("B", 6, leafCount)
+			fz, err := factor.New([]*factor.Source{srcA, srcB}, []int{3, n})
+			if err != nil {
+				panic(err)
+			}
+			fz.SetMode(mode)
+			total := timeIt(func() {
+				for invocation := 0; invocation < 3; invocation++ {
+					// Evaluate each candidate drill-down.
+					for _, name := range []string{"A", "B"} {
+						pos, ok := fz.OrderPos(name)
+						if !ok || !fz.CanDrill(pos) {
+							continue
+						}
+						cand := fz.Clone()
+						if err := cand.DrillDown(pos); err != nil {
+							panic(err)
+						}
+						cand.ComputeAggregates()
+					}
+					// Commit the drill on A.
+					pos, _ := fz.OrderPos("A")
+					if err := fz.DrillDown(pos); err != nil {
+						panic(err)
+					}
+					fz.ComputeAggregates()
+				}
+			})
+			rows = append(rows, Fig9Row{PreDrilledB: n, Mode: mode, Total: total})
+		}
+	}
+	t := &Table{
+		Title:  "Figure 9: drill-down optimization (3 invocations drilling A, B pre-drilled to n)",
+		Header: []string{"n (B depth)", "mode", "total"},
+	}
+	for _, r := range rows {
+		t.Add(r.PreDrilledB, r.Mode.String(), r.Total)
+	}
+	return rows, t
+}

@@ -1,0 +1,137 @@
+package factor
+
+// This file implements the multi-query execution of §4.3 / Appendix I for
+// the decomposed aggregates, plus the serial baseline used by the Figure 8
+// comparison against LMFAO.
+//
+// The work-shared plan exploits two structures:
+//   - within a hierarchy, COUNT at level l is the child-sum of COUNT at
+//     level l+1 (computed once as Ext during chain construction and shared
+//     by every query), and
+//   - across hierarchies, COF factorises as Count_i · Count_j / SufTotal_j
+//     and is never materialized.
+//
+// The serial baseline recomputes each aggregate from the source paths
+// without sharing, and materializes COF for every attribute pair including
+// cross-hierarchy pairs — the quadratic blowup the independence optimization
+// avoids.
+
+// Aggregates holds materialized decomposed-aggregate results. CofChecksums
+// exists so benchmarks consume every COF cell (preventing dead-code
+// elimination) while keeping the result compact.
+type Aggregates struct {
+	SufTotal     []float64
+	Counts       [][]float64
+	CofChecksums map[[2]int]float64
+	// CofMaps is only populated by the serial baseline, which materializes
+	// every pair. Keys are (value-index-of-i, value-index-of-j).
+	CofMaps map[[2]int]map[[2]int]float64
+}
+
+// ComputeAggregates evaluates TOTAL and COUNT for every attribute and COF
+// for every attribute pair with the work-shared plan. Same-hierarchy COF is
+// traversed through the chain; cross-hierarchy COF is consumed in its
+// factorised form (an O(w) pair of sums rather than an O(w²) product).
+func (f *Factorizer) ComputeAggregates() *Aggregates {
+	d := f.NumAttrs()
+	out := &Aggregates{
+		SufTotal:     make([]float64, d),
+		Counts:       make([][]float64, d),
+		CofChecksums: make(map[[2]int]float64),
+	}
+	// COUNT via the shared Ext values.
+	colSums := make([]float64, d)
+	for i := 0; i < d; i++ {
+		out.SufTotal[i] = f.SufTotal(i)
+		_, counts := f.CountVals(i)
+		out.Counts[i] = counts
+		var s float64
+		for _, c := range counts {
+			s += c
+		}
+		colSums[i] = s
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if f.SameHierarchy(i, j) {
+				var s float64
+				f.Cof(i, j, func(vi, vj int, count float64) { s += count })
+				out.CofChecksums[[2]int{i, j}] = s
+			} else {
+				// Factorised: the checksum of COF(i,j) is
+				// Σ_a Σ_b Count_i[a]·Count_j[b]/SufTotal_j
+				// = colSums[i] · colSums[j] / SufTotal_j.
+				out.CofChecksums[[2]int{i, j}] = colSums[i] * colSums[j] / out.SufTotal[j]
+			}
+		}
+	}
+	return out
+}
+
+// ComputeAggregatesSerial is the Figure 8 baseline: each COUNT is recomputed
+// from the source paths without reusing the chains' Ext, and COF is
+// materialized for every pair, including cross-hierarchy pairs.
+func (f *Factorizer) ComputeAggregatesSerial() *Aggregates {
+	d := f.NumAttrs()
+	out := &Aggregates{
+		SufTotal:     make([]float64, d),
+		Counts:       make([][]float64, d),
+		CofChecksums: make(map[[2]int]float64),
+		CofMaps:      make(map[[2]int]map[[2]int]float64),
+	}
+	// Recompute COUNT per attribute by rescanning the hierarchy's paths
+	// (no sharing of Ext across levels).
+	for i := 0; i < d; i++ {
+		a := f.attrs[i]
+		ch := f.Chain(a.Hier)
+		counts := make([]float64, len(ch.Levels[a.Level].Vals))
+		pa := f.prodAfter[a.Hier]
+		leaves := ch.Leaves()
+		for leaf := 0; leaf < leaves; leaf++ {
+			counts[ch.AncestorIdx(a.Level, leaf)] += pa
+		}
+		out.Counts[i] = counts
+		var s float64
+		for _, c := range counts {
+			s += c
+		}
+		out.SufTotal[i] = f.leaves[a.Hier] * pa
+		_ = s
+	}
+	// Materialize COF for every pair. Same-hierarchy pairs stay sparse
+	// (linear in the level size); cross-hierarchy pairs are materialized as
+	// the dense |dom(i)|×|dom(j)| product the independence optimization
+	// avoids.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			var s float64
+			if f.SameHierarchy(i, j) {
+				m := make(map[[2]int]float64)
+				f.Cof(i, j, func(vi, vj int, count float64) {
+					m[[2]int{vi, vj}] += count
+				})
+				for _, v := range m {
+					s += v
+				}
+				out.CofMaps[[2]int{i, j}] = m
+			} else {
+				ci, cj := out.Counts[i], out.Counts[j]
+				st := out.SufTotal[j]
+				dense := make([]float64, len(ci)*len(cj))
+				for vi := range ci {
+					row := dense[vi*len(cj) : (vi+1)*len(cj)]
+					for vj := range cj {
+						v := ci[vi] * cj[vj] / st
+						row[vj] = v
+						s += v
+					}
+				}
+				// The dense product is the baseline's materialized result;
+				// only its checksum is retained to bound memory across the
+				// cardinality sweep.
+			}
+			out.CofChecksums[[2]int{i, j}] = s
+		}
+	}
+	return out
+}

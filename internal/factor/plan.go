@@ -1,0 +1,185 @@
+package factor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file materializes the multi-query execution plan of §4.3 / Appendix I
+// (Figure 4) as an explicit dependency DAG over the decomposed aggregates.
+// The factorizer computes the same results directly from its chains; the
+// plan exists to expose the work-sharing structure — which aggregate is
+// derived from which — for inspection, testing and the Figure 8 narrative.
+
+// PlanNodeKind labels a plan node's aggregate class.
+type PlanNodeKind int
+
+const (
+	// PlanCount is COUNT_{A_i}: per-value counts of attribute i.
+	PlanCount PlanNodeKind = iota
+	// PlanTotal is TOTAL_{A_i}: the scalar suffix-join size.
+	PlanTotal
+	// PlanCof is COF_{A_i,A_j}: pairwise counts.
+	PlanCof
+)
+
+func (k PlanNodeKind) String() string {
+	switch k {
+	case PlanCount:
+		return "COUNT"
+	case PlanTotal:
+		return "TOTAL"
+	case PlanCof:
+		return "COF"
+	}
+	return fmt.Sprintf("PlanNodeKind(%d)", int(k))
+}
+
+// PlanNode is one aggregate in the multi-query plan.
+type PlanNode struct {
+	Kind PlanNodeKind
+	I, J int // attribute indices (J used by COF only)
+	// Deps are the node IDs this aggregate is derived from (the Figure 4
+	// edges). Roots (COUNT of a hierarchy's most specific attribute) have
+	// none.
+	Deps []string
+	// Factorised marks cross-hierarchy COF nodes that are never
+	// materialized: the independence optimization derives them in O(1) from
+	// their COUNT inputs.
+	Factorised bool
+}
+
+// ID returns the node's stable identifier.
+func (n PlanNode) ID() string {
+	if n.Kind == PlanCof {
+		return fmt.Sprintf("COF(%d,%d)", n.I, n.J)
+	}
+	return fmt.Sprintf("%s(%d)", n.Kind, n.I)
+}
+
+// Plan is the dependency DAG over all decomposed aggregates of the current
+// attribute order.
+type Plan struct {
+	Nodes map[string]PlanNode
+	// Order is a topological execution order.
+	Order []string
+}
+
+// BuildPlan derives the multi-query plan for the factorizer's current
+// attribute order, mirroring Algorithm 10's reuse structure:
+//
+//   - COUNT of a hierarchy's deepest attribute is a base relation scan;
+//   - COUNT of an upper attribute marginalizes the COF linking it to the
+//     level below (equivalently, the child level's COUNT);
+//   - TOTAL marginalizes the attribute's COUNT;
+//   - same-hierarchy COF(i,j) extends COF(i, j-1) by one chain relation;
+//   - cross-hierarchy COF(i,j) is factorised from COUNT(i) and COUNT(j).
+func (f *Factorizer) BuildPlan() *Plan {
+	p := &Plan{Nodes: map[string]PlanNode{}}
+	d := f.NumAttrs()
+	attrs := f.Attrs()
+
+	add := func(n PlanNode) {
+		p.Nodes[n.ID()] = n
+	}
+	countID := func(i int) string { return fmt.Sprintf("COUNT(%d)", i) }
+	cofID := func(i, j int) string { return fmt.Sprintf("COF(%d,%d)", i, j) }
+
+	for i := 0; i < d; i++ {
+		a := attrs[i]
+		ch := f.Chain(a.Hier)
+		n := PlanNode{Kind: PlanCount, I: i}
+		if a.Level < ch.Depth()-1 {
+			// Derived from the child level's COUNT within the hierarchy
+			// (the shared Ext computation).
+			n.Deps = []string{countID(i + 1)}
+		}
+		add(n)
+		add(PlanNode{Kind: PlanTotal, I: i, Deps: []string{countID(i)}})
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			n := PlanNode{Kind: PlanCof, I: i, J: j}
+			if f.SameHierarchy(i, j) {
+				if j-i > 1 {
+					n.Deps = []string{cofID(i, j-1)}
+				} else {
+					n.Deps = []string{countID(j)}
+				}
+			} else {
+				n.Factorised = true
+				n.Deps = []string{countID(i), countID(j), fmt.Sprintf("TOTAL(%d)", j)}
+			}
+			add(n)
+		}
+	}
+	p.Order = p.topoSort()
+	return p
+}
+
+// topoSort orders the nodes so every dependency precedes its dependents.
+func (p *Plan) topoSort() []string {
+	ids := make([]string, 0, len(p.Nodes))
+	for id := range p.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var order []string
+	var visit func(id string)
+	visit = func(id string) {
+		switch state[id] {
+		case 1:
+			panic("factor: plan dependency cycle at " + id)
+		case 2:
+			return
+		}
+		state[id] = 1
+		deps := append([]string(nil), p.Nodes[id].Deps...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := p.Nodes[dep]; !ok {
+				panic("factor: plan references unknown node " + dep)
+			}
+			visit(dep)
+		}
+		state[id] = 2
+		order = append(order, id)
+	}
+	for _, id := range ids {
+		visit(id)
+	}
+	return order
+}
+
+// MaterializedNodes counts the nodes that must be materialized (everything
+// except the factorised cross-hierarchy COF nodes). The Figure 8 gap is the
+// growth of the factorised node count with the number of hierarchy pairs.
+func (p *Plan) MaterializedNodes() (materialized, factorised int) {
+	for _, n := range p.Nodes {
+		if n.Factorised {
+			factorised++
+		} else {
+			materialized++
+		}
+	}
+	return materialized, factorised
+}
+
+// String renders the plan in topological order.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for _, id := range p.Order {
+		n := p.Nodes[id]
+		fmt.Fprintf(&b, "%-12s", id)
+		if n.Factorised {
+			b.WriteString(" [factorised]")
+		}
+		if len(n.Deps) > 0 {
+			fmt.Fprintf(&b, " <- %s", strings.Join(n.Deps, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

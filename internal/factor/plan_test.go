@@ -1,0 +1,87 @@
+package factor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBuildPlanPaperExample(t *testing.T) {
+	// Time [T] × Geo [D, V]: attributes T=0, D=1, V=2.
+	timeSrc, err := NewSource("time", []string{"T"}, [][]string{{"t1"}, {"t2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geoSrc, err := NewSource("geo", []string{"D", "V"}, [][]string{
+		{"d1", "v1"}, {"d1", "v2"}, {"d2", "v3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New([]*Source{timeSrc, geoSrc}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.BuildPlan()
+
+	// 3 COUNT + 3 TOTAL + 3 COF nodes.
+	if len(p.Nodes) != 9 {
+		t.Fatalf("nodes = %d, want 9", len(p.Nodes))
+	}
+	// COUNT(1) (District) derives from COUNT(2) (Village) — the Figure 4
+	// within-hierarchy edge.
+	n := p.Nodes["COUNT(1)"]
+	if len(n.Deps) != 1 || n.Deps[0] != "COUNT(2)" {
+		t.Errorf("COUNT(1) deps = %v", n.Deps)
+	}
+	// COUNT(2) is a root.
+	if len(p.Nodes["COUNT(2)"].Deps) != 0 {
+		t.Errorf("COUNT(2) deps = %v", p.Nodes["COUNT(2)"].Deps)
+	}
+	// COF(1,2) is the same-hierarchy pair, materialized from COUNT(2).
+	c := p.Nodes["COF(1,2)"]
+	if c.Factorised || len(c.Deps) != 1 || c.Deps[0] != "COUNT(2)" {
+		t.Errorf("COF(1,2) = %+v", c)
+	}
+	// COF(0,1) and COF(0,2) cross hierarchies: factorised, never
+	// materialized.
+	for _, id := range []string{"COF(0,1)", "COF(0,2)"} {
+		if !p.Nodes[id].Factorised {
+			t.Errorf("%s should be factorised", id)
+		}
+	}
+	mat, fact := p.MaterializedNodes()
+	if mat != 7 || fact != 2 {
+		t.Errorf("materialized %d factorised %d, want 7 and 2", mat, fact)
+	}
+	if !strings.Contains(p.String(), "[factorised]") {
+		t.Error("String should mark factorised nodes")
+	}
+}
+
+// Property: the topological order always places dependencies first.
+func TestPlanTopologicalOrder(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		f := randomFactorizer(r)
+		p := f.BuildPlan()
+		seen := map[string]bool{}
+		for _, id := range p.Order {
+			for _, dep := range p.Nodes[id].Deps {
+				if !seen[dep] {
+					t.Fatalf("trial %d: %s executed before dependency %s", trial, id, dep)
+				}
+			}
+			seen[id] = true
+		}
+		if len(p.Order) != len(p.Nodes) {
+			t.Fatalf("trial %d: order covers %d of %d nodes", trial, len(p.Order), len(p.Nodes))
+		}
+		// Node accounting: d COUNTs, d TOTALs, d(d-1)/2 COFs — the paper's
+		// 2d + d(d-1)/2 queries.
+		d := f.NumAttrs()
+		if want := 2*d + d*(d-1)/2; len(p.Nodes) != want {
+			t.Fatalf("trial %d: nodes = %d, want %d", trial, len(p.Nodes), want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package factor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Change is one attribute-value update emitted by the row iterator: attribute
+// Attr now holds the value at index Val of its level.
+type Change struct {
+	Attr int
+	Val  int
+}
+
+// RowIter enumerates the rows of the implicit attribute matrix (the cross
+// product of hierarchy paths) in sorted order, yielding only the difference
+// from the previous row — Algorithm 1. The rightmost hierarchy advances
+// fastest; within a hierarchy, advancing the leaf propagates to exactly the
+// ancestor levels whose value changed.
+type RowIter struct {
+	f       *Factorizer
+	leaf    []int // current leaf index per hierarchy-order position
+	cur     []int // current value index per attribute
+	buf     []Change
+	started bool
+	done    bool
+}
+
+// RowCount returns the implicit row count as an int, or an error when it
+// exceeds the addressable range (the factorised operators never need to
+// enumerate rows in that regime).
+func (f *Factorizer) RowCount() (int, error) {
+	if f.n > math.MaxInt32 {
+		return 0, fmt.Errorf("factor: row count %g too large to enumerate", f.n)
+	}
+	return int(f.n), nil
+}
+
+// Rows returns a fresh row iterator.
+func (f *Factorizer) Rows() *RowIter {
+	return &RowIter{
+		f:    f,
+		leaf: make([]int, f.NumHierarchies()),
+		cur:  make([]int, f.NumAttrs()),
+	}
+}
+
+// Cur returns the current value index for every attribute. The slice aliases
+// iterator state and is valid until the next call to Next.
+func (it *RowIter) Cur() []int { return it.cur }
+
+// Next advances to the next row and returns the changes relative to the
+// previous row. The first call returns every attribute. It returns nil when
+// the iteration is exhausted.
+func (it *RowIter) Next() []Change {
+	f := it.f
+	it.buf = it.buf[:0]
+	if it.done {
+		return nil
+	}
+	if !it.started {
+		it.started = true
+		for pos := 0; pos < f.NumHierarchies(); pos++ {
+			it.emitHierarchy(pos, -1, 0)
+		}
+		return it.buf
+	}
+	// Odometer: advance the last hierarchy; carry left on overflow.
+	pos := f.NumHierarchies() - 1
+	for pos >= 0 {
+		ch := f.Chain(pos)
+		if it.leaf[pos]+1 < ch.Leaves() {
+			old := it.leaf[pos]
+			it.leaf[pos]++
+			it.emitHierarchy(pos, old, it.leaf[pos])
+			// Hierarchies to the right wrapped to leaf 0.
+			for p := pos + 1; p < f.NumHierarchies(); p++ {
+				old := it.leaf[p]
+				it.leaf[p] = 0
+				it.emitHierarchy(p, old, 0)
+			}
+			return it.buf
+		}
+		pos--
+	}
+	it.done = true
+	return nil
+}
+
+// emitHierarchy records the attribute changes of hierarchy pos when its leaf
+// moves from oldLeaf to newLeaf. oldLeaf = -1 emits every level.
+func (it *RowIter) emitHierarchy(pos, oldLeaf, newLeaf int) {
+	ch := it.f.Chain(pos)
+	attrIdx := it.f.attrOfHier[pos]
+	for l := 0; l < ch.Depth(); l++ {
+		nv := ch.AncestorIdx(l, newLeaf)
+		if oldLeaf >= 0 && ch.AncestorIdx(l, oldLeaf) == nv {
+			continue
+		}
+		a := attrIdx[l]
+		it.cur[a] = nv
+		it.buf = append(it.buf, Change{Attr: a, Val: nv})
+	}
+}
+
+// MaterializeValues enumerates every row's attribute value indices. It is
+// exponential in the number of hierarchies and exists for tests and for the
+// naive (Lapack-style) baseline.
+func (f *Factorizer) MaterializeValues() ([][]int, error) {
+	n, err := f.RowCount()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, 0, n)
+	it := f.Rows()
+	for {
+		chg := it.Next()
+		if chg == nil {
+			break
+		}
+		row := make([]int, f.NumAttrs())
+		copy(row, it.Cur())
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RowIndexOf returns the row index of the given per-attribute value indices
+// in iteration order. Used to align dense y vectors with the matrix rows.
+func (f *Factorizer) RowIndexOf(leafPerHier []int) int {
+	idx := 0
+	for pos := 0; pos < f.NumHierarchies(); pos++ {
+		idx = idx*int(f.leaves[pos]) + leafPerHier[pos]
+	}
+	return idx
+}
+
+// LeafIndex returns the leaf (deepest-level) value index of value v in the
+// hierarchy at order position pos, or -1 when absent.
+func (f *Factorizer) LeafIndex(pos int, v string) int {
+	ch := f.Chain(pos)
+	return ch.ValueIndex(ch.Depth()-1, v)
+}

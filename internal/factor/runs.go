@@ -1,0 +1,103 @@
+package factor
+
+// ForEachRun enumerates, in row order, the maximal contiguous row runs of
+// the implicit matrix over which the given attribute set's joint assignment
+// is constant. It is the traversal primitive behind the multi-attribute
+// feature operations of Appendix H: a multi-attribute feature's column is
+// piecewise constant exactly on these runs.
+//
+// attrs must be ascending flattened attribute indices. fn receives the run's
+// start row, its length, and the value indices of the attributes (aligned
+// with attrs); the slice is reused across calls.
+//
+// The run count is the product of the involved hierarchies' value counts
+// and every earlier hierarchy's leaf count — as Appendix H notes, features
+// over many attributes progressively lose the factorised redundancy until
+// the worst case degenerates to the naive row count.
+func (f *Factorizer) ForEachRun(attrs []int, fn func(start, length int, vals []int)) error {
+	n, err := f.RowCount()
+	if err != nil {
+		return err
+	}
+	if len(attrs) == 0 {
+		fn(0, n, nil)
+		return nil
+	}
+	// Group the involved attributes by hierarchy-order position; record the
+	// deepest involved level per position.
+	type involvement struct {
+		levels  []int // involved levels, ascending
+		attrPos []int // index into attrs for each involved level
+		deepest int
+	}
+	inv := make(map[int]*involvement)
+	lastInv := 0
+	for ai, a := range attrs {
+		at := f.attrs[a]
+		iv := inv[at.Hier]
+		if iv == nil {
+			iv = &involvement{}
+			inv[at.Hier] = iv
+		}
+		iv.levels = append(iv.levels, at.Level)
+		iv.attrPos = append(iv.attrPos, ai)
+		if at.Level > iv.deepest {
+			iv.deepest = at.Level
+		}
+		if at.Hier > lastInv {
+			lastInv = at.Hier
+		}
+	}
+	// Suffix block lengths: suffixLen[pos] = rows spanned by one leaf
+	// combination of hierarchies 0..pos-1.
+	H := f.NumHierarchies()
+	suffixLen := make([]int, H+1)
+	suffixLen[H] = 1
+	for pos := H - 1; pos >= 0; pos-- {
+		suffixLen[pos] = suffixLen[pos+1] * int(f.leaves[pos])
+	}
+
+	vals := make([]int, len(attrs))
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos > lastInv {
+			// Everything deeper leaves the assignment unchanged: one run.
+			fn(start, suffixLen[pos], vals)
+			return
+		}
+		iv := inv[pos]
+		if iv == nil {
+			// Uninvolved hierarchy before the last involved one: the deeper
+			// pattern repeats once per leaf.
+			for r := 0; r < int(f.leaves[pos]); r++ {
+				rec(pos+1, start+r*suffixLen[pos+1])
+			}
+			return
+		}
+		ch := f.Chain(pos)
+		deep := ch.Levels[iv.deepest]
+		offset := start
+		for vi := range deep.Vals {
+			// Resolve every involved level's value from the deepest one.
+			for li, lvl := range iv.levels {
+				idx := vi
+				for l := iv.deepest; l > lvl; l-- {
+					idx = ch.Levels[l].Parent[idx]
+				}
+				vals[iv.attrPos[li]] = idx
+			}
+			ext := deep.Ext[vi]
+			if pos == lastInv {
+				// No deeper involvement: the whole span is one run.
+				fn(offset, ext*suffixLen[pos+1], vals)
+			} else {
+				for r := 0; r < ext; r++ {
+					rec(pos+1, offset+r*suffixLen[pos+1])
+				}
+			}
+			offset += ext * suffixLen[pos+1]
+		}
+	}
+	rec(0, 0)
+	return nil
+}

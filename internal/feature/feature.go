@@ -1,0 +1,334 @@
+// Package feature builds Reptile's feature matrix content (§3.3, Appendix
+// B): main-effect featurization of categorical attributes, auxiliary-dataset
+// join features, custom per-attribute features, and the random-effects (Z)
+// column selection. The output is a set of per-attribute value→feature maps
+// that can be rendered either as a dense design matrix over observed groups
+// or as factorised columns over a factorizer's attribute values.
+package feature
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/data"
+	"repro/internal/factor"
+	"repro/internal/fmatrix"
+	"repro/internal/mat"
+)
+
+// Aux references an auxiliary dataset joined into the feature matrix
+// (§3.3.2): rows of Table are joined on JoinAttr and contribute Measure as a
+// numeric feature (centered and normalized).
+type Aux struct {
+	Name     string
+	Table    *data.Dataset
+	JoinAttr string
+	Measure  string
+}
+
+// Custom is a user-defined per-attribute featurization (§3.3.3): Fn receives
+// the attribute's distinct values and the per-group statistics and returns a
+// value→feature mapping.
+type Custom struct {
+	Name string
+	Attr string
+	Fn   func(vals []string, groups *agg.Result) map[string]float64
+}
+
+// Spec configures feature construction.
+type Spec struct {
+	// Target is the aggregate being modeled (the complaint's statistic).
+	Target agg.Func
+	// Aux lists auxiliary datasets to join when their attribute is present.
+	Aux []Aux
+	// Custom lists user featurizations to apply when applicable.
+	Custom []Custom
+	// ExcludeFromZ names features whose derived columns are excluded from
+	// the random-effects design Z (§3.3.4).
+	ExcludeFromZ []string
+	// KeepLeaky disables the guard that drops a main-effect feature whose
+	// attribute values map one-to-one to training groups (which would leak
+	// the group's own statistic and mask every error).
+	KeepLeaky bool
+}
+
+// Col is one feature column: a value→feature map over one attribute.
+// A nil Map means the column is constant (the intercept).
+type Col struct {
+	Name    string
+	Attr    string
+	Map     map[string]float64
+	Default float64 // value for attribute values missing from Map
+	InZ     bool
+}
+
+// Value returns the feature value for attribute value v.
+func (c Col) Value(v string) float64 {
+	if c.Map == nil {
+		return c.Default
+	}
+	if f, ok := c.Map[v]; ok {
+		return f
+	}
+	return c.Default
+}
+
+// Set is the constructed feature set for one drill-down's group-by result.
+// Extra holds materialized multi-attribute (per-group) feature columns; they
+// render only densely (see BuildWithGroupFeatures).
+type Set struct {
+	Attrs []string // the group-by attributes, in attribute order
+	Cols  []Col
+	Extra []extraCol
+}
+
+// NumCols returns the total column count including group features.
+func (s *Set) NumCols() int { return len(s.Cols) + len(s.Extra) }
+
+// Build constructs the feature set for the given group-by result.
+//
+// Default features follow §3.3.1: every attribute is treated as categorical
+// and featurized by its main effect — each value is replaced by the median
+// of the target statistic over the groups carrying that value. A main-effect
+// column is dropped when its values map one-to-one to groups (see
+// Spec.KeepLeaky). Auxiliary features are z-scored; the intercept is always
+// the first column.
+func Build(groups *agg.Result, spec Spec) (*Set, error) {
+	if len(groups.Groups) == 0 {
+		return nil, fmt.Errorf("feature: no groups to featurize")
+	}
+	s := &Set{Attrs: append([]string(nil), groups.Attrs...)}
+	s.Cols = append(s.Cols, Col{Name: "intercept", Attr: groups.Attrs[0], Default: 1, InZ: true})
+
+	y := make([]float64, len(groups.Groups))
+	for i, g := range groups.Groups {
+		y[i] = g.Stats.Get(spec.Target)
+	}
+
+	// Main effects per attribute.
+	for ai, attr := range groups.Attrs {
+		perVal := make(map[string][]float64)
+		for gi, g := range groups.Groups {
+			perVal[g.Vals[ai]] = append(perVal[g.Vals[ai]], y[gi])
+		}
+		if !spec.KeepLeaky {
+			oneToOne := true
+			for _, ys := range perVal {
+				if len(ys) > 1 {
+					oneToOne = false
+					break
+				}
+			}
+			if oneToOne {
+				continue // the median would equal the group's own statistic
+			}
+		}
+		m := make(map[string]float64, len(perVal))
+		for v, ys := range perVal {
+			m[v] = mat.Median(ys)
+		}
+		name := "main:" + attr
+		s.Cols = append(s.Cols, Col{
+			Name:    name,
+			Attr:    attr,
+			Map:     m,
+			Default: mat.Median(y),
+			InZ:     !contains(spec.ExcludeFromZ, name),
+		})
+	}
+
+	// Auxiliary join features (applicable once their attribute is in the
+	// group-by).
+	for _, aux := range spec.Aux {
+		if !contains(groups.Attrs, aux.JoinAttr) {
+			continue
+		}
+		col, err := buildAuxCol(aux)
+		if err != nil {
+			return nil, err
+		}
+		col.InZ = !contains(spec.ExcludeFromZ, col.Name)
+		s.Cols = append(s.Cols, col)
+	}
+
+	// Custom features.
+	for _, c := range spec.Custom {
+		if !contains(groups.Attrs, c.Attr) {
+			continue
+		}
+		ai := indexOf(groups.Attrs, c.Attr)
+		valSet := make(map[string]struct{})
+		for _, g := range groups.Groups {
+			valSet[g.Vals[ai]] = struct{}{}
+		}
+		vals := make([]string, 0, len(valSet))
+		for v := range valSet {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		m := c.Fn(vals, groups)
+		if m == nil {
+			return nil, fmt.Errorf("feature: custom feature %q returned nil", c.Name)
+		}
+		name := "custom:" + c.Name
+		s.Cols = append(s.Cols, Col{
+			Name: name,
+			Attr: c.Attr,
+			Map:  m,
+			InZ:  !contains(spec.ExcludeFromZ, name),
+		})
+	}
+	return s, nil
+}
+
+// buildAuxCol aggregates the auxiliary measure per join value (mean when
+// several rows share a value), then z-scores across values.
+func buildAuxCol(aux Aux) (Col, error) {
+	if !aux.Table.HasDim(aux.JoinAttr) {
+		return Col{}, fmt.Errorf("feature: auxiliary %q lacks join attribute %q", aux.Name, aux.JoinAttr)
+	}
+	if !aux.Table.HasMeasure(aux.Measure) {
+		return Col{}, fmt.Errorf("feature: auxiliary %q lacks measure %q", aux.Name, aux.Measure)
+	}
+	keys := aux.Table.Dim(aux.JoinAttr)
+	ms := aux.Table.Measure(aux.Measure)
+	sums := make(map[string]float64)
+	counts := make(map[string]float64)
+	for i, k := range keys {
+		sums[k] += ms[i]
+		counts[k]++
+	}
+	vals := make([]string, 0, len(sums))
+	for k := range sums {
+		vals = append(vals, k)
+	}
+	sort.Strings(vals)
+	raw := make([]float64, len(vals))
+	for i, v := range vals {
+		raw[i] = sums[v] / counts[v]
+	}
+	z := mat.Standardize(raw)
+	m := make(map[string]float64, len(vals))
+	for i, v := range vals {
+		m[v] = z[i]
+	}
+	return Col{Name: "aux:" + aux.Name, Attr: aux.JoinAttr, Map: m}, nil
+}
+
+// DenseX renders the feature set as a dense design matrix with one row per
+// group (in group order), group-feature columns last.
+func (s *Set) DenseX(groups *agg.Result) *mat.Matrix {
+	k := s.NumCols()
+	x := mat.New(len(groups.Groups), k)
+	attrIdx := make([]int, len(s.Cols))
+	for ci, c := range s.Cols {
+		attrIdx[ci] = indexOf(groups.Attrs, c.Attr)
+	}
+	for gi, g := range groups.Groups {
+		for ci, c := range s.Cols {
+			x.Set(gi, ci, c.Value(g.Vals[attrIdx[ci]]))
+		}
+		for ei, e := range s.Extra {
+			x.Set(gi, len(s.Cols)+ei, e.Vals[gi])
+		}
+	}
+	return x
+}
+
+// Row builds a feature row for an arbitrary assignment of the group-by
+// attributes — used to score empty drill-down groups, which have no observed
+// row. Group-feature columns default to 0 (their post-standardization mean).
+func (s *Set) Row(vals map[string]string) []float64 {
+	row := make([]float64, s.NumCols())
+	for ci, c := range s.Cols {
+		row[ci] = c.Value(vals[c.Attr])
+	}
+	return row
+}
+
+// GroupRow renders one group's feature row.
+func (s *Set) GroupRow(groups *agg.Result, gi int) []float64 {
+	row := make([]float64, s.NumCols())
+	g := groups.Groups[gi]
+	for ci, c := range s.Cols {
+		row[ci] = c.Value(g.Vals[indexOf(groups.Attrs, c.Attr)])
+	}
+	for ei, e := range s.Extra {
+		row[len(s.Cols)+ei] = e.Vals[gi]
+	}
+	return row
+}
+
+// FactorColumns renders the feature set as factorised columns over the
+// factorizer's attribute value tables. Sets containing multi-attribute group
+// features have no factorisation and return an error.
+func (s *Set) FactorColumns(f *factor.Factorizer) ([]fmatrix.Column, error) {
+	if len(s.Extra) > 0 {
+		return nil, fmt.Errorf("feature: %d group features have no factorised form", len(s.Extra))
+	}
+	out := make([]fmatrix.Column, len(s.Cols))
+	for ci, c := range s.Cols {
+		ai, ok := f.AttrIndex(c.Attr)
+		if !ok {
+			return nil, fmt.Errorf("feature: attribute %q not in factorizer", c.Attr)
+		}
+		vals, _ := f.CountVals(ai)
+		fv := make([]float64, len(vals))
+		for i, v := range vals {
+			fv[i] = c.Value(v)
+		}
+		out[ci] = fmatrix.Column{Name: c.Name, Attr: ai, Vals: fv}
+	}
+	return out, nil
+}
+
+// ZMask returns, per column, whether it participates in the random-effects
+// design Z (group-feature columns included, in dense column order).
+func (s *Set) ZMask() []bool {
+	mask := make([]bool, s.NumCols())
+	for i, c := range s.Cols {
+		mask[i] = c.InZ
+	}
+	for i, e := range s.Extra {
+		mask[len(s.Cols)+i] = e.InZ
+	}
+	return mask
+}
+
+// ClusterStarts returns the start indices of the parent clusters in a sorted
+// group-by result: groups sharing every attribute value except the last form
+// one cluster. The result is suitable for mlm.NewDense.
+func ClusterStarts(groups *agg.Result) []int {
+	if len(groups.Groups) == 0 {
+		return nil
+	}
+	var starts []int
+	prev := ""
+	for gi, g := range groups.Groups {
+		prefix := data.EncodeKey(g.Vals[:len(g.Vals)-1])
+		if gi == 0 || prefix != prev {
+			starts = append(starts, gi)
+			prev = prefix
+		}
+	}
+	return starts
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOf(list []string, v string) int {
+	for i, x := range list {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,262 @@
+// Package fmatrix implements Reptile's factorised feature matrix and the
+// matrix operations the EM trainer is bottlenecked by (§4.1–§4.2, Appendix
+// E–F): the gram matrix XᵀX, left multiplication B·X, right multiplication
+// X·A, and their per-cluster counterparts, all computed directly over the
+// factorised representation without materializing X.
+//
+// A feature matrix is a factorizer plus a set of columns; each column is
+// bound to one attribute and maps that attribute's values to feature values
+// (the one-to-one attribute/feature isolation of Appendix B). Multiple
+// columns may be bound to the same attribute — e.g. the attribute's own
+// main-effect feature plus auxiliary-dataset features — and the intercept is
+// a constant-1 column bound to the first attribute.
+package fmatrix
+
+import (
+	"fmt"
+
+	"repro/internal/factor"
+	"repro/internal/mat"
+)
+
+// Column is one feature column bound to an attribute of the factorizer.
+// Vals[k] is the feature value of the attribute's k'th distinct value (in
+// path-sorted order).
+type Column struct {
+	Name string
+	Attr int
+	Vals []float64
+}
+
+// Matrix is the factorised feature matrix: the implicit row set is the cross
+// product of the factorizer's hierarchy paths; the columns are feature maps
+// over attribute values.
+type Matrix struct {
+	F    *factor.Factorizer
+	Cols []Column
+
+	colsOfAttr [][]int // per attribute index: column indices bound to it
+}
+
+// New assembles a feature matrix and validates that every column's value
+// table matches its attribute's cardinality.
+func New(f *factor.Factorizer, cols []Column) (*Matrix, error) {
+	m := &Matrix{F: f, Cols: cols, colsOfAttr: make([][]int, f.NumAttrs())}
+	for ci, c := range cols {
+		if c.Attr < 0 || c.Attr >= f.NumAttrs() {
+			return nil, fmt.Errorf("fmatrix: column %q bound to attribute %d of %d", c.Name, c.Attr, f.NumAttrs())
+		}
+		vals, _ := f.CountVals(c.Attr)
+		if len(c.Vals) != len(vals) {
+			return nil, fmt.Errorf("fmatrix: column %q has %d values, attribute %q has %d",
+				c.Name, len(c.Vals), f.Attrs()[c.Attr].Name, len(vals))
+		}
+		m.colsOfAttr[c.Attr] = append(m.colsOfAttr[c.Attr], ci)
+	}
+	return m, nil
+}
+
+// NumCols returns the number of feature columns.
+func (m *Matrix) NumCols() int { return len(m.Cols) }
+
+// N returns the implicit number of rows.
+func (m *Matrix) N() float64 { return m.F.N() }
+
+// Materialize expands the factorised matrix into a dense one. It is
+// exponential in the number of hierarchies and exists for the naive baseline
+// and for tests.
+func (m *Matrix) Materialize() (*mat.Matrix, error) {
+	n, err := m.F.RowCount()
+	if err != nil {
+		return nil, err
+	}
+	out := mat.New(n, len(m.Cols))
+	it := m.F.Rows()
+	row := 0
+	cur := make([]float64, len(m.Cols))
+	for {
+		chg := it.Next()
+		if chg == nil {
+			break
+		}
+		for _, c := range chg {
+			for _, ci := range m.colsOfAttr[c.Attr] {
+				cur[ci] = m.Cols[ci].Vals[c.Val]
+			}
+		}
+		copy(out.Data[row*len(m.Cols):(row+1)*len(m.Cols)], cur)
+		row++
+	}
+	return out, nil
+}
+
+// Gram computes XᵀX directly over the factorised representation
+// (Algorithm 2). Each cell is a weighted sum over decomposed aggregates:
+// COUNT for same-attribute pairs, chain-walked COF for same-hierarchy pairs,
+// and the factorised product-of-sums for cross-hierarchy pairs.
+func (m *Matrix) Gram() *mat.Matrix {
+	k := len(m.Cols)
+	out := mat.New(k, k)
+	n := m.F.N()
+	// Per-column weighted sums S_c = Σ_v COUNT[v]·f(v), shared by every
+	// cross-hierarchy pair the column participates in.
+	sums := make([]float64, k)
+	for ci, c := range m.Cols {
+		_, counts := m.F.CountVals(c.Attr)
+		var s float64
+		for v, cnt := range counts {
+			s += cnt * c.Vals[v]
+		}
+		sums[ci] = s
+	}
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			ci, cj := m.Cols[i], m.Cols[j]
+			p, q := ci.Attr, cj.Attr
+			fi, fj := ci.Vals, cj.Vals
+			if p > q {
+				p, q = q, p
+				fi, fj = fj, fi
+			}
+			var cell float64
+			switch {
+			case p == q:
+				_, counts := m.F.CountVals(p)
+				for v, cnt := range counts {
+					cell += cnt * fi[v] * fj[v]
+				}
+				cell *= n / m.F.SufTotal(p)
+			case m.F.SameHierarchy(p, q):
+				var s float64
+				m.F.Cof(p, q, func(vp, vq int, cnt float64) {
+					s += cnt * fi[vp] * fj[vq]
+				})
+				cell = s * n / m.F.SufTotal(p)
+			default:
+				// (n/SufTotal(p)) · S_p · S_q / SufTotal(q): the COF of two
+				// independent hierarchies factorises into a product of the
+				// columns' weighted sums.
+				cell = n * sums[i] * sums[j] / (m.F.SufTotal(p) * m.F.SufTotal(q))
+			}
+			out.Set(i, j, cell)
+			out.Set(j, i, cell)
+		}
+	}
+	return out
+}
+
+// LeftMul computes B·X (Algorithm 3) where B is q×n. Each row of B is
+// preprocessed into a prefix sum so every feature value's contiguous run is
+// accumulated with one range sum.
+func (m *Matrix) LeftMul(b *mat.Matrix) (*mat.Matrix, error) {
+	n, err := m.F.RowCount()
+	if err != nil {
+		return nil, err
+	}
+	if b.Cols != n {
+		return nil, fmt.Errorf("fmatrix: LeftMul shape mismatch: B is %dx%d, X has %d rows", b.Rows, b.Cols, n)
+	}
+	out := mat.New(b.Rows, len(m.Cols))
+	for r := 0; r < b.Rows; r++ {
+		prefix := mat.PrefixSum(b.Data[r*n : (r+1)*n])
+		for ci, c := range m.Cols {
+			out.Set(r, ci, m.leftMulColumn(prefix, c))
+		}
+	}
+	return out, nil
+}
+
+// TMulVec computes Xᵀ·v (an m-vector) — the q=1 left multiplication used in
+// every EM iteration.
+func (m *Matrix) TMulVec(v []float64) ([]float64, error) {
+	n, err := m.F.RowCount()
+	if err != nil {
+		return nil, err
+	}
+	if len(v) != n {
+		return nil, fmt.Errorf("fmatrix: TMulVec length %d, want %d", len(v), n)
+	}
+	prefix := mat.PrefixSum(v)
+	out := make([]float64, len(m.Cols))
+	for ci, c := range m.Cols {
+		out[ci] = m.leftMulColumn(prefix, c)
+	}
+	return out, nil
+}
+
+// leftMulColumn evaluates row·col for one column given the row's prefix
+// sums. The column of an attribute at hierarchy-order position h consists of
+// ProdBefore(h) repetitions of its suffix pattern; within one repetition each
+// value v occupies Count[v] consecutive rows in path-sorted order.
+func (m *Matrix) leftMulColumn(prefix []float64, c Column) float64 {
+	f := m.F
+	a := f.Attrs()[c.Attr]
+	_, counts := f.CountVals(c.Attr)
+	reps := int(f.ProdBefore(a.Hier))
+	period := int(f.SufTotal(c.Attr))
+	var result float64
+	start := 0
+	for k := 0; k < reps; k++ {
+		pos := start
+		for v, cnt := range counts {
+			w := int(cnt)
+			result += c.Vals[v] * mat.RangeSum(prefix, pos, pos+w)
+			pos += w
+		}
+		start += period
+	}
+	return result
+}
+
+// RightMul computes X·A (Algorithm 4) where A is m×p, using the row iterator
+// to update each output row incrementally from its predecessor.
+func (m *Matrix) RightMul(a *mat.Matrix) (*mat.Matrix, error) {
+	n, err := m.F.RowCount()
+	if err != nil {
+		return nil, err
+	}
+	if a.Rows != len(m.Cols) {
+		return nil, fmt.Errorf("fmatrix: RightMul shape mismatch: A is %dx%d, X has %d cols", a.Rows, a.Cols, len(m.Cols))
+	}
+	p := a.Cols
+	out := mat.New(n, p)
+	acc := make([]float64, p)
+	curF := make([]float64, len(m.Cols))
+	it := m.F.Rows()
+	row := 0
+	for {
+		chg := it.Next()
+		if chg == nil {
+			break
+		}
+		for _, c := range chg {
+			for _, ci := range m.colsOfAttr[c.Attr] {
+				nv := m.Cols[ci].Vals[c.Val]
+				d := nv - curF[ci]
+				if d != 0 {
+					arow := a.Data[ci*p : (ci+1)*p]
+					for j := 0; j < p; j++ {
+						acc[j] += d * arow[j]
+					}
+					curF[ci] = nv
+				}
+			}
+		}
+		copy(out.Data[row*p:(row+1)*p], acc)
+		row++
+	}
+	return out, nil
+}
+
+// MulVec computes X·w (an n-vector) — the p=1 right multiplication used in
+// every EM iteration.
+func (m *Matrix) MulVec(w []float64) ([]float64, error) {
+	if len(w) != len(m.Cols) {
+		return nil, fmt.Errorf("fmatrix: MulVec length %d, want %d", len(w), len(m.Cols))
+	}
+	out, err := m.RightMul(mat.ColVec(w))
+	if err != nil {
+		return nil, err
+	}
+	return out.Data, nil
+}

@@ -1,0 +1,262 @@
+package fmatrix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/factor"
+	"repro/internal/mat"
+)
+
+// MultiColumn is a multi-attribute feature column (Appendix H): its value
+// depends on the joint assignment of several attributes. Vals maps the
+// MultiKey of the attributes' value indices to the feature value; missing
+// assignments default to Default.
+type MultiColumn struct {
+	Name    string
+	Attrs   []int // ascending flattened attribute indices
+	Vals    map[string]float64
+	Default float64
+}
+
+// MultiKey encodes a joint value-index assignment.
+func MultiKey(idx ...int) string {
+	parts := make([]string, len(idx))
+	for i, v := range idx {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Value returns the feature value of one joint assignment.
+func (c MultiColumn) Value(idx []int) float64 {
+	if v, ok := c.Vals[MultiKey(idx...)]; ok {
+		return v
+	}
+	return c.Default
+}
+
+// MultiMatrix augments a factorised feature matrix with multi-attribute
+// columns. Dense column order is the single-attribute columns followed by
+// the multi-attribute columns.
+type MultiMatrix struct {
+	*Matrix
+	Multi []MultiColumn
+}
+
+// NewMulti assembles a multi-attribute feature matrix.
+func NewMulti(f *factor.Factorizer, cols []Column, multi []MultiColumn) (*MultiMatrix, error) {
+	base, err := New(f, cols)
+	if err != nil {
+		return nil, err
+	}
+	for _, mc := range multi {
+		if len(mc.Attrs) == 0 {
+			return nil, fmt.Errorf("fmatrix: multi column %q has no attributes", mc.Name)
+		}
+		for i, a := range mc.Attrs {
+			if a < 0 || a >= f.NumAttrs() {
+				return nil, fmt.Errorf("fmatrix: multi column %q attribute %d out of range", mc.Name, a)
+			}
+			if i > 0 && mc.Attrs[i] <= mc.Attrs[i-1] {
+				return nil, fmt.Errorf("fmatrix: multi column %q attributes not ascending", mc.Name)
+			}
+		}
+	}
+	return &MultiMatrix{Matrix: base, Multi: multi}, nil
+}
+
+// NumCols returns the total column count.
+func (m *MultiMatrix) NumCols() int { return len(m.Cols) + len(m.Multi) }
+
+// Materialize expands the full matrix including multi-attribute columns.
+func (m *MultiMatrix) Materialize() (*mat.Matrix, error) {
+	base, err := m.Matrix.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	out := mat.New(base.Rows, m.NumCols())
+	for r := 0; r < base.Rows; r++ {
+		copy(out.Data[r*out.Cols:], base.Data[r*base.Cols:(r+1)*base.Cols])
+	}
+	for mi, mc := range m.Multi {
+		col := len(m.Cols) + mi
+		idx := make([]int, len(mc.Attrs))
+		err := m.F.ForEachRun(mc.Attrs, func(start, length int, vals []int) {
+			copy(idx, vals)
+			v := mc.Value(idx)
+			for r := start; r < start+length; r++ {
+				out.Data[r*out.Cols+col] = v
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Gram computes the full gram matrix. Single×single cells reuse the
+// decomposed-aggregate formulas; any cell involving a multi column is
+// evaluated by the Algorithm 8 traversal over the union attribute set's
+// runs (each run contributes length × fᵢ × fⱼ).
+func (m *MultiMatrix) Gram() (*mat.Matrix, error) {
+	k := m.NumCols()
+	out := mat.New(k, k)
+	base := m.Matrix.Gram()
+	for i := 0; i < len(m.Cols); i++ {
+		for j := 0; j < len(m.Cols); j++ {
+			out.Set(i, j, base.At(i, j))
+		}
+	}
+	for mi := range m.Multi {
+		for j := 0; j <= len(m.Cols)+mi; j++ {
+			cell, err := m.gramCellMulti(len(m.Cols)+mi, j)
+			if err != nil {
+				return nil, err
+			}
+			out.Set(len(m.Cols)+mi, j, cell)
+			out.Set(j, len(m.Cols)+mi, cell)
+		}
+	}
+	return out, nil
+}
+
+// colEval captures how to evaluate a column's value from the union
+// assignment: single columns read one position, multi columns a subset.
+type colEval struct {
+	single  bool
+	sp      int   // union position for a single column
+	mp      []int // union positions for a multi column
+	col     Column
+	mcol    MultiColumn
+	scratch []int
+}
+
+func (e *colEval) value(vals []int) float64 {
+	if e.single {
+		return e.col.Vals[vals[e.sp]]
+	}
+	for i, p := range e.mp {
+		e.scratch[i] = vals[p]
+	}
+	return e.mcol.Value(e.scratch)
+}
+
+// gramCellMulti computes one gram cell where column index i refers to a
+// multi column (dense indexing: singles first).
+func (m *MultiMatrix) gramCellMulti(i, j int) (float64, error) {
+	evals := make([]*colEval, 2)
+	var union []int
+	pos := map[int]int{}
+	addAttr := func(a int) int {
+		if p, ok := pos[a]; ok {
+			return p
+		}
+		pos[a] = len(union)
+		union = append(union, a)
+		return pos[a]
+	}
+	build := func(ci int) *colEval {
+		if ci < len(m.Cols) {
+			return &colEval{single: true, sp: addAttr(m.Cols[ci].Attr), col: m.Cols[ci]}
+		}
+		mc := m.Multi[ci-len(m.Cols)]
+		e := &colEval{mcol: mc, scratch: make([]int, len(mc.Attrs))}
+		for _, a := range mc.Attrs {
+			e.mp = append(e.mp, addAttr(a))
+		}
+		return e
+	}
+	evals[0] = build(i)
+	evals[1] = build(j)
+	// ForEachRun needs ascending attrs; remap.
+	order := make([]int, len(union))
+	for i := range order {
+		order[i] = i
+	}
+	sortByAttr(order, union)
+	sorted := make([]int, len(union))
+	remap := make([]int, len(union)) // old union position → sorted position
+	for newPos, oldPos := range order {
+		sorted[newPos] = union[oldPos]
+		remap[oldPos] = newPos
+	}
+	for _, e := range evals {
+		if e.single {
+			e.sp = remap[e.sp]
+		} else {
+			for i := range e.mp {
+				e.mp[i] = remap[e.mp[i]]
+			}
+		}
+	}
+	var cell float64
+	err := m.F.ForEachRun(sorted, func(start, length int, vals []int) {
+		cell += float64(length) * evals[0].value(vals) * evals[1].value(vals)
+	})
+	return cell, err
+}
+
+func sortByAttr(order, union []int) {
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && union[order[j]] < union[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+// TMulVec computes Xᵀ·v including the multi columns: each multi column is a
+// sum of range sums over its runs (Algorithm 9).
+func (m *MultiMatrix) TMulVec(v []float64) ([]float64, error) {
+	base, err := m.Matrix.TMulVec(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.NumCols())
+	copy(out, base)
+	prefix := mat.PrefixSum(v)
+	for mi, mc := range m.Multi {
+		var s float64
+		idx := make([]int, len(mc.Attrs))
+		err := m.F.ForEachRun(mc.Attrs, func(start, length int, vals []int) {
+			copy(idx, vals)
+			s += mc.Value(idx) * mat.RangeSum(prefix, start, start+length)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[len(m.Cols)+mi] = s
+	}
+	return out, nil
+}
+
+// MulVec computes X·w including the multi columns.
+func (m *MultiMatrix) MulVec(w []float64) ([]float64, error) {
+	if len(w) != m.NumCols() {
+		return nil, fmt.Errorf("fmatrix: MulVec length %d, want %d", len(w), m.NumCols())
+	}
+	out, err := m.Matrix.MulVec(w[:len(m.Cols)])
+	if err != nil {
+		return nil, err
+	}
+	for mi, mc := range m.Multi {
+		wi := w[len(m.Cols)+mi]
+		if wi == 0 {
+			continue
+		}
+		idx := make([]int, len(mc.Attrs))
+		err := m.F.ForEachRun(mc.Attrs, func(start, length int, vals []int) {
+			copy(idx, vals)
+			v := mc.Value(idx) * wi
+			for r := start; r < start+length; r++ {
+				out[r] += v
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,292 @@
+// Package mlm implements Reptile's model layer: ordinary least squares as
+// the linear baseline, and the multi-level linear model of §3.2 fit by the
+// expectation-maximization algorithm of Appendix D. The EM core is
+// backend-agnostic — it consumes the six bottleneck matrix operations
+// (gram, left and right multiplication, and their per-cluster variants)
+// through an interface with a naive dense implementation (the paper's
+// Matlab/Lapack comparator) and a factorised implementation over package
+// fmatrix.
+package mlm
+
+import (
+	"fmt"
+
+	"repro/internal/fmatrix"
+	"repro/internal/mat"
+)
+
+// Backend provides the matrix operations EM is bottlenecked by (Appendix D):
+// XᵀX, Xᵀv, X·w and their per-cluster counterparts. Rows are partitioned
+// into contiguous clusters.
+type Backend interface {
+	NumRows() int
+	NumCols() int
+	// Gram returns XᵀX.
+	Gram() *mat.Matrix
+	// TMulVec returns Xᵀ·v for an n-vector v.
+	TMulVec(v []float64) []float64
+	// MulVec returns X·w for an m-vector w.
+	MulVec(w []float64) []float64
+	// NumClusters returns the number of row clusters G.
+	NumClusters() int
+	// Cluster returns the operations for cluster i.
+	Cluster(i int) ClusterOps
+}
+
+// ClusterOps provides the per-cluster operations for one cluster's
+// sub-matrix Xᵢ.
+type ClusterOps interface {
+	// Rows returns the cluster's row range [start, start+n).
+	Rows() (start, n int)
+	// Gram returns XᵢᵀXᵢ.
+	Gram() *mat.Matrix
+	// TMulVec returns Xᵢᵀ·r for a cluster-local vector r of length n.
+	TMulVec(r []float64) []float64
+	// MulVec returns Xᵢ·w.
+	MulVec(w []float64) []float64
+}
+
+// Dense is the naive backend over a fully materialized design matrix — the
+// paper's "Matlab over Lapack" comparator. Cluster boundaries are provided
+// as start offsets (clusters must be contiguous row ranges).
+type Dense struct {
+	X      *mat.Matrix
+	starts []int // cluster start rows; an implicit sentinel ends at NumRows
+}
+
+// NewDense wraps a materialized matrix with cluster start offsets. starts
+// must begin at 0 and be strictly increasing.
+func NewDense(x *mat.Matrix, starts []int) (*Dense, error) {
+	if len(starts) == 0 || starts[0] != 0 {
+		return nil, fmt.Errorf("mlm: cluster starts must begin at 0, got %v", starts)
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			return nil, fmt.Errorf("mlm: cluster starts not increasing at %d", i)
+		}
+	}
+	if starts[len(starts)-1] >= x.Rows && x.Rows > 0 {
+		return nil, fmt.Errorf("mlm: cluster start %d beyond %d rows", starts[len(starts)-1], x.Rows)
+	}
+	return &Dense{X: x, starts: starts}, nil
+}
+
+// NumRows implements Backend.
+func (d *Dense) NumRows() int { return d.X.Rows }
+
+// NumCols implements Backend.
+func (d *Dense) NumCols() int { return d.X.Cols }
+
+// Gram implements Backend.
+func (d *Dense) Gram() *mat.Matrix { return d.X.Gram() }
+
+// TMulVec implements Backend.
+func (d *Dense) TMulVec(v []float64) []float64 { return d.X.TMulVec(v) }
+
+// MulVec implements Backend.
+func (d *Dense) MulVec(w []float64) []float64 { return d.X.MulVec(w) }
+
+// NumClusters implements Backend.
+func (d *Dense) NumClusters() int { return len(d.starts) }
+
+// Cluster implements Backend.
+func (d *Dense) Cluster(i int) ClusterOps {
+	start := d.starts[i]
+	end := d.X.Rows
+	if i+1 < len(d.starts) {
+		end = d.starts[i+1]
+	}
+	sub := mat.New(end-start, d.X.Cols)
+	copy(sub.Data, d.X.Data[start*d.X.Cols:end*d.X.Cols])
+	return denseCluster{start: start, sub: sub}
+}
+
+type denseCluster struct {
+	start int
+	sub   *mat.Matrix
+}
+
+func (c denseCluster) Rows() (int, int)              { return c.start, c.sub.Rows }
+func (c denseCluster) Gram() *mat.Matrix             { return c.sub.Gram() }
+func (c denseCluster) TMulVec(r []float64) []float64 { return c.sub.TMulVec(r) }
+func (c denseCluster) MulVec(w []float64) []float64  { return c.sub.MulVec(w) }
+
+// SubsetCols returns a Dense backend over the selected columns (the §3.3.4
+// random-effects tuning: Z keeps a subset of X's features). The cluster
+// partition is preserved.
+func (d *Dense) SubsetCols(mask []bool) (*Dense, error) {
+	if len(mask) != d.X.Cols {
+		return nil, fmt.Errorf("mlm: SubsetCols mask has %d entries for %d columns", len(mask), d.X.Cols)
+	}
+	var keep []int
+	for j, m := range mask {
+		if m {
+			keep = append(keep, j)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("mlm: SubsetCols keeps no columns")
+	}
+	sub := mat.New(d.X.Rows, len(keep))
+	for i := 0; i < d.X.Rows; i++ {
+		for jj, j := range keep {
+			sub.Data[i*len(keep)+jj] = d.X.Data[i*d.X.Cols+j]
+		}
+	}
+	return NewDense(sub, d.starts)
+}
+
+// Factorised is the backend over the factorised feature matrix: every
+// operation runs on the f-representation without materializing X.
+type Factorised struct {
+	M  *fmatrix.Matrix
+	cl *fmatrix.Clusters
+	n  int
+}
+
+// NewFactorised wraps a factorised feature matrix.
+func NewFactorised(m *fmatrix.Matrix) (*Factorised, error) {
+	n, err := m.F.RowCount()
+	if err != nil {
+		return nil, err
+	}
+	cl, err := m.Clusters()
+	if err != nil {
+		return nil, err
+	}
+	return &Factorised{M: m, cl: cl, n: n}, nil
+}
+
+// NumRows implements Backend.
+func (f *Factorised) NumRows() int { return f.n }
+
+// NumCols implements Backend.
+func (f *Factorised) NumCols() int { return f.M.NumCols() }
+
+// Gram implements Backend.
+func (f *Factorised) Gram() *mat.Matrix { return f.M.Gram() }
+
+// TMulVec implements Backend.
+func (f *Factorised) TMulVec(v []float64) []float64 {
+	out, err := f.M.TMulVec(v)
+	if err != nil {
+		panic(err) // length was validated at construction
+	}
+	return out
+}
+
+// MulVec implements Backend.
+func (f *Factorised) MulVec(w []float64) []float64 {
+	out, err := f.M.MulVec(w)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// NumClusters implements Backend.
+func (f *Factorised) NumClusters() int { return f.cl.NumClusters() }
+
+// Cluster implements Backend.
+func (f *Factorised) Cluster(i int) ClusterOps {
+	v, err := f.cl.View(i)
+	if err != nil {
+		panic(err)
+	}
+	return factorCluster{v}
+}
+
+// SubsetCols returns a Factorised backend over the selected columns; the
+// underlying factorizer (and therefore the cluster partition) is shared.
+func (f *Factorised) SubsetCols(mask []bool) (*Factorised, error) {
+	if len(mask) != f.M.NumCols() {
+		return nil, fmt.Errorf("mlm: SubsetCols mask has %d entries for %d columns", len(mask), f.M.NumCols())
+	}
+	var cols []fmatrix.Column
+	for j, m := range mask {
+		if m {
+			cols = append(cols, f.M.Cols[j])
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("mlm: SubsetCols keeps no columns")
+	}
+	sub, err := fmatrix.New(f.M.F, cols)
+	if err != nil {
+		return nil, err
+	}
+	return NewFactorised(sub)
+}
+
+// InterceptZ is the random-intercepts design: a constant-1 single column
+// sharing another backend's cluster partition. Every operation is closed
+// form, so no per-cluster views or copies are materialized.
+type InterceptZ struct {
+	rows     int
+	starts   []int
+	clusterN []int
+}
+
+// NewInterceptZ derives the intercept-only Z design from a backend's
+// cluster structure.
+func NewInterceptZ(b Backend) *InterceptZ {
+	g := b.NumClusters()
+	z := &InterceptZ{rows: b.NumRows(), starts: make([]int, g), clusterN: make([]int, g)}
+	for i := 0; i < g; i++ {
+		s, n := b.Cluster(i).Rows()
+		z.starts[i] = s
+		z.clusterN[i] = n
+	}
+	return z
+}
+
+// NumRows implements Backend.
+func (z *InterceptZ) NumRows() int { return z.rows }
+
+// NumCols implements Backend.
+func (z *InterceptZ) NumCols() int { return 1 }
+
+// Gram implements Backend: 1ᵀ1 = n.
+func (z *InterceptZ) Gram() *mat.Matrix { return mat.FromRows([][]float64{{float64(z.rows)}}) }
+
+// TMulVec implements Backend: 1ᵀv = Σv.
+func (z *InterceptZ) TMulVec(v []float64) []float64 { return []float64{mat.Sum(v)} }
+
+// MulVec implements Backend: 1·w = w₀ repeated.
+func (z *InterceptZ) MulVec(w []float64) []float64 {
+	out := make([]float64, z.rows)
+	for i := range out {
+		out[i] = w[0]
+	}
+	return out
+}
+
+// NumClusters implements Backend.
+func (z *InterceptZ) NumClusters() int { return len(z.starts) }
+
+// Cluster implements Backend.
+func (z *InterceptZ) Cluster(i int) ClusterOps {
+	return interceptCluster{start: z.starts[i], n: z.clusterN[i]}
+}
+
+type interceptCluster struct{ start, n int }
+
+func (c interceptCluster) Rows() (int, int) { return c.start, c.n }
+func (c interceptCluster) Gram() *mat.Matrix {
+	return mat.FromRows([][]float64{{float64(c.n)}})
+}
+func (c interceptCluster) TMulVec(r []float64) []float64 { return []float64{mat.Sum(r)} }
+func (c interceptCluster) MulVec(w []float64) []float64 {
+	out := make([]float64, c.n)
+	for i := range out {
+		out[i] = w[0]
+	}
+	return out
+}
+
+type factorCluster struct{ v *fmatrix.View }
+
+func (c factorCluster) Rows() (int, int)              { return c.v.Start, c.v.N }
+func (c factorCluster) Gram() *mat.Matrix             { return c.v.Gram() }
+func (c factorCluster) TMulVec(r []float64) []float64 { return c.v.TMulVec(r) }
+func (c factorCluster) MulVec(w []float64) []float64  { return c.v.MulVec(w) }

@@ -1,0 +1,72 @@
+package mlm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(b *testing.B, G, size int) (*Dense, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	x, y, starts, _ := clusteredData(rng, G, size)
+	d, err := NewDense(x, starts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, y
+}
+
+func BenchmarkFitEMScalarZ(b *testing.B) {
+	d, y := benchData(b, 200, 20)
+	iz := NewInterceptZ(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitEMZ(d, iz, y, Options{Iterations: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitEMFullZ(b *testing.B) {
+	d, y := benchData(b, 200, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitEM(d, y, Options{Iterations: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitIGLS(b *testing.B) {
+	d, y := benchData(b, 200, 20)
+	iz := NewInterceptZ(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitIGLS(d, iz, y, Options{Iterations: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitLinear(b *testing.B) {
+	d, y := benchData(b, 200, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLinear(d.X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogLik(b *testing.B) {
+	d, y := benchData(b, 100, 20)
+	iz := NewInterceptZ(d)
+	m, err := FitEMZ(d, iz, y, Options{Iterations: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LogLik(d, iz, y)
+	}
+}

@@ -1,0 +1,325 @@
+package mlm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Options configures EM training.
+type Options struct {
+	// Iterations is the number of EM iterations (the paper's experiments
+	// use 20).
+	Iterations int
+	// Ridge is the regularization added to gram matrices before inversion
+	// to guard against singular designs.
+	Ridge float64
+}
+
+// disableScalarFastPath forces the general matrix EM path even for q = 1
+// designs; tests flip it to assert the two paths agree.
+var disableScalarFastPath = false
+
+func (o Options) withDefaults() Options {
+	if o.Iterations <= 0 {
+		o.Iterations = 20
+	}
+	if o.Ridge <= 0 {
+		o.Ridge = 1e-8
+	}
+	return o
+}
+
+// MultiLevel is a fitted multi-level linear model (Equation 6):
+// yᵢ = Xᵢβ + Zᵢbᵢ + εᵢ with bᵢ ~ N(0, Σ) and εᵢ ~ N(0, σ²I). By default the
+// random-effects design is Z = X; FitEMZ accepts a separate (typically
+// column-subset) Z backend, the §3.3.4 tuning.
+type MultiLevel struct {
+	Beta   []float64   // global (fixed-effect) coefficients
+	B      [][]float64 // per-cluster random-effect coefficients (Z columns)
+	Sigma  *mat.Matrix // random-effect covariance Σ
+	Sigma2 float64     // residual variance σ²
+	Starts []int       // cluster start rows (cluster i covers Starts[i]..)
+	N      int         // number of rows
+}
+
+// ClusterOf returns the cluster index containing row r.
+func (m *MultiLevel) ClusterOf(r int) int {
+	lo, hi := 0, len(m.Starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if m.Starts[mid] <= r {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// PredictRow returns x·(β + b_cluster): the conditional prediction for a row
+// with features x belonging to the given cluster.
+func (m *MultiLevel) PredictRow(x []float64, cluster int) float64 {
+	return mat.Dot(x, m.Beta) + mat.Dot(x, m.B[cluster])
+}
+
+// FitEM trains the multi-level model with the default random-effects design
+// Z = X.
+func FitEM(b Backend, y []float64, opts Options) (*MultiLevel, error) {
+	return FitEMZ(b, b, y, opts)
+}
+
+// FitEMZ trains the multi-level model by maximum likelihood using the EM
+// updates of Appendix D. bx supplies the fixed-effects design X and bz the
+// random-effects design Z (usually a column subset of X, §3.3.4); both must
+// partition rows into the same clusters. The backends supply every matrix
+// operation, so the same code path runs over dense or factorised
+// representations.
+func FitEMZ(bx, bz Backend, y []float64, opts Options) (*MultiLevel, error) {
+	opts = opts.withDefaults()
+	n, m := bx.NumRows(), bx.NumCols()
+	q := bz.NumCols()
+	if len(y) != n {
+		return nil, fmt.Errorf("mlm: y has %d values, X has %d rows", len(y), n)
+	}
+	if n == 0 || m == 0 || q == 0 {
+		return nil, fmt.Errorf("mlm: empty design (X %dx%d, Z cols %d)", n, m, q)
+	}
+	if bz.NumRows() != n || bz.NumClusters() != bx.NumClusters() {
+		return nil, fmt.Errorf("mlm: Z backend shape mismatch (%d rows, %d clusters; want %d, %d)",
+			bz.NumRows(), bz.NumClusters(), n, bx.NumClusters())
+	}
+	G := bx.NumClusters()
+
+	// Precompute the gram matrices: XᵀX once, ZᵢᵀZᵢ per cluster. Only the
+	// Z-side cluster operators are needed by the EM updates (the X-side
+	// appears through the whole-matrix operations).
+	gram := bx.Gram()
+	gramInv := gram.RidgeInverse(opts.Ridge)
+	zClusters := make([]ClusterOps, G)
+	zClusterGram := make([]*mat.Matrix, G)
+	starts := make([]int, G)
+	covered := 0
+	for i := 0; i < G; i++ {
+		zClusters[i] = bz.Cluster(i)
+		zClusterGram[i] = zClusters[i].Gram()
+		var cn int
+		starts[i], cn = zClusters[i].Rows()
+		covered += cn
+	}
+	if covered != n {
+		return nil, fmt.Errorf("mlm: Z clusters cover %d of %d rows", covered, n)
+	}
+
+	// Initialize β by (ridge) OLS, σ² by the residual variance and Σ by a
+	// scaled identity.
+	beta := gramInv.MulVec(bx.TMulVec(y))
+	xb := bx.MulVec(beta)
+	r := mat.SubVec(y, xb)
+	sigma2 := mat.Dot(r, r) / float64(n)
+	if sigma2 < 1e-12 {
+		sigma2 = 1e-12
+	}
+	sigma := mat.Identity(q).Scale(sigma2)
+
+	bi := make([][]float64, G)
+	ebb := make([]*mat.Matrix, G) // E[bᵢbᵢᵀ] = Vᵢ + μᵢμᵢᵀ
+	for i := range bi {
+		bi[i] = make([]float64, q)
+	}
+
+	if q == 1 && !disableScalarFastPath {
+		// Scalar fast path: with a single random-effect column (e.g. random
+		// intercepts) every per-cluster matrix op degenerates to scalar
+		// arithmetic, avoiding millions of 1×1 matrix allocations.
+		return fitEMScalarZ(bx, bz, y, opts, gramInv, zClusterGram, zClusters, starts, beta, sigma2, n, G)
+	}
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		// E-step (Equations 8–11).
+		sigmaInv := sigma.RidgeInverse(opts.Ridge)
+		xb = bx.MulVec(beta)
+		r = mat.SubVec(y, xb)
+		for i := 0; i < G; i++ {
+			start, cn := zClusters[i].Rows()
+			vi := zClusterGram[i].Scale(1 / sigma2).Add(sigmaInv).RidgeInverse(opts.Ridge)
+			ztr := zClusters[i].TMulVec(r[start : start+cn])
+			mu := mat.ScaleVec(vi.MulVec(ztr), 1/sigma2)
+			bi[i] = mu
+			muMat := mat.ColVec(mu)
+			ebb[i] = vi.Add(muMat.Mul(muMat.T()))
+		}
+
+		// M-step (Equations 12–14).
+		// Z·b̂ by vertical concatenation (the Appendix D sparsity trick).
+		zb := make([]float64, n)
+		for i := 0; i < G; i++ {
+			start, cn := zClusters[i].Rows()
+			copy(zb[start:start+cn], zClusters[i].MulVec(bi[i]))
+		}
+		// β = (XᵀX)⁻¹ · (Xᵀ(y - Zb̂)), multiplied in the Appendix D order to
+		// avoid the m×n intermediate.
+		beta = gramInv.MulVec(bx.TMulVec(mat.SubVec(y, zb)))
+		// Σ = (1/G) Σᵢ E[bᵢbᵢᵀ].
+		sigma = mat.New(q, q)
+		for i := 0; i < G; i++ {
+			sigma.AddInPlace(ebb[i])
+		}
+		sigma = sigma.Scale(1 / float64(G))
+		// σ² per Equation 14.
+		xb = bx.MulVec(beta)
+		r = mat.SubVec(y, xb)
+		s := mat.Dot(r, r)
+		for i := 0; i < G; i++ {
+			s += zClusterGram[i].Mul(ebb[i]).Trace()
+		}
+		s -= 2 * mat.Dot(r, zb)
+		sigma2 = s / float64(n)
+		if sigma2 < 1e-12 || math.IsNaN(sigma2) {
+			sigma2 = 1e-12
+		}
+	}
+
+	return &MultiLevel{
+		Beta:   beta,
+		B:      bi,
+		Sigma:  sigma,
+		Sigma2: sigma2,
+		Starts: starts,
+		N:      n,
+	}, nil
+}
+
+// fitEMScalarZ runs the EM iterations for the q = 1 random-effects design
+// with scalar per-cluster arithmetic. It mirrors FitEMZ exactly (the tests
+// assert the two paths agree on q = 1 inputs).
+func fitEMScalarZ(bx, bz Backend, y []float64, opts Options,
+	gramInv *mat.Matrix, zClusterGram []*mat.Matrix, zClusters []ClusterOps,
+	starts []int, beta []float64, sigma2 float64, n, G int) (*MultiLevel, error) {
+
+	zg := make([]float64, G) // ZᵢᵀZᵢ scalars
+	for i := 0; i < G; i++ {
+		zg[i] = zClusterGram[i].At(0, 0)
+	}
+	sigma := sigma2 // Σ is a scalar variance
+	bi := make([]float64, G)
+	ebb := make([]float64, G)
+	zb := make([]float64, n)
+	wvec := make([]float64, 1)
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		// E-step.
+		xb := bx.MulVec(beta)
+		r := mat.SubVec(y, xb)
+		sigmaInv := 1 / math.Max(sigma, 1e-12)
+		for i := 0; i < G; i++ {
+			start, cn := zClusters[i].Rows()
+			vi := 1 / (zg[i]/sigma2 + sigmaInv)
+			ztr := zClusters[i].TMulVec(r[start : start+cn])[0]
+			mu := vi * ztr / sigma2
+			bi[i] = mu
+			ebb[i] = vi + mu*mu
+		}
+		// M-step.
+		for i := 0; i < G; i++ {
+			start, cn := zClusters[i].Rows()
+			wvec[0] = bi[i]
+			copy(zb[start:start+cn], zClusters[i].MulVec(wvec))
+		}
+		beta = gramInv.MulVec(bx.TMulVec(mat.SubVec(y, zb)))
+		var sAcc float64
+		for i := 0; i < G; i++ {
+			sAcc += ebb[i]
+		}
+		sigma = sAcc / float64(G)
+		xb = bx.MulVec(beta)
+		r = mat.SubVec(y, xb)
+		s := mat.Dot(r, r)
+		for i := 0; i < G; i++ {
+			s += zg[i] * ebb[i]
+		}
+		s -= 2 * mat.Dot(r, zb)
+		sigma2 = s / float64(n)
+		if sigma2 < 1e-12 || math.IsNaN(sigma2) {
+			sigma2 = 1e-12
+		}
+	}
+
+	b := make([][]float64, G)
+	for i := range b {
+		b[i] = []float64{bi[i]}
+	}
+	return &MultiLevel{
+		Beta:   beta,
+		B:      b,
+		Sigma:  mat.FromRows([][]float64{{sigma}}),
+		Sigma2: sigma2,
+		Starts: starts,
+		N:      n,
+	}, nil
+}
+
+// Fitted returns the conditional fitted values Xβ + Zb̂ for every row. With
+// the default Z = X design pass the same backend twice (or use FittedX).
+func (m *MultiLevel) Fitted(bx, bz Backend) []float64 {
+	out := bx.MulVec(m.Beta)
+	for i := 0; i < bz.NumClusters(); i++ {
+		c := bz.Cluster(i)
+		start, cn := c.Rows()
+		zb := c.MulVec(m.B[i])
+		for j := 0; j < cn; j++ {
+			out[start+j] += zb[j]
+		}
+	}
+	return out
+}
+
+// FittedX returns the fitted values for the default Z = X design.
+func (m *MultiLevel) FittedX(b Backend) []float64 { return m.Fitted(b, b) }
+
+// LogLik returns the marginal log-likelihood of y under the fitted model:
+// yᵢ ~ N(Xᵢβ, ZᵢΣZᵢᵀ + σ²I), evaluated per cluster with the Woodbury
+// identity and the matrix determinant lemma so only q×q inverses are needed.
+func (m *MultiLevel) LogLik(bx, bz Backend, y []float64) float64 {
+	xb := bx.MulVec(m.Beta)
+	r := mat.SubVec(y, xb)
+	var ll float64
+	q := bz.NumCols()
+	for i := 0; i < bz.NumClusters(); i++ {
+		c := bz.Cluster(i)
+		start, cn := c.Rows()
+		ri := r[start : start+cn]
+		gramI := c.Gram()
+		// ln det(σ²I + ZΣZᵀ) = cn·ln σ² + ln det(I_q + (ZᵀZ)Σ/σ²).
+		inner := mat.Identity(q).Add(gramI.Mul(m.Sigma).Scale(1 / m.Sigma2))
+		det := inner.Det()
+		if det <= 0 {
+			det = 1e-300
+		}
+		logDet := float64(cn)*math.Log(m.Sigma2) + math.Log(det)
+		// Quadratic form via Woodbury:
+		// rᵀ(σ²I + ZΣZᵀ)⁻¹r = (rᵀr − rᵀZ(σ²Σ⁻¹ + ZᵀZ)⁻¹Zᵀr)/σ².
+		ztr := c.TMulVec(ri)
+		mid := m.Sigma.RidgeInverse(1e-10).Scale(m.Sigma2).Add(gramI).RidgeInverse(1e-10)
+		quad := (mat.Dot(ri, ri) - mat.Dot(ztr, mid.MulVec(ztr))) / m.Sigma2
+		ll += -0.5 * (float64(cn)*math.Log(2*math.Pi) + logDet + quad)
+	}
+	return ll
+}
+
+// NumParams returns the parameter count for information criteria:
+// m fixed effects + q(q+1)/2 covariance terms + 1 residual variance.
+func (m *MultiLevel) NumParams() int {
+	k := len(m.Beta)
+	q := 0
+	if len(m.B) > 0 {
+		q = len(m.B[0])
+	}
+	return k + q*(q+1)/2 + 1
+}
+
+// AIC returns the Akaike information criterion 2k − 2·loglik.
+func (m *MultiLevel) AIC(bx, bz Backend, y []float64) float64 {
+	return 2*float64(m.NumParams()) - 2*m.LogLik(bx, bz, y)
+}

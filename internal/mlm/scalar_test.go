@@ -1,0 +1,54 @@
+package mlm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The scalar q = 1 fast path must agree with the general matrix EM path.
+func TestScalarFastPathMatchesGeneral(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		x, y, starts, _ := clusteredData(rng, 10, 8)
+		d, err := NewDense(x, starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zmask := make([]bool, x.Cols)
+		zmask[0] = true
+		bz, err := d.SubsetCols(zmask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Iterations: 10}
+
+		fast, err := FitEMZ(d, bz, y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disableScalarFastPath = true
+		slow, err := FitEMZ(d, bz, y, opts)
+		disableScalarFastPath = false
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for j := range fast.Beta {
+			if math.Abs(fast.Beta[j]-slow.Beta[j]) > 1e-8*(1+math.Abs(slow.Beta[j])) {
+				t.Fatalf("trial %d: beta[%d] fast %v slow %v", trial, j, fast.Beta[j], slow.Beta[j])
+			}
+		}
+		if math.Abs(fast.Sigma2-slow.Sigma2) > 1e-8*(1+slow.Sigma2) {
+			t.Fatalf("trial %d: sigma2 fast %v slow %v", trial, fast.Sigma2, slow.Sigma2)
+		}
+		if math.Abs(fast.Sigma.At(0, 0)-slow.Sigma.At(0, 0)) > 1e-8*(1+slow.Sigma.At(0, 0)) {
+			t.Fatalf("trial %d: Sigma fast %v slow %v", trial, fast.Sigma.At(0, 0), slow.Sigma.At(0, 0))
+		}
+		for g := range fast.B {
+			if math.Abs(fast.B[g][0]-slow.B[g][0]) > 1e-8*(1+math.Abs(slow.B[g][0])) {
+				t.Fatalf("trial %d: b[%d] fast %v slow %v", trial, g, fast.B[g][0], slow.B[g][0])
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package synth generates the synthetic workloads of §5.2: one-dimension
+// grouped datasets with controlled group-wise errors (missing records,
+// duplicates, systematic value drift and their combinations), plus
+// Iman–Conover rank-correlated auxiliary tables.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/data"
+	"repro/internal/mat"
+)
+
+// Config parameterizes dataset generation. Zero values select the paper's
+// defaults (§5.2.1): 100 groups, row counts ~ N(100, 20), measure values
+// ~ N(100, 20).
+type Config struct {
+	Groups   int
+	RowsMean float64
+	RowsStd  float64
+	ValMean  float64
+	ValStd   float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Groups <= 0 {
+		c.Groups = 100
+	}
+	if c.RowsMean == 0 {
+		c.RowsMean = 100
+	}
+	if c.RowsStd == 0 {
+		c.RowsStd = 20
+	}
+	if c.ValMean == 0 {
+		c.ValMean = 100
+	}
+	if c.ValStd == 0 {
+		c.ValStd = 20
+	}
+	return c
+}
+
+// Dataset is one generated synthetic dataset: a single dimension attribute
+// "grp" (one hierarchy) and a measure "val".
+type Dataset struct {
+	DS     *data.Dataset
+	Groups []string
+}
+
+// Generate builds a clean dataset.
+func Generate(cfg Config, rng *rand.Rand) *Dataset {
+	cfg = cfg.withDefaults()
+	h := []data.Hierarchy{{Name: "dim", Attrs: []string{"grp"}}}
+	ds := data.New("synthetic", []string{"grp"}, []string{"val"}, h)
+	out := &Dataset{DS: ds}
+	for g := 0; g < cfg.Groups; g++ {
+		name := fmt.Sprintf("g%03d", g)
+		out.Groups = append(out.Groups, name)
+		n := int(cfg.RowsMean + rng.NormFloat64()*cfg.RowsStd)
+		if n < 2 {
+			n = 2
+		}
+		for r := 0; r < n; r++ {
+			ds.AppendRowVals([]string{name}, []float64{cfg.ValMean + rng.NormFloat64()*cfg.ValStd})
+		}
+	}
+	return out
+}
+
+// ErrorType enumerates the §5.2.1 error classes.
+type ErrorType int
+
+const (
+	// Missing deletes half of the group's rows.
+	Missing ErrorType = iota
+	// Dup duplicates half of the group's rows.
+	Dup
+	// DriftUp increases every measure value in the group by 5.
+	DriftUp
+	// DriftDown decreases every measure value in the group by 5.
+	DriftDown
+	// MissingDriftDown combines Missing and DriftDown.
+	MissingDriftDown
+	// DupDriftUp combines Dup and DriftUp.
+	DupDriftUp
+)
+
+func (e ErrorType) String() string {
+	switch e {
+	case Missing:
+		return "Missing"
+	case Dup:
+		return "Dup"
+	case DriftUp:
+		return "Increase"
+	case DriftDown:
+		return "Decrease"
+	case MissingDriftDown:
+		return "Missing+Decrease"
+	case DupDriftUp:
+		return "Dup+Increase"
+	}
+	return fmt.Sprintf("ErrorType(%d)", int(e))
+}
+
+// DriftDelta is the systematic value error magnitude (§5.2.1).
+const DriftDelta = 5.0
+
+// Inject corrupts one group in place and returns the corrupted dataset (the
+// input is not modified). Deletion/duplication picks the group's first half
+// deterministically; drift shifts every value in the group.
+func (d *Dataset) Inject(group string, et ErrorType) *Dataset {
+	ds := d.DS
+	grp := ds.Dim("grp")
+	var groupRows []int
+	for i := 0; i < ds.NumRows(); i++ {
+		if grp[i] == group {
+			groupRows = append(groupRows, i)
+		}
+	}
+	half := len(groupRows) / 2
+
+	var idx []int
+	switch et {
+	case Missing, MissingDriftDown:
+		drop := make(map[int]bool, half)
+		for _, r := range groupRows[:half] {
+			drop[r] = true
+		}
+		for i := 0; i < ds.NumRows(); i++ {
+			if !drop[i] {
+				idx = append(idx, i)
+			}
+		}
+	case Dup, DupDriftUp:
+		for i := 0; i < ds.NumRows(); i++ {
+			idx = append(idx, i)
+		}
+		idx = append(idx, groupRows[:half]...)
+	default:
+		for i := 0; i < ds.NumRows(); i++ {
+			idx = append(idx, i)
+		}
+	}
+	out := ds.Select(idx)
+	switch et {
+	case DriftUp, DupDriftUp:
+		shiftGroup(out, group, DriftDelta)
+	case DriftDown, MissingDriftDown:
+		shiftGroup(out, group, -DriftDelta)
+	}
+	return &Dataset{DS: out, Groups: d.Groups}
+}
+
+func shiftGroup(ds *data.Dataset, group string, delta float64) {
+	grp := ds.Dim("grp")
+	vals := ds.Measure("val")
+	for i := range vals {
+		if grp[i] == group {
+			vals[i] += delta
+		}
+	}
+}
+
+// GroupStat returns the per-group value of one aggregate, aligned with the
+// given group order.
+func (d *Dataset) GroupStat(f agg.Func, order []string) []float64 {
+	groups := agg.GroupBy(d.DS, []string{"grp"}, "val")
+	out := make([]float64, len(order))
+	for i, name := range order {
+		if g, ok := groups.Get([]string{name}); ok {
+			out[i] = g.Stats.Get(f)
+		}
+	}
+	return out
+}
+
+// CorrelatedAux builds an auxiliary table whose measure has (approximately)
+// the requested rank correlation rho with the given per-group statistic,
+// using the distribution-free reordering approach of Iman and Conover [23]:
+// a target score ρ·z(stat) + √(1−ρ²)·ε is formed, an independent normal
+// sample is drawn as the auxiliary marginal, and the sample is reordered so
+// its ranks match the target's ranks.
+func CorrelatedAux(groups []string, stat []float64, rho float64, rng *rand.Rand) *data.Dataset {
+	n := len(groups)
+	target := mat.Standardize(stat)
+	noiseScale := math.Sqrt(math.Max(0, 1-rho*rho))
+	for i := range target {
+		target[i] = rho*target[i] + noiseScale*rng.NormFloat64()
+	}
+	// Marginal sample, sorted.
+	marginal := make([]float64, n)
+	for i := range marginal {
+		marginal[i] = 100 + 20*rng.NormFloat64()
+	}
+	sort.Float64s(marginal)
+	// Rank of each target value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return target[idx[a]] < target[idx[b]] })
+	aux := make([]float64, n)
+	for rank, i := range idx {
+		aux[i] = marginal[rank]
+	}
+	out := data.New("aux", []string{"grp"}, []string{"auxval"}, nil)
+	for i, g := range groups {
+		out.AppendRowVals([]string{g}, []float64{aux[i]})
+	}
+	return out
+}
