@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index). Each experiment
+// evaluation (see README.md for the experiment index). Each experiment
 // prints an aligned text table; -scale controls dataset sizes and trial
 // counts so the full suite can run in minutes (-scale full reproduces the
 // paper-scale parameters).
@@ -16,11 +16,13 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "comma-separated experiments: fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig15,fig16,fig18,fist,ablations or all")
-		scale = flag.String("scale", "small", "small or full")
-		seed  = flag.Int64("seed", 1, "random seed")
+		which   = flag.String("exp", "all", "comma-separated experiments: fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig15,fig16,fig18,fist,ablations or all")
+		scale   = flag.String("scale", "small", "small or full")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "engine worker-pool size (0 = NumCPU, except timing experiments like fig10 which pin 0 to sequential; 1 = sequential)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
 
 	full := *scale == "full"
 	selected := map[string]bool{}

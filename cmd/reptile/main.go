@@ -38,6 +38,7 @@ func main() {
 		auxSpec     = flag.String("aux", "", `auxiliary datasets, e.g. "rain:rainfall.csv:village:rainfall;..."`)
 		topK        = flag.Int("topk", 5, "groups to report per hierarchy")
 		emIters     = flag.Int("em-iterations", 20, "EM iterations per model")
+		workers     = flag.Int("workers", 0, "evaluation worker-pool size (0 = NumCPU, 1 = sequential)")
 	)
 	flag.Parse()
 	if *dataPath == "" || *hierSpec == "" || *measureList == "" || (*complain == "" && !*interactive) {
@@ -55,7 +56,7 @@ func main() {
 		log.Fatalf("loading %s: %v", *dataPath, err)
 	}
 
-	opts := core.Options{EMIterations: *emIters, TopK: *topK}
+	opts := core.Options{EMIterations: *emIters, TopK: *topK, Workers: *workers}
 	if *auxSpec != "" {
 		auxes, err := parseAux(*auxSpec)
 		if err != nil {

@@ -4,5 +4,5 @@
 // engine), with the factorised-representation machinery in internal/factor
 // and internal/fmatrix, the multi-level model trainer in internal/mlm, and
 // one runner per paper table/figure in internal/experiments. See README.md
-// and DESIGN.md.
+// for build, CLI usage and the package map.
 package repro

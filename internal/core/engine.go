@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/agg"
 	"repro/internal/data"
@@ -75,6 +78,13 @@ type Options struct {
 	// FactorisedFillThreshold is the minimum observed-group fill ratio for
 	// TrainerAuto to pick the factorised backend (default 0.7).
 	FactorisedFillThreshold float64
+	// Workers bounds the fan-out at each level of a Recommend call:
+	// candidate hierarchies run on a pool of at most Workers goroutines,
+	// and within each hierarchy the per-statistic model fits do too.
+	// 0 (the default) selects runtime.NumCPU(); 1 forces the sequential
+	// path. Parallel evaluation is deterministic: it produces the same
+	// recommendation as Workers == 1.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,18 +94,32 @@ func (o Options) withDefaults() Options {
 	if o.FactorisedFillThreshold <= 0 {
 		o.FactorisedFillThreshold = 0.7
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
 	return o
 }
 
-// Engine answers complaint-based drill-down queries over one dataset.
+// Engine answers complaint-based drill-down queries over one dataset. An
+// Engine is safe for concurrent use: many sessions may Recommend against it
+// at once.
 type Engine struct {
 	ds   *data.Dataset
 	opts Options
 
 	// sources caches the per-hierarchy factorizer sources: the dataset is
 	// immutable by convention, so the distinct hierarchy paths never change
-	// across invocations (the §4.4 caching regime).
-	sources map[string]*factor.Source
+	// across invocations (the §4.4 caching regime). Entries build once even
+	// when sessions race on the same hierarchy.
+	mu      sync.Mutex
+	sources map[string]*sourceEntry
+}
+
+// sourceEntry builds one hierarchy's factorizer source exactly once.
+type sourceEntry struct {
+	once sync.Once
+	src  *factor.Source
+	err  error
 }
 
 // NewEngine validates the dataset's hierarchy metadata and builds an engine.
@@ -106,36 +130,79 @@ func NewEngine(ds *data.Dataset, opts Options) (*Engine, error) {
 	if len(ds.Hierarchies) == 0 {
 		return nil, fmt.Errorf("core: dataset %q has no hierarchies", ds.Name)
 	}
-	return &Engine{ds: ds, opts: opts.withDefaults(), sources: map[string]*factor.Source{}}, nil
+	return &Engine{ds: ds, opts: opts.withDefaults(), sources: map[string]*sourceEntry{}}, nil
 }
 
 // sourceFor returns the (cached) factorizer source of a hierarchy.
 func (e *Engine) sourceFor(h data.Hierarchy) (*factor.Source, error) {
-	if src, ok := e.sources[h.Name]; ok {
-		return src, nil
+	e.mu.Lock()
+	ent, ok := e.sources[h.Name]
+	if !ok {
+		ent = &sourceEntry{}
+		e.sources[h.Name] = ent
 	}
-	src, err := factor.SourceFromDataset(e.ds, h)
-	if err != nil {
-		return nil, err
-	}
-	e.sources[h.Name] = src
-	return src, nil
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.src, ent.err = factor.SourceFromDataset(e.ds, h)
+	})
+	return ent.src, ent.err
 }
 
 // Dataset returns the engine's dataset.
 func (e *Engine) Dataset() *data.Dataset { return e.ds }
 
 // Session tracks the user's drill-down state: the current group-by
-// attributes (per-hierarchy prefixes).
+// attributes (per-hierarchy prefixes). Recommend is safe to call
+// concurrently with itself; Drill is safe to call concurrently too, but a
+// Recommend racing a Drill may observe either drill state. Repeated
+// complaints against the same drill state reuse the session's aggregation
+// and factorizer caches instead of recomputing them.
 type Session struct {
 	eng   *Engine
 	depth map[string]int // hierarchy name → number of attributes in Agb
+	dmu   sync.RWMutex   // guards depth
+
+	// mu guards the cache maps and their generation; each entry then builds
+	// its value exactly once, outside the lock, so concurrent hierarchy
+	// evaluations never duplicate a GroupBy scan or a factorizer chain
+	// build. gen increments on every Drill: evaluations holding an older
+	// snapshot compute uncached instead of inserting unreachable entries
+	// into the fresh maps.
+	mu     sync.Mutex
+	gen    int
+	groups map[string]*groupsEntry
+	fzs    map[string]*fzEntry
+}
+
+// evalState is one Recommend call's consistent view of the session: the
+// drill-depth snapshot and the cache generation it was taken under.
+type evalState struct {
+	depth map[string]int
+	gen   int
+}
+
+// groupsEntry computes one drill state's agg.GroupBy result exactly once.
+type groupsEntry struct {
+	once sync.Once
+	res  *agg.Result
+}
+
+// fzEntry builds one drill state's factorizer exactly once.
+type fzEntry struct {
+	once sync.Once
+	fz   *factor.Factorizer
+	err  error
 }
 
 // NewSession starts a session with the given initial group-by attributes.
 // Each hierarchy's attributes must form a prefix.
 func (e *Engine) NewSession(groupBy []string) (*Session, error) {
-	s := &Session{eng: e, depth: make(map[string]int)}
+	s := &Session{
+		eng:    e,
+		depth:  make(map[string]int),
+		groups: make(map[string]*groupsEntry),
+		fzs:    make(map[string]*fzEntry),
+	}
 	for _, h := range e.ds.Hierarchies {
 		s.depth[h.Name] = 0
 	}
@@ -165,12 +232,34 @@ func (e *Engine) NewSession(groupBy []string) (*Session, error) {
 	return s, nil
 }
 
+// snapshot copies the drill depths and cache generation under their locks.
+// Recommend takes one snapshot per call and threads it through the
+// evaluation, so a Drill racing a Recommend flips the whole call to the old
+// or new state — never a torn mix of the two.
+func (s *Session) snapshot() evalState {
+	// gen is read before depth: Drill writes depth first and bumps gen
+	// second, so any interleaving yields an old gen with newer depths — the
+	// caches then treat the snapshot as stale and compute without
+	// inserting, never the reverse (old depths cached into fresh maps).
+	s.mu.Lock()
+	gen := s.gen
+	s.mu.Unlock()
+	s.dmu.RLock()
+	snap := make(map[string]int, len(s.depth))
+	for name, d := range s.depth {
+		snap[name] = d
+	}
+	s.dmu.RUnlock()
+	return evalState{depth: snap, gen: gen}
+}
+
 // GroupBy returns the current group-by attributes in canonical order
 // (hierarchy by hierarchy, least to most specific).
 func (s *Session) GroupBy() []string {
+	st := s.snapshot()
 	var out []string
 	for _, h := range s.eng.ds.Hierarchies {
-		for l := 0; l < s.depth[h.Name]; l++ {
+		for l := 0; l < st.depth[h.Name]; l++ {
 			out = append(out, h.Attrs[l])
 		}
 	}
@@ -184,10 +273,22 @@ func (s *Session) Drill(hierarchy string) error {
 		if h.Name != hierarchy {
 			continue
 		}
+		s.dmu.Lock()
 		if s.depth[h.Name] >= len(h.Attrs) {
+			s.dmu.Unlock()
 			return fmt.Errorf("core: hierarchy %q is fully drilled", hierarchy)
 		}
 		s.depth[h.Name]++
+		s.dmu.Unlock()
+		// Drilling is monotonic, so cache entries keyed by the previous
+		// drill state can never be requested again — drop them to bound the
+		// session's memory. The generation bump keeps in-flight Recommends
+		// holding the old snapshot from re-inserting unreachable entries.
+		s.mu.Lock()
+		s.gen++
+		s.groups = make(map[string]*groupsEntry)
+		s.fzs = make(map[string]*fzEntry)
+		s.mu.Unlock()
 		return nil
 	}
 	return fmt.Errorf("core: unknown hierarchy %q", hierarchy)
@@ -232,19 +333,33 @@ func (s *Session) Recommend(c Complaint) (*Recommendation, error) {
 	if c.Measure == "" {
 		return nil, fmt.Errorf("core: complaint needs a measure attribute")
 	}
-	var results []HierarchyResult
+	st := s.snapshot()
+	var cands []data.Hierarchy
 	for _, h := range s.eng.ds.Hierarchies {
-		if s.depth[h.Name] >= len(h.Attrs) {
-			continue
+		if st.depth[h.Name] < len(h.Attrs) {
+			cands = append(cands, h)
 		}
-		hr, err := s.evaluateHierarchy(h, c)
-		if err != nil {
-			return nil, fmt.Errorf("core: evaluating hierarchy %q: %w", h.Name, err)
-		}
-		results = append(results, *hr)
 	}
-	if len(results) == 0 {
+	if len(cands) == 0 {
 		return nil, fmt.Errorf("core: every hierarchy is fully drilled")
+	}
+	// Fan the candidate hierarchies out over the worker pool. Each slot is
+	// independent (its own GroupBy granularity and models), so results land
+	// at their candidate index and the ranking below stays byte-identical
+	// to the sequential path.
+	evaluated := make([]*HierarchyResult, len(cands))
+	errs := make([]error, len(cands))
+	s.forEach(len(cands), func(i int) {
+		evaluated[i], errs[i] = s.evaluateHierarchy(cands[i], c, st)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating hierarchy %q: %w", cands[i].Name, err)
+		}
+	}
+	results := make([]HierarchyResult, len(cands))
+	for i, hr := range evaluated {
+		results[i] = *hr
 	}
 	best := &results[0]
 	for i := range results {
@@ -255,35 +370,135 @@ func (s *Session) Recommend(c Complaint) (*Recommendation, error) {
 	return &Recommendation{Best: best, All: results}, nil
 }
 
+// forEach runs fn(0..n-1) on the session's worker budget: inline when the
+// budget is one worker (or there is one unit of work), otherwise over a
+// bounded pool of min(Workers, n) goroutines. A panic inside a pool worker
+// is re-raised on the calling goroutine, so callers' recover semantics match
+// the sequential path.
+func (s *Session) forEach(n int, fn func(i int)) {
+	workers := s.eng.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	panics := make([]any, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// cachedGroupBy returns the (session-cached) aggregation of the dataset at
+// the given granularity. The result is computed once per (attrs, measure)
+// drill state and shared read-only by concurrent evaluations and repeated
+// complaints. A stale snapshot (a Drill landed since it was taken) computes
+// uncached rather than inserting an unreachable entry into the fresh maps.
+func (s *Session) cachedGroupBy(attrs []string, measure string, st evalState) *agg.Result {
+	key := data.EncodeKey(attrs) + "\x00" + measure
+	s.mu.Lock()
+	if s.gen != st.gen {
+		s.mu.Unlock()
+		return agg.GroupBy(s.eng.ds, attrs, measure)
+	}
+	ent, ok := s.groups[key]
+	if !ok {
+		ent = &groupsEntry{}
+		s.groups[key] = ent
+	}
+	s.mu.Unlock()
+	ent.once.Do(func() {
+		ent.res = agg.GroupBy(s.eng.ds, attrs, measure)
+	})
+	return ent.res
+}
+
+// cachedFactorizer returns the (session-cached) factorised representation of
+// the view drilled one level into hierarchy h. The key covers every
+// hierarchy's depth in the Recommend call's snapshot, so drilled sessions
+// never see a stale chain; factorizers are only read after construction, so
+// sharing one across the per-statistic fits is safe. A stale snapshot
+// builds uncached, like cachedGroupBy.
+func (s *Session) cachedFactorizer(h data.Hierarchy, st evalState) (*factor.Factorizer, error) {
+	var key strings.Builder
+	key.WriteString(h.Name)
+	for _, other := range s.eng.ds.Hierarchies {
+		fmt.Fprintf(&key, "|%s=%d", other.Name, st.depth[other.Name])
+	}
+	s.mu.Lock()
+	if s.gen != st.gen {
+		s.mu.Unlock()
+		return s.buildFactorizer(h, st)
+	}
+	ent, ok := s.fzs[key.String()]
+	if !ok {
+		ent = &fzEntry{}
+		s.fzs[key.String()] = ent
+	}
+	s.mu.Unlock()
+	ent.once.Do(func() {
+		ent.fz, ent.err = s.buildFactorizer(h, st)
+	})
+	return ent.fz, ent.err
+}
+
 // drillAttrs returns the canonical attribute order after drilling hierarchy
 // h: other hierarchies first (in dataset order), the drilled hierarchy's
 // attributes last (§3.4's ordering restriction).
-func (s *Session) drillAttrs(h data.Hierarchy) []string {
+func (s *Session) drillAttrs(h data.Hierarchy, st evalState) []string {
 	var out []string
 	for _, other := range s.eng.ds.Hierarchies {
 		if other.Name == h.Name {
 			continue
 		}
-		for l := 0; l < s.depth[other.Name]; l++ {
+		for l := 0; l < st.depth[other.Name]; l++ {
 			out = append(out, other.Attrs[l])
 		}
 	}
-	for l := 0; l <= s.depth[h.Name]; l++ {
+	for l := 0; l <= st.depth[h.Name]; l++ {
 		out = append(out, h.Attrs[l])
 	}
 	return out
 }
 
-func (s *Session) evaluateHierarchy(h data.Hierarchy, c Complaint) (*HierarchyResult, error) {
+func (s *Session) evaluateHierarchy(h data.Hierarchy, c Complaint, st evalState) (*HierarchyResult, error) {
 	eng := s.eng
-	attr := h.Attrs[s.depth[h.Name]]
-	attrs := s.drillAttrs(h)
+	attr := h.Attrs[st.depth[h.Name]]
+	attrs := s.drillAttrs(h, st)
 
 	// Parallel groups: the whole dataset at the drilled granularity.
-	groups := agg.GroupBy(eng.ds, attrs, c.Measure)
+	groups := s.cachedGroupBy(attrs, c.Measure, st)
 
 	// One model per required base statistic.
-	models, err := s.fitModels(h, groups, c)
+	models, err := s.fitModels(h, groups, c, st)
 	if err != nil {
 		return nil, err
 	}
@@ -431,38 +646,53 @@ type statModel struct {
 	rowOf func(gi int) int
 }
 
-// fitModels trains one multi-level model per required base statistic.
-func (s *Session) fitModels(h data.Hierarchy, groups *agg.Result, c Complaint) (map[agg.Func]*statModel, error) {
-	models := make(map[agg.Func]*statModel)
-	for _, stat := range c.baseStats() {
-		spec := feature.Spec{
-			Target:       stat,
-			Aux:          s.eng.opts.Aux,
-			Custom:       s.eng.opts.Custom,
-			ExcludeFromZ: s.eng.opts.ExcludeFromZ,
-			KeepLeaky:    s.eng.opts.KeepLeaky,
+// fitModels trains one multi-level model per required base statistic. The
+// per-statistic fits are independent, so they run on the worker pool too.
+func (s *Session) fitModels(h data.Hierarchy, groups *agg.Result, c Complaint, st evalState) (map[agg.Func]*statModel, error) {
+	stats := c.baseStats()
+	fitted := make([]*statModel, len(stats))
+	errs := make([]error, len(stats))
+	s.forEach(len(stats), func(i int) {
+		fitted[i], errs[i] = s.fitModel(h, groups, stats[i], st)
+	})
+	models := make(map[agg.Func]*statModel, len(stats))
+	for i, stat := range stats {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		fs, err := feature.BuildWithGroupFeatures(groups, spec, s.eng.opts.GroupFeatures)
-		if err != nil {
-			return nil, err
-		}
-		y := make([]float64, len(groups.Groups))
-		for gi, g := range groups.Groups {
-			y[gi] = g.Stats.Get(stat)
-		}
-		sm, err := s.trainAndPredict(h, groups, fs, y)
-		if err != nil {
-			return nil, err
-		}
-		sm.fs = fs
-		models[stat] = sm
+		models[stat] = fitted[i]
 	}
 	return models, nil
 }
 
+// fitModel trains the multi-level model of one base statistic.
+func (s *Session) fitModel(h data.Hierarchy, groups *agg.Result, stat agg.Func, st evalState) (*statModel, error) {
+	spec := feature.Spec{
+		Target:       stat,
+		Aux:          s.eng.opts.Aux,
+		Custom:       s.eng.opts.Custom,
+		ExcludeFromZ: s.eng.opts.ExcludeFromZ,
+		KeepLeaky:    s.eng.opts.KeepLeaky,
+	}
+	fs, err := feature.BuildWithGroupFeatures(groups, spec, s.eng.opts.GroupFeatures)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, len(groups.Groups))
+	for gi, g := range groups.Groups {
+		y[gi] = g.Stats.Get(stat)
+	}
+	sm, err := s.trainAndPredict(h, groups, fs, y, st)
+	if err != nil {
+		return nil, err
+	}
+	sm.fs = fs
+	return sm, nil
+}
+
 // trainAndPredict fits the multi-level model with the configured backend and
 // returns the fitted statistic model.
-func (s *Session) trainAndPredict(h data.Hierarchy, groups *agg.Result, fs *feature.Set, y []float64) (*statModel, error) {
+func (s *Session) trainAndPredict(h data.Hierarchy, groups *agg.Result, fs *feature.Set, y []float64, st evalState) (*statModel, error) {
 	eng := s.eng
 	kind := eng.opts.Trainer
 	if len(fs.Extra) > 0 {
@@ -472,7 +702,7 @@ func (s *Session) trainAndPredict(h data.Hierarchy, groups *agg.Result, fs *feat
 	var fz *factor.Factorizer
 	if kind == TrainerAuto || kind == TrainerFactorised || kind == TrainerNaiveFull {
 		var err error
-		fz, err = s.buildFactorizer(h)
+		fz, err = s.cachedFactorizer(h, st)
 		if err != nil {
 			return nil, err
 		}
@@ -524,7 +754,7 @@ func allTrue(mask []bool) bool {
 // buildFactorizer constructs the factorised representation of the drilled
 // view: every hierarchy at its current depth, the drilled hierarchy one
 // level deeper and ordered last.
-func (s *Session) buildFactorizer(h data.Hierarchy) (*factor.Factorizer, error) {
+func (s *Session) buildFactorizer(h data.Hierarchy, st evalState) (*factor.Factorizer, error) {
 	eng := s.eng
 	var sources []*factor.Source
 	var depths []int
@@ -532,7 +762,7 @@ func (s *Session) buildFactorizer(h data.Hierarchy) (*factor.Factorizer, error) 
 		if other.Name == h.Name {
 			continue
 		}
-		d := s.depth[other.Name]
+		d := st.depth[other.Name]
 		if d == 0 {
 			continue // hierarchy not part of the view
 		}
@@ -548,7 +778,7 @@ func (s *Session) buildFactorizer(h data.Hierarchy) (*factor.Factorizer, error) 
 		return nil, err
 	}
 	sources = append(sources, src)
-	depths = append(depths, s.depth[h.Name]+1)
+	depths = append(depths, st.depth[h.Name]+1)
 	return factor.New(sources, depths)
 }
 

@@ -1,5 +1,6 @@
 // Package datasets provides seeded synthetic stand-ins for the paper's
-// evaluation datasets (see DESIGN.md §2 for the substitution rationale):
+// evaluation datasets (synthetic because the originals are not
+// redistributable; generation is seeded so every figure is reproducible):
 // the JHU COVID-19 US and global datasets with the 30 resolved data issues
 // of Tables 1–2, the FIST Ethiopian drought surveys with the §5.4 user-study
 // complaints, the 2016/2020 county vote data of Appendices K and N, and the

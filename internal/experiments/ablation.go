@@ -90,6 +90,7 @@ func AblationZ(seed int64) ([]AblationRow, *Table) {
 			eng, err := core.NewEngine(ds, core.Options{
 				EMIterations:  10,
 				Trainer:       core.TrainerNaive,
+				Workers:       Workers,
 				RandomEffects: v.re,
 				GroupFeatures: []feature.GroupFeature{
 					feature.LagFeature("day", 1),
@@ -159,6 +160,7 @@ func AblationLeakGuard(trials int, seed int64) ([]AblationRow, *Table) {
 			eng, err := core.NewEngine(corrupted.DS, core.Options{
 				EMIterations: 10,
 				Trainer:      core.TrainerNaive,
+				Workers:      Workers,
 				KeepLeaky:    v.keepLeaky,
 				Aux:          []feature.Aux{{Name: "aux", Table: aux, JoinAttr: "grp", Measure: "auxval"}},
 			})
@@ -214,7 +216,7 @@ func AblationParallelGroups(seed int64) ([]AblationRow, *Table) {
 			if v.restrict {
 				ds = ds.Where(data.Predicate{"district": sc.district, "year": sc.year})
 			}
-			eng, err := core.NewEngine(ds, core.Options{EMIterations: 10, Trainer: core.TrainerNaive})
+			eng, err := core.NewEngine(ds, core.Options{EMIterations: 10, Trainer: core.TrainerNaive, Workers: Workers})
 			if err != nil {
 				panic(err)
 			}

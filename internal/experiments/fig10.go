@@ -23,10 +23,19 @@ type Fig10Row struct {
 // scripted hierarchy and extending the complaint tuple with the top group's
 // value.
 func runEndToEnd(ds *data.Dataset, measure string, drillOrder []string, trainer core.TrainerKind, emIters int) (int, time.Duration) {
+	// This is a timing experiment: unless a pool size is requested
+	// explicitly, pin the engine to the sequential path so the reported
+	// end-to-end runtimes reproduce the paper's single-threaded regime and
+	// don't vary with the host's core count.
+	workers := Workers
+	if workers == 0 {
+		workers = 1
+	}
 	eng, err := core.NewEngine(ds, core.Options{
 		EMIterations: emIters,
 		Trainer:      trainer,
 		TopK:         5,
+		Workers:      workers,
 	})
 	if err != nil {
 		panic(err)

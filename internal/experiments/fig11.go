@@ -138,6 +138,7 @@ func runFig11Trial(et synth.ErrorType, rho float64, rng *rand.Rand) map[string]b
 		EMIterations: 10,
 		Trainer:      core.TrainerNaive,
 		Aux:          auxes,
+		Workers:      Workers,
 	})
 	if err != nil {
 		panic(err)

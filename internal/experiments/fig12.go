@@ -113,6 +113,7 @@ func runFig12Trial(cond Fig12Condition, rho float64, rng *rand.Rand) (reptileHit
 		EMIterations: 10,
 		Trainer:      core.TrainerNaive,
 		Aux:          auxes,
+		Workers:      Workers,
 	})
 	if err != nil {
 		panic(err)

@@ -30,6 +30,7 @@ func covidEngine(ds *data.Dataset) (*core.Engine, error) {
 	return core.NewEngine(ds, core.Options{
 		EMIterations: 10,
 		Trainer:      core.TrainerNaive,
+		Workers:      Workers,
 		// Random intercepts only (§3.3.4): with full Z = X, a corrupted lag
 		// feature makes the erroneous group a high-leverage point that the
 		// per-day random effects would fit — masking the very anomaly.

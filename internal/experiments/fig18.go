@@ -40,7 +40,7 @@ type Fig18Summary struct {
 // county's margin gain (the improvement in the complaint after repairing
 // that county).
 func georgiaGains(v *datasets.Vote, withAux bool, sum bool) map[string]float64 {
-	opts := core.Options{EMIterations: 15, Trainer: core.TrainerNaive}
+	opts := core.Options{EMIterations: 15, Trainer: core.TrainerNaive, Workers: Workers}
 	if withAux {
 		opts.Aux = []feature.Aux{{Name: "pct2016", Table: v.Aux2016, JoinAttr: "county", Measure: "pct2016"}}
 		if sum {

@@ -27,6 +27,7 @@ func FISTStudy(emIters int, seed int64) ([]FISTResult, *Table) {
 	eng, err := core.NewEngine(f.DS, core.Options{
 		EMIterations: emIters,
 		Trainer:      core.TrainerNaive,
+		Workers:      Workers,
 		GroupFeatures: []feature.GroupFeature{
 			feature.AuxGroupFeature("rainfall", f.Rainfall, []string{"village", "year"}, "rainfall"),
 		},

@@ -1,0 +1,9 @@
+package experiments
+
+// Workers is the engine worker-pool size every experiment runner passes to
+// core.Options.Workers: 0 (the default) lets the engine pick
+// runtime.NumCPU(), 1 forces the sequential evaluation path (useful when an
+// experiment's timing column should reflect single-threaded work). Set it
+// before invoking a runner (cmd/experiments wires its -workers flag here).
+// Parallel evaluation is deterministic, so only timing columns can differ.
+var Workers int
