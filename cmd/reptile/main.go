@@ -7,8 +7,11 @@
 //	        -hierarchies "geo:region,district,village;time:year" \
 //	        -measures severity \
 //	        -groupby district,year \
-//	        -complain "agg=mean measure=severity dir=low district=Ofla year=1986" \
+//	        -complain 'agg=mean measure=severity dir=low district="New York" year=1986' \
 //	        [-aux "rain:rainfall.csv:village:rainfall"] [-topk 5]
+//
+// Complaint attribute values containing spaces are double-quoted, as in
+// district="New York" above.
 //
 // The tool loads the dataset, validates the hierarchy metadata, evaluates
 // every candidate drill-down and prints the ranked groups per hierarchy.
@@ -21,7 +24,6 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/feature"
@@ -33,7 +35,7 @@ func main() {
 		hierSpec    = flag.String("hierarchies", "", `hierarchies, e.g. "geo:region,district,village;time:year" (required)`)
 		measureList = flag.String("measures", "", "comma-separated measure columns (required)")
 		groupBy     = flag.String("groupby", "", "comma-separated current group-by attributes")
-		complain    = flag.String("complain", "", `complaint, e.g. "agg=mean measure=severity dir=low district=Ofla year=1986" (required unless -interactive)`)
+		complain    = flag.String("complain", "", `complaint, e.g. 'agg=mean measure=severity dir=low district="New York" year=1986' (required unless -interactive)`)
 		interactive = flag.Bool("interactive", false, "start an iterative drill-down session on stdin")
 		auxSpec     = flag.String("aux", "", `auxiliary datasets, e.g. "rain:rainfall.csv:village:rainfall;..."`)
 		topK        = flag.Int("topk", 5, "groups to report per hierarchy")
@@ -103,18 +105,7 @@ func main() {
 }
 
 func parseHierarchies(spec string) ([]data.Hierarchy, error) {
-	var out []data.Hierarchy
-	for _, part := range splitNonEmpty(spec, ";") {
-		name, attrs, ok := strings.Cut(part, ":")
-		if !ok {
-			return nil, fmt.Errorf("bad hierarchy %q: want name:attr1,attr2", part)
-		}
-		out = append(out, data.Hierarchy{Name: name, Attrs: splitNonEmpty(attrs, ",")})
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no hierarchies in %q", spec)
-	}
-	return out, nil
+	return data.ParseHierarchySpec(spec)
 }
 
 func parseAux(spec string) ([]feature.Aux, error) {
@@ -133,39 +124,11 @@ func parseAux(spec string) ([]feature.Aux, error) {
 	return out, nil
 }
 
+// parseComplaint delegates to the shared parser in core, which supports
+// double-quoted values (district="New York") and dir=should target=N; the
+// same parser backs the server's complaint decoding.
 func parseComplaint(spec string) (core.Complaint, error) {
-	c := core.Complaint{Tuple: data.Predicate{}}
-	for _, kv := range strings.Fields(spec) {
-		k, v, ok := strings.Cut(kv, "=")
-		if !ok {
-			return c, fmt.Errorf("bad complaint field %q", kv)
-		}
-		switch k {
-		case "agg":
-			f, err := agg.ParseFunc(v)
-			if err != nil {
-				return c, err
-			}
-			c.Agg = f
-		case "measure":
-			c.Measure = v
-		case "dir":
-			switch v {
-			case "high":
-				c.Direction = core.TooHigh
-			case "low":
-				c.Direction = core.TooLow
-			default:
-				return c, fmt.Errorf("bad direction %q: want high or low", v)
-			}
-		default:
-			c.Tuple[k] = v
-		}
-	}
-	if c.Agg == "" || c.Measure == "" {
-		return c, fmt.Errorf("complaint needs agg= and measure=")
-	}
-	return c, nil
+	return core.ParseComplaint(spec)
 }
 
 // readCSVString loads a dataset from an in-memory CSV (tests and scripting).

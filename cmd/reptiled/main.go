@@ -1,0 +1,82 @@
+// Command reptiled serves Reptile's explanation engine over HTTP. Datasets
+// register once and their engines are shared across all sessions and
+// requests, so queries stop paying the per-invocation dataset-load and
+// engine-construction cost of the CLI.
+//
+// Usage:
+//
+//	reptiled [-addr 127.0.0.1:8372] [-session-ttl 15m] [-cache-size 256]
+//	         [-max-inflight 0] [-queue-wait 100ms]
+//
+// The API is unauthenticated and POST /v1/datasets can name server-local CSV
+// paths, so the default bind is loopback; put a reverse proxy with
+// authentication in front before exposing it beyond the host.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/datasets                   register a CSV dataset
+//	POST /v1/sessions                   start a drill-down session
+//	POST /v1/sessions/{id}/recommend    evaluate a complaint
+//	POST /v1/sessions/{id}/drill        accept a recommendation
+//	GET  /healthz                       liveness + cache statistics
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8372", "listen address")
+		sessionTTL  = flag.Duration("session-ttl", 15*time.Minute, "idle session lifetime (renewed by every request)")
+		cacheSize   = flag.Int("cache-size", 256, "recommendation LRU capacity in entries (negative disables)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent recommendations per dataset (0 = the engine's worker count)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "how long an over-limit recommendation waits before 429")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		SessionTTL:  *sessionTTL,
+		CacheSize:   *cacheSize,
+		MaxInflight: *maxInflight,
+		QueueWait:   *queueWait,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("reptiled listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("reptiled shutting down (draining up to %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	}
+}

@@ -124,7 +124,11 @@ func (s Stats) WithAggregate(f Func, v float64) Stats {
 		return FromMoments(s.Count, s.Mean(), v)
 	case Sum:
 		if s.Count == 0 {
-			return FromMoments(1, v, 0)
+			// An empty group has no records whose mean could be scaled:
+			// carry the repaired sum directly, keeping Count and SumSq at
+			// zero, instead of fabricating a phantom single record (which
+			// would leak a spurious +1 into every parent COUNT merge).
+			return Stats{Sum: v}
 		}
 		return FromMoments(s.Count, v/s.Count, s.Std())
 	}

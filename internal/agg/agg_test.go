@@ -160,6 +160,14 @@ func TestWithAggregateSumOnEmptyGroup(t *testing.T) {
 	if r.Sum != 10 {
 		t.Errorf("Sum repair on empty group = %+v", r)
 	}
+	// Regression: the repair must stay empty-consistent — no phantom record.
+	// A fabricated Count=1 leaked a spurious +1 into every parent COUNT merge.
+	if r.Count != 0 || r.SumSq != 0 {
+		t.Errorf("Sum repair on empty group fabricated records: %+v", r)
+	}
+	if got := Merge(r, FromValues([]float64{5})).Count; got != 1 {
+		t.Errorf("merged count after empty-group Sum repair = %v, want 1", got)
+	}
 }
 
 func buildDemo() *data.Dataset {

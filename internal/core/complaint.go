@@ -10,6 +10,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/agg"
 	"repro/internal/data"
@@ -59,6 +62,32 @@ type Complaint struct {
 	// user-provided fcomp (§3.1 allows any function of the aggregate that
 	// the user aims to minimize).
 	Custom func(v float64) float64
+}
+
+// Key returns a stable cache key identifying the complaint: two complaints
+// with equal keys produce identical recommendations against the same engine
+// and drill state. Complaints carrying a Custom fcomp have no stable
+// identity, so ok is false and they must not be cached.
+func (c Complaint) Key() (key string, ok bool) {
+	if c.Custom != nil {
+		return "", false
+	}
+	attrs := make([]string, 0, len(c.Tuple))
+	for a := range c.Tuple {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	// Attribute names and values are quoted so separator bytes inside them
+	// (NUL, '=') cannot make two distinct complaints collide on one key.
+	var b strings.Builder
+	fmt.Fprintf(&b, "agg=%s\x00measure=%q\x00dir=%d", c.Agg, c.Measure, int(c.Direction))
+	if c.Direction == ShouldBe {
+		fmt.Fprintf(&b, "\x00target=%s", strconv.FormatFloat(c.Target, 'g', -1, 64))
+	}
+	for _, a := range attrs {
+		fmt.Fprintf(&b, "\x00%q=%q", a, c.Tuple[a])
+	}
+	return b.String(), true
 }
 
 // Eval implements fcomp: the value the user wants minimized. For TooHigh it

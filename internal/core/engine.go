@@ -151,6 +151,11 @@ func (e *Engine) sourceFor(h data.Hierarchy) (*factor.Source, error) {
 // Dataset returns the engine's dataset.
 func (e *Engine) Dataset() *data.Dataset { return e.ds }
 
+// Workers returns the resolved evaluation worker-pool size (Options.Workers
+// after defaulting), so serving layers can size admission limits to the pool
+// they actually admit onto.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
 // Session tracks the user's drill-down state: the current group-by
 // attributes (per-hierarchy prefixes). Recommend is safe to call
 // concurrently with itself; Drill is safe to call concurrently too, but a
@@ -253,6 +258,23 @@ func (s *Session) snapshot() evalState {
 	return evalState{depth: snap, gen: gen}
 }
 
+// StateKey returns a stable encoding of the session's drill state: every
+// hierarchy's current depth, in dataset hierarchy order. Two sessions over
+// the same engine with equal state keys return identical recommendations for
+// equal complaints, so (StateKey, Complaint.Key) is a sound recommendation
+// cache key. The key changes on every Drill.
+func (s *Session) StateKey() string {
+	st := s.snapshot()
+	var b strings.Builder
+	for i, h := range s.eng.ds.Hierarchies {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s:%d", h.Name, st.depth[h.Name])
+	}
+	return b.String()
+}
+
 // GroupBy returns the current group-by attributes in canonical order
 // (hierarchy by hierarchy, least to most specific).
 func (s *Session) GroupBy() []string {
@@ -327,11 +349,14 @@ type Recommendation struct {
 // group's expected statistics with a multi-level model trained on the
 // parallel groups, and ranks the groups by the repaired complaint value.
 func (s *Session) Recommend(c Complaint) (*Recommendation, error) {
-	if !s.eng.ds.HasMeasure(c.Measure) && c.Agg != agg.Count {
-		return nil, fmt.Errorf("core: unknown measure %q", c.Measure)
-	}
 	if c.Measure == "" {
 		return nil, fmt.Errorf("core: complaint needs a measure attribute")
+	}
+	// Every aggregate — COUNT included — is computed over a concrete measure
+	// column, so an unknown measure is an error here rather than a panic
+	// inside the aggregation pipeline.
+	if !s.eng.ds.HasMeasure(c.Measure) {
+		return nil, fmt.Errorf("core: unknown measure %q", c.Measure)
 	}
 	st := s.snapshot()
 	var cands []data.Hierarchy

@@ -321,6 +321,14 @@ func TestRecommendErrors(t *testing.T) {
 	}); err == nil {
 		t.Error("expected empty-provenance error")
 	}
+	// Regression: COUNT complaints over an unknown measure used to slip past
+	// validation and panic inside the aggregation pipeline.
+	if _, err := s.Recommend(Complaint{
+		Agg: agg.Count, Measure: "bogus",
+		Tuple: data.Predicate{"district": "d0"},
+	}); err == nil {
+		t.Error("expected unknown-measure error for count complaint")
+	}
 	// Fully drilled session has no candidates.
 	s2, _ := eng.NewSession([]string{"district", "village", "year"})
 	if _, err := s2.Recommend(Complaint{

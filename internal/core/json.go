@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/json"
+
+	"repro/internal/agg"
+)
+
+// The JSON encoding of a Recommendation is the wire format of the serving
+// layer (internal/server). It is deterministic: field order is fixed by the
+// encoder structs below, map keys are emitted sorted by encoding/json, and
+// the underlying evaluation is itself deterministic — so equal
+// recommendations marshal to byte-identical JSON regardless of worker count
+// or transport.
+
+type jsonGroupScore struct {
+	// Group is the drill-down group's key values in group-by attribute order.
+	Group     []string             `json:"group"`
+	Predicted map[agg.Func]float64 `json:"predicted"`
+	Repaired  float64              `json:"repaired"`
+	Score     float64              `json:"score"`
+	Gain      float64              `json:"gain"`
+}
+
+type jsonHierarchyResult struct {
+	Hierarchy string           `json:"hierarchy"`
+	Attr      string           `json:"attr"`
+	Current   float64          `json:"current"`
+	BestScore float64          `json:"best_score"`
+	Ranked    []jsonGroupScore `json:"ranked"`
+}
+
+type jsonRecommendation struct {
+	// Best names the winning hierarchy (an entry of Hierarchies); encoding
+	// the name rather than repeating the result keeps the document acyclic.
+	Best        string                `json:"best"`
+	Hierarchies []jsonHierarchyResult `json:"hierarchies"`
+}
+
+// MarshalJSON encodes the recommendation deterministically.
+func (r *Recommendation) MarshalJSON() ([]byte, error) {
+	out := jsonRecommendation{Hierarchies: make([]jsonHierarchyResult, len(r.All))}
+	if r.Best != nil {
+		out.Best = r.Best.Hierarchy
+	}
+	for i, hr := range r.All {
+		jh := jsonHierarchyResult{
+			Hierarchy: hr.Hierarchy,
+			Attr:      hr.Attr,
+			Current:   hr.Current,
+			BestScore: hr.BestScore,
+			Ranked:    make([]jsonGroupScore, len(hr.Ranked)),
+		}
+		for j, gs := range hr.Ranked {
+			jh.Ranked[j] = jsonGroupScore{
+				Group:     gs.Group.Vals,
+				Predicted: gs.Predicted,
+				Repaired:  gs.Repaired,
+				Score:     gs.Score,
+				Gain:      gs.Gain,
+			}
+		}
+		out.Hierarchies[i] = jh
+	}
+	return json.Marshal(out)
+}

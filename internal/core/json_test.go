@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestStateKeyTracksDrills(t *testing.T) {
+	sc := buildScenario(11)
+	eng, err := NewEngine(sc.ds, Options{EMIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.NewSession([]string{"district", "year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.StateKey(), "geo:1|time:1"; got != want {
+		t.Errorf("StateKey = %q, want %q", got, want)
+	}
+	if err := s.Drill("geo"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.StateKey(), "geo:2|time:1"; got != want {
+		t.Errorf("StateKey after drill = %q, want %q", got, want)
+	}
+	// Equal drill states in a second session yield the same key.
+	s2, err := eng.NewSession([]string{"district", "village", "year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.StateKey() != s.StateKey() {
+		t.Errorf("equal drill states key differently: %q vs %q", s2.StateKey(), s.StateKey())
+	}
+}
+
+func TestRecommendationJSONDeterministic(t *testing.T) {
+	sc := buildScenario(12)
+	sc.corruptMean("d1_v2", "1993", -8)
+	c := Complaint{
+		Agg:       "mean",
+		Measure:   "severity",
+		Direction: TooLow,
+		Tuple:     data.Predicate{"district": "d1", "year": "1993"},
+	}
+
+	marshal := func(workers int) []byte {
+		eng, err := NewEngine(sc.ds, Options{EMIterations: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := eng.NewSession([]string{"district", "year"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := s.Recommend(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	seq := marshal(1)
+	par := marshal(4)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("JSON encoding differs across worker counts:\nseq: %s\npar: %s", seq, par)
+	}
+
+	var doc struct {
+		Best        string `json:"best"`
+		Hierarchies []struct {
+			Hierarchy string `json:"hierarchy"`
+			Attr      string `json:"attr"`
+			Ranked    []struct {
+				Group []string `json:"group"`
+			} `json:"ranked"`
+		} `json:"hierarchies"`
+	}
+	if err := json.Unmarshal(seq, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Best == "" || len(doc.Hierarchies) == 0 {
+		t.Fatalf("encoded document missing fields: %s", seq)
+	}
+	for _, h := range doc.Hierarchies {
+		if h.Hierarchy == "" || h.Attr == "" || len(h.Ranked) == 0 {
+			t.Errorf("hierarchy entry incomplete: %+v", h)
+		}
+	}
+}

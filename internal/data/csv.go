@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 )
@@ -64,6 +65,11 @@ func ReadCSV(r io.Reader, name string, measureNames []string, hierarchies []Hier
 				v, err := strconv.ParseFloat(rec[col], 64)
 				if err != nil {
 					return nil, fmt.Errorf("data: line %d column %q: %w", line, c, err)
+				}
+				// ParseFloat accepts "NaN" and "±Inf", which would silently
+				// poison every downstream Sum/SumSq and model fit.
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("data: line %d column %q: non-finite measure value %q", line, c, rec[col])
 				}
 				msVals[mi] = v
 				mi++

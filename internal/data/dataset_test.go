@@ -230,6 +230,41 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+func TestReadCSVRejectsNonFiniteMeasures(t *testing.T) {
+	// strconv.ParseFloat accepts these spellings; ReadCSV must not, or they
+	// silently poison every downstream Sum/SumSq and model fit.
+	for _, bad := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "Infinity"} {
+		csv := "a,m\nx,1\ny," + bad + "\n"
+		_, err := ReadCSV(strings.NewReader(csv), "t", []string{"m"}, nil)
+		if err == nil {
+			t.Errorf("measure %q: expected non-finite error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("measure %q: error %q does not name line 3", bad, err)
+		}
+	}
+	// Finite values keep loading.
+	if _, err := ReadCSV(strings.NewReader("a,m\nx,1e300\n"), "t", []string{"m"}, nil); err != nil {
+		t.Errorf("finite measure rejected: %v", err)
+	}
+}
+
+func TestParseHierarchySpec(t *testing.T) {
+	hs, err := ParseHierarchySpec("geo:region,district,village; time:year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 || hs[0].Name != "geo" || len(hs[0].Attrs) != 3 || hs[1].Attrs[0] != "year" {
+		t.Errorf("parsed = %+v", hs)
+	}
+	for _, bad := range []string{"", "noattrs", "geo:", ":a,b"} {
+		if _, err := ParseHierarchySpec(bad); err == nil {
+			t.Errorf("spec %q: expected error", bad)
+		}
+	}
+}
+
 func TestFilter(t *testing.T) {
 	d := demo()
 	sub := d.Filter(func(row int) bool { return d.Measure("severity")[row] >= 7 })

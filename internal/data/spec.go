@@ -1,0 +1,40 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseHierarchySpec parses the compact hierarchy notation shared by the CLI
+// and the server's dataset registry: semicolon-separated hierarchies, each
+// "name:attr1,attr2,..." from least to most specific, e.g.
+// "geo:region,district,village;time:year".
+func ParseHierarchySpec(spec string) ([]Hierarchy, error) {
+	var out []Hierarchy
+	for _, part := range splitNonEmpty(spec, ";") {
+		name, attrs, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("data: bad hierarchy %q: want name:attr1,attr2", part)
+		}
+		h := Hierarchy{Name: strings.TrimSpace(name), Attrs: splitNonEmpty(attrs, ",")}
+		if h.Name == "" || len(h.Attrs) == 0 {
+			return nil, fmt.Errorf("data: bad hierarchy %q: empty name or attribute list", part)
+		}
+		out = append(out, h)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("data: no hierarchies in %q", spec)
+	}
+	return out, nil
+}
+
+// splitNonEmpty splits s on sep, trims whitespace, and drops empty pieces.
+func splitNonEmpty(s, sep string) []string {
+	var out []string
+	for _, p := range strings.Split(s, sep) {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// maxBodyBytes bounds request bodies; inline CSV datasets are the largest
+// legitimate payload.
+const maxBodyBytes = 64 << 20
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is gone; nothing useful remains to send.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// datasetRequest registers a CSV dataset. Exactly one of Path (a file the
+// server can read) and CSV (inline content) must be set.
+type datasetRequest struct {
+	Name     string   `json:"name"`
+	Path     string   `json:"path,omitempty"`
+	CSV      string   `json:"csv,omitempty"`
+	Measures []string `json:"measures"`
+	// Hierarchies uses the CLI's compact notation, e.g.
+	// "geo:region,district,village;time:year".
+	Hierarchies string `json:"hierarchies"`
+	// Engine options; zero values select the core defaults.
+	EMIterations int `json:"em_iterations,omitempty"`
+	TopK         int `json:"topk,omitempty"`
+	Workers      int `json:"workers,omitempty"`
+}
+
+type datasetResponse struct {
+	Name        string   `json:"name"`
+	Rows        int      `json:"rows"`
+	Hierarchies []string `json:"hierarchies"`
+	Measures    []string `json:"measures"`
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	var req datasetRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs a name"))
+		return
+	}
+	if (req.Path == "") == (req.CSV == "") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs exactly one of path and csv"))
+		return
+	}
+	if len(req.Measures) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs at least one measure column"))
+		return
+	}
+	// Answer retries of an already-registered name before loading the CSV.
+	s.mu.Lock()
+	_, dup := s.engines[req.Name]
+	s.mu.Unlock()
+	if dup {
+		writeError(w, http.StatusConflict, fmt.Errorf("server: %v: %q", ErrDuplicateDataset, req.Name))
+		return
+	}
+	hierarchies, err := data.ParseHierarchySpec(req.Hierarchies)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var ds *data.Dataset
+	if req.Path != "" {
+		ds, err = data.ReadCSVFile(req.Path, req.Name, req.Measures, hierarchies)
+	} else {
+		ds, err = data.ReadCSV(strings.NewReader(req.CSV), req.Name, req.Measures, hierarchies)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.Options{EMIterations: req.EMIterations, TopK: req.TopK, Workers: req.Workers}
+	if err := s.RegisterDataset(req.Name, ds, opts); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDuplicateDataset) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	names := make([]string, len(ds.Hierarchies))
+	for i, h := range ds.Hierarchies {
+		names[i] = h.Name
+	}
+	writeJSON(w, http.StatusCreated, datasetResponse{
+		Name:        req.Name,
+		Rows:        ds.NumRows(),
+		Hierarchies: names,
+		Measures:    ds.MeasureNames(),
+	})
+}
+
+type sessionRequest struct {
+	Dataset string   `json:"dataset"`
+	GroupBy []string `json:"group_by"`
+	// TTLSeconds overrides the server's session TTL for this session.
+	TTLSeconds int `json:"ttl_seconds,omitempty"`
+}
+
+type sessionResponse struct {
+	ID        string   `json:"id"`
+	Dataset   string   `json:"dataset"`
+	GroupBy   []string `json:"group_by"`
+	State     string   `json:"state"`
+	ExpiresAt string   `json:"expires_at"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	ent, ok := s.engines[req.Dataset]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
+		return
+	}
+	cs, err := ent.eng.NewSession(req.GroupBy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ttl := s.cfg.SessionTTL
+	if req.TTLSeconds > 0 {
+		// Clamp before multiplying: a huge ttl_seconds would overflow
+		// time.Duration into the past and create an already-expired session.
+		const maxTTLSeconds = int(maxSessionTTL / time.Second)
+		secs := req.TTLSeconds
+		if secs > maxTTLSeconds {
+			secs = maxTTLSeconds
+		}
+		ttl = time.Duration(secs) * time.Second
+	}
+	sess := &session{id: newSessionID(), engine: ent, sess: cs, ttl: ttl}
+	s.mu.Lock()
+	now := s.now()
+	s.sweepExpiredLocked(now)
+	sess.deadline = now.Add(ttl)
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sessionResponse{
+		ID:        sess.id,
+		Dataset:   ent.name,
+		GroupBy:   nonNil(cs.GroupBy()),
+		State:     cs.StateKey(),
+		ExpiresAt: sess.deadline.UTC().Format(time.RFC3339),
+	})
+}
+
+type recommendRequest struct {
+	// Complaint uses the CLI's notation, quoted values included, e.g.
+	// `agg=mean measure=severity dir=low district="New York" year=1986`.
+	Complaint string `json:"complaint"`
+}
+
+type recommendResponse struct {
+	State string `json:"state"`
+	// Cache is "hit", "miss", or "bypass" (caching disabled).
+	Cache string `json:"cache"`
+	// Recommendation carries core's deterministic Recommendation encoding
+	// verbatim: the bytes equal json.Marshal of an in-process
+	// Session.Recommend result.
+	Recommendation json.RawMessage `json:"recommendation"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	sess, status, err := s.lookupSession(r.PathValue("id"))
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	var req recommendRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := core.ParseComplaint(req.Complaint)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	state := sess.sess.StateKey()
+	cacheKey := ""
+	if ck, cacheable := c.Key(); cacheable && s.cache != nil {
+		cacheKey = sess.id + "\x00" + state + "\x00" + ck
+		if raw, ok := s.cache.Get(cacheKey); ok {
+			s.cacheHits.Add(1)
+			s.respondRecommend(w, state, "hit", raw)
+			return
+		}
+		s.cacheMiss.Add(1)
+	}
+
+	if !sess.engine.acquire(r.Context(), s.cfg.QueueWait) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("dataset %q is at its concurrent recommendation limit", sess.engine.name))
+		return
+	}
+	defer sess.engine.release()
+
+	rec, err := sess.sess.Recommend(c)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	verdict := "bypass"
+	if cacheKey != "" {
+		verdict = "miss"
+		// A Drill racing this call may have advanced the session after the
+		// state key was read: the engine then evaluated at the deeper state
+		// (its contract allows either), and caching that result under the
+		// pre-drill key would resurrect an entry the drill just invalidated.
+		// Drilling is monotonic, so an unchanged state key proves no drill
+		// landed in between and the entry is safe to insert.
+		if sess.sess.StateKey() == state {
+			s.cache.Add(cacheKey, raw)
+		}
+	}
+	s.respondRecommend(w, state, verdict, raw)
+}
+
+func (s *Server) respondRecommend(w http.ResponseWriter, state, verdict string, raw json.RawMessage) {
+	w.Header().Set("X-Reptile-Cache", verdict)
+	writeJSON(w, http.StatusOK, recommendResponse{State: state, Cache: verdict, Recommendation: raw})
+}
+
+type drillRequest struct {
+	Hierarchy string `json:"hierarchy"`
+}
+
+type drillResponse struct {
+	GroupBy []string `json:"group_by"`
+	State   string   `json:"state"`
+}
+
+func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
+	sess, status, err := s.lookupSession(r.PathValue("id"))
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	var req drillRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.sess.Drill(req.Hierarchy); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Drilling changes the session's state key, so cached entries for the
+	// old state can never be requested again — drop them eagerly.
+	if s.cache != nil {
+		s.cache.RemovePrefix(sess.id + "\x00")
+	}
+	writeJSON(w, http.StatusOK, drillResponse{
+		GroupBy: nonNil(sess.sess.GroupBy()),
+		State:   sess.sess.StateKey(),
+	})
+}
+
+type healthResponse struct {
+	Status   string `json:"status"`
+	Datasets int    `json:"datasets"`
+	Sessions int    `json:"sessions"`
+	Cache    struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+		Size   int    `json:"size"`
+	} `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.sweepExpiredLocked(s.now())
+	nd, ns := len(s.engines), len(s.sessions)
+	s.mu.Unlock()
+	resp := healthResponse{Status: "ok", Datasets: nd, Sessions: ns}
+	resp.Cache.Hits = s.cacheHits.Load()
+	resp.Cache.Misses = s.cacheMiss.Load()
+	if s.cache != nil {
+		resp.Cache.Size = s.cache.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// nonNil maps a nil slice to an empty one so JSON renders [] instead of null.
+func nonNil(ss []string) []string {
+	if ss == nil {
+		return []string{}
+	}
+	return ss
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"strings"
+	"sync"
+)
+
+// lruCache is a bounded, concurrency-safe LRU of encoded recommendations.
+// Keys are session\x00state\x00complaint composites, so a whole session's
+// entries share a prefix and can be dropped together when it drills or
+// expires.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val json.RawMessage
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts or refreshes a value, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) Add(key string, val json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// RemovePrefix drops every entry whose key starts with prefix (one session's
+// entries, on drill or expiry).
+func (c *lruCache) RemovePrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*lruEntry)
+		if strings.HasPrefix(ent.key, prefix) {
+			c.ll.Remove(el)
+			delete(c.m, ent.key)
+		}
+		el = next
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

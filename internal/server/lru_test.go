@@ -1,0 +1,62 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRU(2)
+	c.Add("a", json.RawMessage(`1`))
+	c.Add("b", json.RawMessage(`2`))
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes the eviction victim
+		t.Fatal("a missing")
+	}
+	c.Add("c", json.RawMessage(`3`))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUAddRefreshesValue(t *testing.T) {
+	c := newLRU(2)
+	c.Add("a", json.RawMessage(`1`))
+	c.Add("a", json.RawMessage(`2`))
+	v, ok := c.Get("a")
+	if !ok || string(v) != `2` {
+		t.Errorf("Get(a) = %q %v, want 2", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRURemovePrefix(t *testing.T) {
+	c := newLRU(10)
+	for i := 0; i < 3; i++ {
+		c.Add(fmt.Sprintf("s1\x00k%d", i), json.RawMessage(`1`))
+		c.Add(fmt.Sprintf("s2\x00k%d", i), json.RawMessage(`2`))
+	}
+	c.RemovePrefix("s1\x00")
+	if c.Len() != 3 {
+		t.Errorf("Len after RemovePrefix = %d, want 3", c.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Get(fmt.Sprintf("s1\x00k%d", i)); ok {
+			t.Errorf("s1 entry %d survived", i)
+		}
+		if _, ok := c.Get(fmt.Sprintf("s2\x00k%d", i)); !ok {
+			t.Errorf("s2 entry %d dropped", i)
+		}
+	}
+}

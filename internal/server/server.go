@@ -1,0 +1,242 @@
+// Package server exposes Reptile's explanation engine as a long-lived HTTP
+// JSON service. A resident server amortizes state that one-shot CLI runs pay
+// for on every query: datasets load once into a registry of shared
+// core.Engines, drill-down sessions persist across requests with TTL-based
+// expiry, repeated complaints are answered from an LRU cache keyed by
+// (session drill state, complaint), and a per-engine limiter bounds
+// concurrent Recommend calls so floods degrade to 429s instead of
+// oversubscribing the worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/datasets                   register a CSV dataset
+//	POST /v1/sessions                   start a drill-down session
+//	POST /v1/sessions/{id}/recommend    evaluate a complaint
+//	POST /v1/sessions/{id}/drill        accept a recommendation
+//	GET  /healthz                       liveness + registry/cache statistics
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// Config tunes the server. The zero value selects sensible defaults.
+type Config struct {
+	// SessionTTL is how long an idle session survives; every request against
+	// a session renews it. Default 15 minutes.
+	SessionTTL time.Duration
+	// CacheSize bounds the recommendation LRU in entries. 0 selects the
+	// default (256); negative disables caching.
+	CacheSize int
+	// MaxInflight caps concurrent Recommend evaluations per engine; excess
+	// requests wait QueueWait and then answer 429. Each admitted request
+	// fans out onto its own pool of the engine's Workers goroutines, so
+	// MaxInflight × Workers bounds a dataset's evaluation goroutines. 0
+	// defaults to the engine's worker-pool size.
+	MaxInflight int
+	// QueueWait is how long an over-limit Recommend waits for a slot before
+	// answering 429. Default 100ms; negative means fail immediately.
+	QueueWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	return c
+}
+
+// ErrDuplicateDataset reports a name collision in the dataset registry.
+var ErrDuplicateDataset = errors.New("dataset already registered")
+
+// maxSessionTTL caps client-requested session lifetimes.
+const maxSessionTTL = 24 * time.Hour
+
+// engineEntry is one registered dataset: a shared engine plus its
+// recommendation limiter.
+type engineEntry struct {
+	name string
+	eng  *core.Engine
+	// slots is the per-engine Recommend limiter: acquire before evaluating,
+	// release after. Capacity is Config.MaxInflight (default: the engine's
+	// worker count).
+	slots chan struct{}
+}
+
+// acquire claims a recommendation slot, waiting up to wait. It returns false
+// when the engine stays saturated (the caller answers 429) or the request is
+// canceled.
+func (e *engineEntry) acquire(ctx context.Context, wait time.Duration) bool {
+	select {
+	case e.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if wait <= 0 {
+		return false
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case e.slots <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (e *engineEntry) release() { <-e.slots }
+
+// session is one client's drill-down state bound to a registered engine.
+type session struct {
+	id     string
+	engine *engineEntry
+	sess   *core.Session
+	ttl    time.Duration
+	// deadline is guarded by Server.mu; every successful lookup renews it.
+	deadline time.Time
+}
+
+// Server is the HTTP serving layer. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+	now func() time.Time // swapped by expiry tests
+
+	mu       sync.Mutex
+	engines  map[string]*engineEntry
+	sessions map[string]*session
+
+	cache     *lruCache // nil when caching is disabled
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
+}
+
+// New builds a server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		now:      time.Now,
+		engines:  make(map[string]*engineEntry),
+		sessions: make(map[string]*session),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRU(cfg.CacheSize)
+	}
+	return s
+}
+
+// RegisterDataset adds a named dataset to the registry, building its shared
+// engine. It is the programmatic twin of POST /v1/datasets (preloading,
+// tests).
+func (s *Server) RegisterDataset(name string, ds *data.Dataset, opts core.Options) error {
+	if name == "" {
+		return fmt.Errorf("server: dataset needs a name")
+	}
+	// Fail duplicate names before paying for engine construction; the insert
+	// below rechecks under the same lock, so a racing twin still gets the
+	// conflict, just after doing the work.
+	s.mu.Lock()
+	_, dup := s.engines[name]
+	s.mu.Unlock()
+	if dup {
+		return fmt.Errorf("server: %w: %q", ErrDuplicateDataset, name)
+	}
+	eng, err := core.NewEngine(ds, opts)
+	if err != nil {
+		return err
+	}
+	max := s.cfg.MaxInflight
+	if max <= 0 {
+		// Default to the engine's resolved pool size, so admission matches
+		// the workers a Recommend actually fans out onto.
+		max = eng.Workers()
+	}
+	ent := &engineEntry{name: name, eng: eng, slots: make(chan struct{}, max)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.engines[name]; dup {
+		return fmt.Errorf("server: %w: %q", ErrDuplicateDataset, name)
+	}
+	s.engines[name] = ent
+	return nil
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/recommend", s.handleRecommend)
+	mux.HandleFunc("POST /v1/sessions/{id}/drill", s.handleDrill)
+	return mux
+}
+
+// lookupSession resolves a live session, renewing its TTL. Expired sessions
+// are removed (with their cache entries) and reported as 410 Gone.
+func (s *Server) lookupSession(id string) (*session, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown session %q", id)
+	}
+	now := s.now()
+	if now.After(sess.deadline) {
+		s.dropSessionLocked(sess)
+		return nil, http.StatusGone, fmt.Errorf("session %q expired", id)
+	}
+	sess.deadline = now.Add(sess.ttl)
+	return sess, 0, nil
+}
+
+// dropSessionLocked removes a session and invalidates its cached
+// recommendations. Callers hold s.mu.
+func (s *Server) dropSessionLocked(sess *session) {
+	delete(s.sessions, sess.id)
+	if s.cache != nil {
+		s.cache.RemovePrefix(sess.id + "\x00")
+	}
+}
+
+// sweepExpiredLocked reaps every expired session. Callers hold s.mu. Expiry
+// is lazy: the sweep runs on session creation and health checks, and
+// individual lookups reap their own session, so no janitor goroutine is
+// needed to bound the table.
+func (s *Server) sweepExpiredLocked(now time.Time) {
+	for _, sess := range s.sessions {
+		if now.After(sess.deadline) {
+			s.dropSessionLocked(sess)
+		}
+	}
+}
+
+// newSessionID returns a fresh unguessable session id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: reading random session id: %v", err))
+	}
+	return "s_" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,562 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+const testCSV = "district,village,year,severity\n" +
+	"Ofla,Adishim,1986,8\nOfla,Adishim,1987,7\nOfla,Zata,1986,2\nOfla,Zata,1987,7\n" +
+	"Raya,Kukufto,1986,8\nRaya,Kukufto,1987,6\nRaya,Mehoni,1986,7\nRaya,Mehoni,1987,6\n"
+
+const testHierarchies = "geo:district,village;time:year"
+
+const testComplaint = "agg=mean measure=severity dir=low district=Ofla year=1986"
+
+// newTestServer starts an HTTP test server around a fresh Server.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and returns the status code and response bytes.
+func post(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if s, ok := body.(string); ok {
+		buf.WriteString(s)
+	} else if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// registerTestDataset registers the drought CSV and returns a session id.
+func registerTestDataset(t *testing.T, base string) string {
+	t.Helper()
+	code, b := post(t, base+"/v1/datasets", datasetRequest{
+		Name:         "drought",
+		CSV:          testCSV,
+		Measures:     []string{"severity"},
+		Hierarchies:  testHierarchies,
+		EMIterations: 4,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register dataset: %d %s", code, b)
+	}
+	code, b = post(t, base+"/v1/sessions", sessionRequest{
+		Dataset: "drought",
+		GroupBy: []string{"district", "year"},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create session: %d %s", code, b)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(b, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID == "" || sr.State != "geo:1|time:1" {
+		t.Fatalf("session response = %+v", sr)
+	}
+	return sr.ID
+}
+
+func TestEndToEndRecommendMatchesDirect(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := registerTestDataset(t, ts.URL)
+
+	code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
+		recommendRequest{Complaint: testComplaint})
+	if code != http.StatusOK {
+		t.Fatalf("recommend: %d %s", code, b)
+	}
+	var rr recommendResponse
+	if err := json.Unmarshal(b, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cache != "miss" || rr.State != "geo:1|time:1" {
+		t.Errorf("envelope = cache %q state %q", rr.Cache, rr.State)
+	}
+
+	// The served recommendation must be byte-identical to an in-process
+	// Session.Recommend over the same dataset and options.
+	hs, err := data.ParseHierarchySpec(testHierarchies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := data.ReadCSV(strings.NewReader(testCSV), "drought", []string{"severity"}, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds, core.Options{EMIterations: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession([]string{"district", "year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.ParseComplaint(testComplaint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sess.Recommend(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rr.Recommendation, want) {
+		t.Errorf("served recommendation differs from direct result:\nserved: %s\ndirect: %s",
+			rr.Recommendation, want)
+	}
+}
+
+func TestRecommendCacheHitAndDrillInvalidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := registerTestDataset(t, ts.URL)
+	url := ts.URL + "/v1/sessions/" + id + "/recommend"
+
+	code, first := post(t, url, recommendRequest{Complaint: testComplaint})
+	if code != http.StatusOK {
+		t.Fatalf("first recommend: %d %s", code, first)
+	}
+	var r1 recommendResponse
+	if err := json.Unmarshal(first, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cache != "miss" {
+		t.Errorf("first call cache = %q, want miss", r1.Cache)
+	}
+
+	// The identical complaint is served from the cache, byte-identically.
+	code, second := post(t, url, recommendRequest{Complaint: testComplaint})
+	if code != http.StatusOK {
+		t.Fatalf("second recommend: %d %s", code, second)
+	}
+	var r2 recommendResponse
+	if err := json.Unmarshal(second, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cache != "hit" {
+		t.Errorf("second call cache = %q, want hit", r2.Cache)
+	}
+	if !bytes.Equal(r1.Recommendation, r2.Recommendation) {
+		t.Error("cached recommendation differs from computed one")
+	}
+
+	// Equivalent complaint spelled differently (tuple order) also hits.
+	code, b := post(t, url, recommendRequest{
+		Complaint: "year=1986 district=Ofla agg=mean measure=severity dir=low"})
+	if code != http.StatusOK {
+		t.Fatalf("reordered recommend: %d %s", code, b)
+	}
+	var r3 recommendResponse
+	if err := json.Unmarshal(b, &r3); err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cache != "hit" {
+		t.Errorf("reordered complaint cache = %q, want hit", r3.Cache)
+	}
+
+	// The hit counter is observable via /healthz.
+	code, b = get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, b)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache.Hits != 2 || h.Cache.Misses != 1 || h.Cache.Size != 1 {
+		t.Errorf("cache stats = %+v, want 2 hits / 1 miss / size 1", h.Cache)
+	}
+
+	// Drilling invalidates the session's cached recommendations — and only
+	// that session's: start a shallower second session, cache one result,
+	// drill it, and check the first session's entry survives.
+	code, b = post(t, ts.URL+"/v1/sessions", sessionRequest{Dataset: "drought", GroupBy: []string{"year"}})
+	if code != http.StatusCreated {
+		t.Fatalf("second session: %d %s", code, b)
+	}
+	var sr2 sessionResponse
+	if err := json.Unmarshal(b, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	url2 := ts.URL + "/v1/sessions/" + sr2.ID + "/recommend"
+	shallow := "agg=mean measure=severity dir=low year=1986"
+	if code, b = post(t, url2, recommendRequest{Complaint: shallow}); code != http.StatusOK {
+		t.Fatalf("shallow recommend: %d %s", code, b)
+	}
+	if got := s.cache.Len(); got != 2 {
+		t.Fatalf("cache entries before drill = %d, want 2", got)
+	}
+	code, b = post(t, ts.URL+"/v1/sessions/"+sr2.ID+"/drill", drillRequest{Hierarchy: "geo"})
+	if code != http.StatusOK {
+		t.Fatalf("drill: %d %s", code, b)
+	}
+	var dr drillResponse
+	if err := json.Unmarshal(b, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.State != "geo:1|time:1" {
+		t.Errorf("state after drill = %q", dr.State)
+	}
+	if got := s.cache.Len(); got != 1 {
+		t.Errorf("cache entries after drill = %d, want 1 (other session's entry must survive)", got)
+	}
+	code, b = post(t, url2, recommendRequest{Complaint: shallow})
+	if code != http.StatusOK {
+		t.Fatalf("post-drill recommend: %d %s", code, b)
+	}
+	var r4 recommendResponse
+	if err := json.Unmarshal(b, &r4); err != nil {
+		t.Fatal(err)
+	}
+	if r4.Cache != "miss" || r4.State != "geo:1|time:1" {
+		t.Errorf("post-drill envelope = cache %q state %q", r4.Cache, r4.State)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := registerTestDataset(t, ts.URL)
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"bad JSON dataset", ts.URL + "/v1/datasets", "{not json", http.StatusBadRequest},
+		{"bad JSON session", ts.URL + "/v1/sessions", "{not json", http.StatusBadRequest},
+		{"bad JSON recommend", ts.URL + "/v1/sessions/" + id + "/recommend", "{not json", http.StatusBadRequest},
+		{"bad JSON drill", ts.URL + "/v1/sessions/" + id + "/drill", "{not json", http.StatusBadRequest},
+		{"dataset without source", ts.URL + "/v1/datasets",
+			datasetRequest{Name: "x", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
+		{"dataset with two sources", ts.URL + "/v1/datasets",
+			datasetRequest{Name: "x", Path: "p", CSV: "c", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
+		{"dataset without measures", ts.URL + "/v1/datasets",
+			datasetRequest{Name: "x", CSV: testCSV, Hierarchies: testHierarchies}, http.StatusBadRequest},
+		{"dataset with bad hierarchy spec", ts.URL + "/v1/datasets",
+			datasetRequest{Name: "x", CSV: testCSV, Measures: []string{"severity"}, Hierarchies: "nocolon"}, http.StatusBadRequest},
+		{"dataset with non-finite measure", ts.URL + "/v1/datasets",
+			datasetRequest{Name: "x", CSV: "a,m\nv,NaN\n", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
+		{"duplicate dataset", ts.URL + "/v1/datasets",
+			datasetRequest{Name: "drought", CSV: testCSV, Measures: []string{"severity"}, Hierarchies: testHierarchies}, http.StatusConflict},
+		{"unknown dataset", ts.URL + "/v1/sessions",
+			sessionRequest{Dataset: "nope"}, http.StatusNotFound},
+		{"bad group-by", ts.URL + "/v1/sessions",
+			sessionRequest{Dataset: "drought", GroupBy: []string{"bogus"}}, http.StatusBadRequest},
+		{"unknown session recommend", ts.URL + "/v1/sessions/s_nope/recommend",
+			recommendRequest{Complaint: testComplaint}, http.StatusNotFound},
+		{"unknown session drill", ts.URL + "/v1/sessions/s_nope/drill",
+			drillRequest{Hierarchy: "geo"}, http.StatusNotFound},
+		{"bad complaint", ts.URL + "/v1/sessions/" + id + "/recommend",
+			recommendRequest{Complaint: "agg=mean"}, http.StatusBadRequest},
+		{"unknown measure", ts.URL + "/v1/sessions/" + id + "/recommend",
+			recommendRequest{Complaint: "agg=mean measure=bogus dir=low district=Ofla year=1986"}, http.StatusUnprocessableEntity},
+		{"no provenance", ts.URL + "/v1/sessions/" + id + "/recommend",
+			recommendRequest{Complaint: "agg=mean measure=severity dir=low district=Nowhere year=1986"}, http.StatusUnprocessableEntity},
+		{"unknown hierarchy drill", ts.URL + "/v1/sessions/" + id + "/drill",
+			drillRequest{Hierarchy: "nope"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, b := post(t, tc.url, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.want, b)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(b, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q not a JSON error", tc.name, b)
+		}
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	s, ts := newTestServer(t, Config{SessionTTL: time.Minute})
+	id := registerTestDataset(t, ts.URL)
+
+	// Jump the server clock past the deadline.
+	s.mu.Lock()
+	s.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	s.mu.Unlock()
+
+	code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
+		recommendRequest{Complaint: testComplaint})
+	if code != http.StatusGone {
+		t.Fatalf("expired session: %d %s, want 410", code, b)
+	}
+	// The session is reaped: a second request sees 404, and healthz counts 0.
+	code, _ = post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
+		recommendRequest{Complaint: testComplaint})
+	if code != http.StatusNotFound {
+		t.Fatalf("reaped session: %d, want 404", code)
+	}
+	code, hb := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	var h healthResponse
+	if err := json.Unmarshal(hb, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Sessions != 0 {
+		t.Errorf("healthz sessions = %d, want 0", h.Sessions)
+	}
+}
+
+func TestSessionTTLRenewedByRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{SessionTTL: time.Minute})
+	id := registerTestDataset(t, ts.URL)
+
+	base := time.Now()
+	var cmu sync.Mutex
+	clock := base
+	s.mu.Lock()
+	s.now = func() time.Time { cmu.Lock(); defer cmu.Unlock(); return clock }
+	s.mu.Unlock()
+
+	// Touch the session every 40s; it must survive well past one TTL.
+	url := ts.URL + "/v1/sessions/" + id + "/recommend"
+	for i := 0; i < 4; i++ {
+		cmu.Lock()
+		clock = base.Add(time.Duration(i) * 40 * time.Second)
+		cmu.Unlock()
+		if code, b := post(t, url, recommendRequest{Complaint: testComplaint}); code != http.StatusOK {
+			t.Fatalf("touch %d: %d %s", i, code, b)
+		}
+	}
+}
+
+func TestSessionTTLClamped(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	registerTestDataset(t, ts.URL)
+
+	// A huge ttl_seconds must clamp instead of overflowing time.Duration
+	// into the past (which created sessions that were born expired).
+	code, b := post(t, ts.URL+"/v1/sessions", sessionRequest{
+		Dataset:    "drought",
+		GroupBy:    []string{"district", "year"},
+		TTLSeconds: int(^uint(0) >> 1), // max int
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create session: %d %s", code, b)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(b, &sr); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	sess := s.sessions[sr.ID]
+	s.mu.Unlock()
+	if sess == nil {
+		t.Fatal("session not in table")
+	}
+	if sess.ttl != maxSessionTTL {
+		t.Errorf("ttl = %v, want clamp to %v", sess.ttl, maxSessionTTL)
+	}
+	if !sess.deadline.After(time.Now()) {
+		t.Errorf("deadline %v is in the past", sess.deadline)
+	}
+}
+
+func TestRecommendLimiter(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1, QueueWait: -1})
+	id := registerTestDataset(t, ts.URL)
+
+	// Occupy the dataset's only slot, then flood: every request must answer
+	// 429 immediately instead of queueing onto the engine.
+	s.mu.Lock()
+	ent := s.engines["drought"]
+	s.mu.Unlock()
+	ent.slots <- struct{}{}
+	defer func() { <-ent.slots }()
+
+	for i := 0; i < 3; i++ {
+		code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
+			recommendRequest{Complaint: testComplaint})
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("saturated recommend %d: %d %s, want 429", i, code, b)
+		}
+	}
+
+	// Cache hits bypass the limiter: release the slot, compute once to fill
+	// the cache, re-occupy, and the repeat must still be served.
+	<-ent.slots
+	if code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
+		recommendRequest{Complaint: testComplaint}); code != http.StatusOK {
+		t.Fatalf("warm-up recommend: %d %s", code, b)
+	}
+	ent.slots <- struct{}{}
+	code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
+		recommendRequest{Complaint: testComplaint})
+	if code != http.StatusOK {
+		t.Fatalf("cached recommend under saturation: %d %s, want 200", code, b)
+	}
+	var rr recommendResponse
+	if err := json.Unmarshal(b, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cache != "hit" {
+		t.Errorf("cache = %q, want hit", rr.Cache)
+	}
+}
+
+// TestConcurrentRecommends hammers one engine from many goroutines (run
+// under -race in CI): every response must be a valid 200 with the same
+// recommendation bytes, interleaved with healthz polls.
+func TestConcurrentRecommends(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueWait: 30 * time.Second})
+	id := registerTestDataset(t, ts.URL)
+	url := ts.URL + "/v1/sessions/" + id + "/recommend"
+
+	// One serial request to pin the expected bytes.
+	code, b := post(t, url, recommendRequest{Complaint: testComplaint})
+	if code != http.StatusOK {
+		t.Fatalf("seed recommend: %d %s", code, b)
+	}
+	var seed recommendResponse
+	if err := json.Unmarshal(b, &seed); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	complaints := []string{
+		testComplaint,
+		"agg=mean measure=severity dir=low district=Raya year=1987",
+		"agg=count measure=severity dir=low district=Ofla year=1986",
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				spec := complaints[(g+i)%len(complaints)]
+				code, b := postNoFatal(url, recommendRequest{Complaint: spec})
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d req %d: status %d: %s", g, i, code, b)
+					continue
+				}
+				var rr recommendResponse
+				if err := json.Unmarshal(b, &rr); err != nil {
+					errs <- fmt.Errorf("goroutine %d req %d: %v", g, i, err)
+					continue
+				}
+				if spec == testComplaint && !bytes.Equal(rr.Recommendation, seed.Recommendation) {
+					errs <- fmt.Errorf("goroutine %d req %d: recommendation bytes diverged", g, i)
+				}
+				if i%2 == 0 {
+					if hc, hb := getNoFatal(ts.URL + "/healthz"); hc != http.StatusOK {
+						errs <- fmt.Errorf("healthz: %d %s", hc, hb)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func postNoFatal(url string, body any) (int, []byte) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return 0, []byte(err.Error())
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+func getNoFatal(url string) (int, []byte) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+func TestRegisterDatasetValidatesEngine(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// An FD violation inside a hierarchy must be rejected at registration.
+	code, b := post(t, ts.URL+"/v1/datasets", datasetRequest{
+		Name:        "broken",
+		CSV:         "district,village,m\nA,v1,1\nB,v1,2\n",
+		Measures:    []string{"m"},
+		Hierarchies: "geo:district,village",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("FD-violating dataset: %d %s, want 400", code, b)
+	}
+}
+
+func TestCachingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: -1})
+	id := registerTestDataset(t, ts.URL)
+	url := ts.URL + "/v1/sessions/" + id + "/recommend"
+	for i := 0; i < 2; i++ {
+		code, b := post(t, url, recommendRequest{Complaint: testComplaint})
+		if code != http.StatusOK {
+			t.Fatalf("recommend %d: %d %s", i, code, b)
+		}
+		var rr recommendResponse
+		if err := json.Unmarshal(b, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Cache != "bypass" {
+			t.Errorf("recommend %d cache = %q, want bypass", i, rr.Cache)
+		}
+	}
+}
