@@ -1,0 +1,19 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+.PHONY: build test race bench-load
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+race:
+	go test -race ./internal/core/... ./internal/server/... ./internal/store/...
+
+# bench-load seeds the storage performance trajectory: CSV vs .rst snapshot
+# load and string-keyed vs dictionary-coded Recommend, recorded to
+# BENCH_load.json. BENCHTIME overrides the per-benchmark iteration budget.
+bench-load:
+	sh scripts/bench_load.sh

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 func BenchmarkFig7MatrixOps(b *testing.B) {
@@ -137,12 +138,36 @@ func recommendBenchDataset() *data.Dataset {
 	return d.ds
 }
 
+// recommendBenchCoded is the same benchmark dataset after a snapshot round
+// trip, so every dimension carries its dictionary encoding and GroupBy / the
+// factorizer take the coded fast paths.
+var recommendBenchCoded struct {
+	once sync.Once
+	ds   *data.Dataset
+}
+
+func recommendBenchCodedDataset(b *testing.B) *data.Dataset {
+	d := &recommendBenchCoded
+	d.once.Do(func() {
+		ds, err := store.FromDataset(recommendBenchDataset()).Dataset()
+		if err == nil {
+			d.ds = ds
+		} else {
+			b.Fatal(err)
+		}
+	})
+	return d.ds
+}
+
 // benchmarkRecommend measures one full Recommend over the three drillable
 // hierarchies (a SUM complaint, so each fits two models: six independent
 // work units). A fresh session per iteration keeps the session cache out of
 // the measurement.
 func benchmarkRecommend(b *testing.B, workers int) {
-	ds := recommendBenchDataset()
+	benchmarkRecommendOn(b, recommendBenchDataset(), workers)
+}
+
+func benchmarkRecommendOn(b *testing.B, ds *data.Dataset, workers int) {
 	eng, err := core.NewEngine(ds, core.Options{EMIterations: 10, Trainer: core.TrainerNaive, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
@@ -168,3 +193,11 @@ func benchmarkRecommend(b *testing.B, workers int) {
 func BenchmarkRecommendSequential(b *testing.B) { benchmarkRecommend(b, 1) }
 
 func BenchmarkRecommendParallel(b *testing.B) { benchmarkRecommend(b, runtime.NumCPU()) }
+
+// BenchmarkRecommendCoded is BenchmarkRecommendSequential over the
+// dictionary-coded dataset a .rst load (or server registration) produces:
+// the aggregation and factorizer-source scans consume precomputed codes
+// instead of re-hashing strings.
+func BenchmarkRecommendCoded(b *testing.B) {
+	benchmarkRecommendOn(b, recommendBenchCodedDataset(b), 1)
+}

@@ -1,8 +1,10 @@
-// Command gendata writes the simulated evaluation datasets to CSV so they
-// can be inspected or fed back through cmd/reptile.
+// Command gendata writes the simulated evaluation datasets to CSV — or, when
+// the output path ends in .rst, directly to a dictionary-encoded binary
+// snapshot — so they can be inspected or fed back through cmd/reptile and
+// cmd/reptiled.
 //
 //	gendata -dataset covid-us -out covid_us.csv
-//	gendata -dataset fist -out fist.csv -aux-out rainfall.csv
+//	gendata -dataset fist -out fist.rst -aux-out rainfall.csv
 //
 // Datasets: covid-us, covid-global, fist, vote, absentee, compas.
 package main
@@ -12,16 +14,18 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/data"
 	"repro/internal/datasets"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
 		which  = flag.String("dataset", "", "covid-us | covid-global | fist | vote | absentee | compas (required)")
-		out    = flag.String("out", "", "output CSV path (required)")
-		auxOut = flag.String("aux-out", "", "auxiliary table CSV path (fist: rainfall; vote: 2016 results)")
+		out    = flag.String("out", "", "output path, .csv or .rst (required)")
+		auxOut = flag.String("aux-out", "", "auxiliary table path, .csv or .rst (fist: rainfall; vote: 2016 results)")
 		seed   = flag.Int64("seed", 1, "random seed")
 		rows   = flag.Int("rows", 0, "row count override (absentee/compas; 0 = paper scale)")
 	)
@@ -51,19 +55,24 @@ func main() {
 		log.Fatalf("unknown dataset %q", *which)
 	}
 
-	if err := writeCSV(ds, *out); err != nil {
+	if err := writeDataset(ds, *out); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d rows to %s\n", ds.NumRows(), *out)
 	if aux != nil && *auxOut != "" {
-		if err := writeCSV(aux, *auxOut); err != nil {
+		if err := writeDataset(aux, *auxOut); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d auxiliary rows to %s\n", aux.NumRows(), *auxOut)
 	}
 }
 
-func writeCSV(ds *data.Dataset, path string) error {
+// writeDataset emits a .rst binary snapshot when the path asks for one, and
+// CSV otherwise.
+func writeDataset(ds *data.Dataset, path string) error {
+	if strings.HasSuffix(path, ".rst") {
+		return store.FromDataset(ds).WriteFile(path)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

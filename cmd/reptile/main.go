@@ -1,5 +1,14 @@
-// Command reptile answers complaint-based drill-down queries over a CSV
-// dataset from the command line.
+// Command reptile answers complaint-based drill-down queries over a CSV or
+// .rst dataset from the command line.
+//
+// A -data path ending in .rst loads a dictionary-encoded binary snapshot
+// (written by "reptile convert" or cmd/gendata) instead of CSV; the snapshot
+// carries its own measures and hierarchies, so -measures and -hierarchies
+// are then optional. Convert a CSV once with:
+//
+//	reptile convert -data survey.csv \
+//	        -hierarchies "geo:region,district,village;time:year" \
+//	        -measures severity -out survey.rst
 //
 // Usage:
 //
@@ -27,13 +36,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/feature"
+	"repro/internal/store"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		if err := runConvert(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	var (
-		dataPath    = flag.String("data", "", "CSV dataset path (required)")
-		hierSpec    = flag.String("hierarchies", "", `hierarchies, e.g. "geo:region,district,village;time:year" (required)`)
-		measureList = flag.String("measures", "", "comma-separated measure columns (required)")
+		dataPath    = flag.String("data", "", "dataset path, CSV or .rst snapshot (required)")
+		hierSpec    = flag.String("hierarchies", "", `hierarchies, e.g. "geo:region,district,village;time:year" (required for CSV)`)
+		measureList = flag.String("measures", "", "comma-separated measure columns (required for CSV)")
 		groupBy     = flag.String("groupby", "", "comma-separated current group-by attributes")
 		complain    = flag.String("complain", "", `complaint, e.g. 'agg=mean measure=severity dir=low district="New York" year=1986' (required unless -interactive)`)
 		interactive = flag.Bool("interactive", false, "start an iterative drill-down session on stdin")
@@ -43,17 +59,14 @@ func main() {
 		workers     = flag.Int("workers", 0, "evaluation worker-pool size (0 = NumCPU, 1 = sequential)")
 	)
 	flag.Parse()
-	if *dataPath == "" || *hierSpec == "" || *measureList == "" || (*complain == "" && !*interactive) {
+	isSnapshot := strings.HasSuffix(*dataPath, ".rst")
+	if *dataPath == "" || (*complain == "" && !*interactive) ||
+		(!isSnapshot && (*hierSpec == "" || *measureList == "")) {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	hierarchies, err := parseHierarchies(*hierSpec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	measures := splitNonEmpty(*measureList, ",")
-	ds, err := data.ReadCSVFile(*dataPath, *dataPath, measures, hierarchies)
+	ds, err := loadDataset(*dataPath, splitNonEmpty(*measureList, ","), *hierSpec)
 	if err != nil {
 		log.Fatalf("loading %s: %v", *dataPath, err)
 	}
@@ -102,6 +115,63 @@ func main() {
 				i+1, strings.Join(gs.Group.Vals, "/"), gs.Repaired, gs.Gain)
 		}
 	}
+}
+
+// loadDataset loads either format behind -data: a .rst snapshot (which
+// carries its own schema, so hierSpec and measures are ignored) or a CSV
+// with the schema given by flags.
+func loadDataset(path string, measures []string, hierSpec string) (*data.Dataset, error) {
+	if strings.HasSuffix(path, ".rst") {
+		snap, err := store.OpenFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return snap.Dataset()
+	}
+	hierarchies, err := parseHierarchies(hierSpec)
+	if err != nil {
+		return nil, err
+	}
+	return data.ReadCSVFile(path, path, measures, hierarchies)
+}
+
+// runConvert implements "reptile convert": load a CSV dataset (validating
+// its hierarchy metadata) and persist it as a .rst binary snapshot, which
+// later runs load without reparsing or re-deriving dictionaries.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("reptile convert", flag.ExitOnError)
+	var (
+		in          = fs.String("data", "", "input CSV path (required)")
+		out         = fs.String("out", "", "output .rst path (required)")
+		hierSpec    = fs.String("hierarchies", "", `hierarchies, e.g. "geo:region,district,village;time:year" (required)`)
+		measureList = fs.String("measures", "", "comma-separated measure columns (required)")
+		name        = fs.String("name", "", "dataset name stored in the snapshot (default: the input path)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" || *hierSpec == "" || *measureList == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	hierarchies, err := parseHierarchies(*hierSpec)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = *in
+	}
+	ds, err := data.ReadCSVFile(*in, *name, splitNonEmpty(*measureList, ","), hierarchies)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", *in, err)
+	}
+	snap := store.FromDataset(ds)
+	if err := snap.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows (%d dimensions, %d measures) to %s\n",
+		snap.NumRows(), len(snap.Dims), len(snap.Measures), *out)
+	return nil
 }
 
 func parseHierarchies(spec string) ([]data.Hierarchy, error) {

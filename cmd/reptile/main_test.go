@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/agg"
 	"repro/internal/core"
+	"repro/internal/data"
 )
 
 func TestParseHierarchies(t *testing.T) {
@@ -102,4 +107,64 @@ func buildTestEngine(t *testing.T) *core.Engine {
 		t.Fatal(err)
 	}
 	return eng
+}
+
+func TestConvertAndSnapshotLoad(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "drought.csv")
+	rstPath := filepath.Join(dir, "drought.rst")
+	csv := "district,village,year,severity\n" +
+		"Ofla,Adishim,1986,8\nOfla,Adishim,1987,7\nOfla,Zata,1986,2\nOfla,Zata,1987,7\n" +
+		"Raya,Kukufto,1986,8\nRaya,Kukufto,1987,6\nRaya,Mehoni,1986,7\nRaya,Mehoni,1987,6\n"
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runConvert([]string{
+		"-data", csvPath, "-out", rstPath,
+		"-hierarchies", "geo:district,village;time:year",
+		"-measures", "severity", "-name", "drought",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fromCSV, err := loadDataset(csvPath, []string{"severity"}, "geo:district,village;time:year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRST, err := loadDataset(rstPath, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromRST.NumRows() != fromCSV.NumRows() {
+		t.Fatalf("snapshot rows = %d, CSV rows = %d", fromRST.NumRows(), fromCSV.NumRows())
+	}
+	// Both loads drive the engine to byte-identical recommendations.
+	var recs [][]byte
+	for _, ds := range []*data.Dataset{fromCSV, fromRST} {
+		eng, err := core.NewEngine(ds, core.Options{EMIterations: 4, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := eng.NewSession([]string{"district", "year"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := parseComplaint("agg=mean measure=severity dir=low district=Ofla year=1986")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := sess.Recommend(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, b)
+	}
+	if !bytes.Equal(recs[0], recs[1]) {
+		t.Errorf("CSV and snapshot recommendations differ:\ncsv: %s\nrst: %s", recs[0], recs[1])
+	}
 }

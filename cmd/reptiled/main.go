@@ -14,11 +14,20 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /v1/datasets                   register a CSV dataset
+//	POST /v1/datasets                   register a CSV or .rst dataset
+//	POST /v1/datasets/{name}/append     append rows, hot-swapping the engine
 //	POST /v1/sessions                   start a drill-down session
 //	POST /v1/sessions/{id}/recommend    evaluate a complaint
 //	POST /v1/sessions/{id}/drill        accept a recommendation
 //	GET  /healthz                       liveness + cache statistics
+//
+// Registering a path ending in .rst loads a dictionary-encoded binary
+// snapshot (see internal/store and "reptile convert") instead of reparsing
+// CSV; the snapshot carries its own measures and hierarchies. Appends build
+// the successor snapshot and engine in the background and swap them in
+// atomically: the dataset's cached recommendations are invalidated, sessions
+// pick up the new version on their next request, and recommendations already
+// in flight finish on the old version.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.

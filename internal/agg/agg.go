@@ -233,8 +233,14 @@ func (r *Result) Total() Stats {
 }
 
 // GroupBy aggregates measure over the given attributes. Groups are sorted by
-// their key values lexicographically, attribute by attribute.
+// their key values lexicographically, attribute by attribute. When every
+// attribute carries a dictionary encoding (datasets loaded through
+// internal/store), grouping runs over integer codes instead of encoded
+// string keys; the two paths produce identical results.
 func GroupBy(d *data.Dataset, attrs []string, measure string) *Result {
+	if r := groupByCoded(d, attrs, measure); r != nil {
+		return r
+	}
 	cols := make([][]string, len(attrs))
 	for i, a := range attrs {
 		cols[i] = d.Dim(a)
@@ -269,6 +275,79 @@ func GroupBy(d *data.Dataset, attrs []string, measure string) *Result {
 		}
 		return false
 	})
+	for i, g := range groups {
+		index[g.Key] = i
+	}
+	return &Result{Attrs: attrs, Measure: measure, Groups: groups, Index: index}
+}
+
+// groupByCoded is the dictionary-code fast path of GroupBy: rows are bucketed
+// by a mixed-radix composite of their per-attribute codes, and the group's
+// string values are decoded once per group rather than once per row. Returns
+// nil (fall back to the string path) when any attribute lacks codes, the
+// radix product overflows uint64, or there is nothing to gain (no group-by
+// attributes).
+func groupByCoded(d *data.Dataset, attrs []string, measure string) *Result {
+	if len(attrs) == 0 {
+		return nil
+	}
+	dicts := make([][]string, len(attrs))
+	codes := make([][]uint32, len(attrs))
+	radix := uint64(1)
+	for i, a := range attrs {
+		dict, cs, ok := d.DimCodes(a)
+		if !ok || len(dict) == 0 {
+			return nil
+		}
+		if radix > math.MaxUint64/uint64(len(dict)) {
+			return nil
+		}
+		radix *= uint64(len(dict))
+		dicts[i], codes[i] = dict, cs
+	}
+	ms := d.Measure(measure)
+	cindex := make(map[uint64]int)
+	var groups []Group
+	var composite []uint64
+	for row := 0; row < d.NumRows(); row++ {
+		k := uint64(0)
+		for i := range attrs {
+			k = k*uint64(len(dicts[i])) + uint64(codes[i][row])
+		}
+		gi, ok := cindex[k]
+		if !ok {
+			gi = len(groups)
+			cindex[k] = gi
+			groups = append(groups, Group{})
+			composite = append(composite, k)
+		}
+		g := &groups[gi]
+		v := ms[row]
+		g.Stats.Count++
+		g.Stats.Sum += v
+		g.Stats.SumSq += v * v
+	}
+	for gi := range groups {
+		k := composite[gi]
+		vals := make([]string, len(attrs))
+		for i := len(attrs) - 1; i >= 0; i-- {
+			size := uint64(len(dicts[i]))
+			vals[i] = dicts[i][k%size]
+			k /= size
+		}
+		groups[gi].Vals = vals
+		groups[gi].Key = data.EncodeKey(vals)
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		ga, gb := groups[a].Vals, groups[b].Vals
+		for i := range ga {
+			if ga[i] != gb[i] {
+				return ga[i] < gb[i]
+			}
+		}
+		return false
+	})
+	index := make(map[string]int, len(groups))
 	for i, g := range groups {
 		index[g.Key] = i
 	}

@@ -1,8 +1,10 @@
 package agg
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -242,5 +244,72 @@ func TestGroupByMissingGroup(t *testing.T) {
 	res := GroupBy(d, []string{"district"}, "severity")
 	if _, ok := res.Get([]string{"Nowhere"}); ok {
 		t.Error("Get returned a missing group")
+	}
+}
+
+// encodeDims installs a first-appearance dictionary encoding on every
+// dimension of a cloned dataset, mirroring what internal/store produces.
+func encodeDims(t *testing.T, d *data.Dataset) *data.Dataset {
+	t.Helper()
+	coded := data.New(d.Name, d.DimNames(), d.MeasureNames(), d.Hierarchies)
+	for _, name := range d.DimNames() {
+		col := d.Dim(name)
+		idx := make(map[string]uint32)
+		var dict []string
+		codes := make([]uint32, len(col))
+		for i, v := range col {
+			c, ok := idx[v]
+			if !ok {
+				c = uint32(len(dict))
+				idx[v] = c
+				dict = append(dict, v)
+			}
+			codes[i] = c
+		}
+		if err := coded.SetEncodedDim(name, dict, codes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range d.MeasureNames() {
+		if err := coded.SetMeasure(name, append([]float64(nil), d.Measure(name)...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coded
+}
+
+func TestGroupByCodedMatchesStringPath(t *testing.T) {
+	d := buildDemo()
+	coded := encodeDims(t, d)
+	for _, attrs := range [][]string{
+		{"district"},
+		{"village"},
+		{"district", "year"},
+		{"district", "village", "year"},
+	} {
+		want := GroupBy(d, attrs, "severity")
+		got := GroupBy(coded, attrs, "severity")
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("GroupBy(%v) coded != string:\n got %+v\nwant %+v", attrs, got, want)
+		}
+	}
+	// A randomized dataset exercises collisions and larger dictionaries.
+	rng := rand.New(rand.NewSource(3))
+	h := []data.Hierarchy{{Name: "a", Attrs: []string{"a"}}, {Name: "b", Attrs: []string{"b"}}, {Name: "c", Attrs: []string{"c"}}}
+	big := data.New("rand", []string{"a", "b", "c"}, []string{"m"}, h)
+	for i := 0; i < 2000; i++ {
+		big.AppendRowVals([]string{
+			fmt.Sprintf("a%02d", rng.Intn(17)),
+			fmt.Sprintf("b%02d", rng.Intn(11)),
+			fmt.Sprintf("c%02d", rng.Intn(23)),
+		}, []float64{rng.NormFloat64()})
+	}
+	codedBig := encodeDims(t, big)
+	for _, attrs := range [][]string{{"a"}, {"a", "b"}, {"a", "b", "c"}, {"c", "a"}} {
+		want := GroupBy(big, attrs, "m")
+		got := GroupBy(codedBig, attrs, "m")
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("GroupBy(%v) coded != string path", attrs)
+		}
 	}
 }

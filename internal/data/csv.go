@@ -21,6 +21,16 @@ func ReadCSV(r io.Reader, name string, measureNames []string, hierarchies []Hier
 	}
 	header = append([]string(nil), header...)
 
+	// Reject duplicate header names: columns land in name-keyed maps, so a
+	// later duplicate would silently clobber the earlier column's values.
+	seen := make(map[string]bool, len(header))
+	for _, c := range header {
+		if seen[c] {
+			return nil, fmt.Errorf("data: duplicate column %q in CSV header", c)
+		}
+		seen[c] = true
+	}
+
 	isMeasure := make(map[string]bool, len(measureNames))
 	for _, m := range measureNames {
 		isMeasure[m] = true
@@ -79,6 +89,15 @@ func ReadCSV(r io.Reader, name string, measureNames []string, hierarchies []Hier
 			}
 		}
 		d.AppendRowVals(dimVals, msVals)
+	}
+	// Validate hierarchy metadata at load time so hierarchies referencing
+	// columns absent from the CSV fail here, with the file context, instead
+	// of surfacing later (or never, for callers that skip engine
+	// construction). Auxiliary tables load with no hierarchies and skip this.
+	if len(hierarchies) > 0 {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("data: CSV dataset %q: %w", name, err)
+		}
 	}
 	return d, nil
 }

@@ -42,6 +42,13 @@ func (h Hierarchy) Level(a string) int {
 // Dataset is an immutable-by-convention columnar table. Dimension columns
 // hold categorical string values; measure columns hold float64 values. All
 // columns have identical length.
+//
+// A dimension column may additionally carry a dictionary encoding (the
+// distinct values plus one uint32 code per row), installed by bulk loaders
+// such as internal/store via SetEncodedDim. Consumers that can work over
+// codes (agg.GroupBy, factor.SourceFromDataset, the FD validator) discover
+// it through DimCodes and skip per-row string hashing; everything else keeps
+// reading the materialized string column.
 type Dataset struct {
 	Name        string
 	Hierarchies []Hierarchy
@@ -50,7 +57,17 @@ type Dataset struct {
 	measureNames []string
 	dims         map[string][]string
 	measures     map[string][]float64
+	codes        map[string]*dimCode
 	n            int
+	// nFixed marks that a bulk column setter has pinned the row count, so a
+	// zero-length first column still constrains every later one.
+	nFixed bool
+}
+
+// dimCode is one dimension's dictionary encoding: codes index into dict.
+type dimCode struct {
+	dict  []string
+	codes []uint32
 }
 
 // New creates an empty dataset with the given dimension and measure columns.
@@ -107,9 +124,75 @@ func (d *Dataset) Measure(name string) []float64 {
 	return col
 }
 
+// DimCodes returns the dictionary encoding of a dimension column, if one was
+// installed: the distinct-value dictionary and one code per row. Both slices
+// are shared; callers must not modify them.
+func (d *Dataset) DimCodes(name string) (dict []string, codes []uint32, ok bool) {
+	dc, ok := d.codes[name]
+	if !ok {
+		return nil, nil, false
+	}
+	return dc.dict, dc.codes, true
+}
+
+// SetEncodedDim bulk-loads a dimension column from its dictionary encoding,
+// materializing the string column and keeping the codes for consumers that
+// can exploit them. The first column setter fixes the row count; later ones
+// must match it. Mixing SetEncodedDim/SetMeasure with AppendRow on the same
+// dataset is not supported: appending drops every installed encoding.
+func (d *Dataset) SetEncodedDim(name string, dict []string, codes []uint32) error {
+	if _, ok := d.dims[name]; !ok {
+		return fmt.Errorf("data: unknown dimension %q in dataset %q", name, d.Name)
+	}
+	if err := d.setColumnLen(name, len(codes)); err != nil {
+		return err
+	}
+	col := make([]string, len(codes))
+	for i, c := range codes {
+		if int(c) >= len(dict) {
+			return fmt.Errorf("data: dimension %q row %d: code %d out of range (dictionary size %d)", name, i, c, len(dict))
+		}
+		col[i] = dict[c]
+	}
+	d.dims[name] = col
+	if d.codes == nil {
+		d.codes = make(map[string]*dimCode, len(d.dimNames))
+	}
+	d.codes[name] = &dimCode{dict: dict, codes: codes}
+	return nil
+}
+
+// SetMeasure bulk-loads a measure column. The slice is adopted, not copied.
+func (d *Dataset) SetMeasure(name string, vals []float64) error {
+	if _, ok := d.measures[name]; !ok {
+		return fmt.Errorf("data: unknown measure %q in dataset %q", name, d.Name)
+	}
+	if err := d.setColumnLen(name, len(vals)); err != nil {
+		return err
+	}
+	d.measures[name] = vals
+	return nil
+}
+
+// setColumnLen fixes the dataset's row count on the first bulk-loaded column
+// and rejects later columns of a different length — including after an
+// empty first column, which pins the count at zero.
+func (d *Dataset) setColumnLen(name string, n int) error {
+	if !d.nFixed && d.n == 0 {
+		d.n = n
+		d.nFixed = true
+		return nil
+	}
+	if n != d.n {
+		return fmt.Errorf("data: column %q has %d rows, dataset %q has %d", name, n, d.Name, d.n)
+	}
+	return nil
+}
+
 // AppendRow adds one row. dims and measures are keyed by column name; every
 // declared column must be present.
 func (d *Dataset) AppendRow(dims map[string]string, measures map[string]float64) {
+	d.codes = nil // appended values may not be in the dictionaries
 	for _, c := range d.dimNames {
 		v, ok := dims[c]
 		if !ok {
@@ -134,6 +217,7 @@ func (d *Dataset) AppendRowVals(dimVals []string, measureVals []float64) {
 		panic(fmt.Sprintf("data: AppendRowVals arity mismatch: %d/%d dims, %d/%d measures",
 			len(dimVals), len(d.dimNames), len(measureVals), len(d.measureNames)))
 	}
+	d.codes = nil // appended values may not be in the dictionaries
 	for i, c := range d.dimNames {
 		d.dims[c] = append(d.dims[c], dimVals[i])
 	}
@@ -151,6 +235,12 @@ func (d *Dataset) Clone() *Dataset {
 	}
 	for name, col := range d.measures {
 		c.measures[name] = append([]float64(nil), col...)
+	}
+	if d.codes != nil {
+		c.codes = make(map[string]*dimCode, len(d.codes))
+		for name, dc := range d.codes {
+			c.codes[name] = &dimCode{dict: dc.dict, codes: append([]uint32(nil), dc.codes...)}
+		}
 	}
 	c.n = d.n
 	return c
@@ -175,6 +265,18 @@ func (d *Dataset) Select(idx []int) *Dataset {
 			col[i] = src[r]
 		}
 		out.measures[name] = col
+	}
+	// Row selection preserves dictionaries: the subset's codes index the same
+	// dict (possibly with unused entries), so provenance subsets stay coded.
+	if d.codes != nil {
+		out.codes = make(map[string]*dimCode, len(d.codes))
+		for name, dc := range d.codes {
+			sel := make([]uint32, len(idx))
+			for i, r := range idx {
+				sel[i] = dc.codes[r]
+			}
+			out.codes[name] = &dimCode{dict: dc.dict, codes: sel}
+		}
 	}
 	out.n = len(idx)
 	return out
@@ -268,8 +370,29 @@ func (d *Dataset) Validate() error {
 	return nil
 }
 
-// checkFD verifies the functional dependency child → parent.
+// checkFD verifies the functional dependency child → parent. When both
+// columns carry dictionary codes the check runs over small integer arrays
+// instead of a string map, which makes validating snapshot loads cheap.
 func (d *Dataset) checkFD(child, parent string) error {
+	if cdc, ok := d.codes[child]; ok {
+		if pdc, ok := d.codes[parent]; ok {
+			const unset = -1
+			m := make([]int64, len(cdc.dict))
+			for i := range m {
+				m[i] = unset
+			}
+			for i, cc := range cdc.codes {
+				pc := int64(pdc.codes[i])
+				if prev := m[cc]; prev == unset {
+					m[cc] = pc
+				} else if prev != pc {
+					return fmt.Errorf("FD violation: %s=%q maps to %s=%q and %q",
+						child, cdc.dict[cc], parent, pdc.dict[prev], pdc.dict[pc])
+				}
+			}
+			return nil
+		}
+	}
 	cc, pc := d.Dim(child), d.Dim(parent)
 	m := make(map[string]string)
 	for i := range cc {

@@ -250,6 +250,133 @@ func TestReadCSVRejectsNonFiniteMeasures(t *testing.T) {
 	}
 }
 
+func TestReadCSVRejectsDuplicateHeader(t *testing.T) {
+	// A duplicate column name would silently clobber the earlier column in
+	// the name-keyed dims map.
+	_, err := ReadCSV(strings.NewReader("a,b,a,m\nx,y,z,1\n"), "t", []string{"m"}, nil)
+	if err == nil {
+		t.Fatal("expected duplicate-header error")
+	}
+	if !strings.Contains(err.Error(), `duplicate column "a"`) {
+		t.Errorf("error %q does not name the duplicate column", err)
+	}
+	// Duplicate measures are rejected too.
+	if _, err := ReadCSV(strings.NewReader("a,m,m\nx,1,2\n"), "t", []string{"m"}, nil); err == nil {
+		t.Error("expected duplicate-measure-header error")
+	}
+}
+
+func TestReadCSVValidatesHierarchies(t *testing.T) {
+	csv := "district,village,year,severity\nOfla,Adishim,1986,8\n"
+	// A hierarchy naming a column absent from the CSV fails at load time.
+	bad := []Hierarchy{{Name: "geo", Attrs: []string{"district", "hamlet"}}}
+	if _, err := ReadCSV(strings.NewReader(csv), "t", []string{"severity"}, bad); err == nil {
+		t.Error("expected unknown-attribute error at load time")
+	} else if !strings.Contains(err.Error(), "hamlet") {
+		t.Errorf("error %q does not name the missing attribute", err)
+	}
+	// FD violations in the data fail at load time too.
+	fdCSV := "district,village,year,severity\nOfla,Zata,1986,8\nRaya,Zata,1986,2\n"
+	good := []Hierarchy{{Name: "geo", Attrs: []string{"district", "village"}}, {Name: "time", Attrs: []string{"year"}}}
+	if _, err := ReadCSV(strings.NewReader(fdCSV), "t", []string{"severity"}, good); err == nil {
+		t.Error("expected FD violation at load time")
+	}
+	// No hierarchies (auxiliary tables) still load without validation.
+	if _, err := ReadCSV(strings.NewReader(csv), "t", []string{"severity"}, nil); err != nil {
+		t.Errorf("aux-style load failed: %v", err)
+	}
+}
+
+func TestSetEncodedDim(t *testing.T) {
+	h := []Hierarchy{{Name: "geo", Attrs: []string{"district"}}}
+	d := New("t", []string{"district"}, []string{"m"}, h)
+	if err := d.SetEncodedDim("district", []string{"Ofla", "Raya"}, []uint32{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMeasure("m", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 3 {
+		t.Fatalf("rows = %d", d.NumRows())
+	}
+	if got := d.Dim("district"); got[0] != "Ofla" || got[1] != "Raya" || got[2] != "Ofla" {
+		t.Errorf("materialized column = %v", got)
+	}
+	dict, codes, ok := d.DimCodes("district")
+	if !ok || len(dict) != 2 || len(codes) != 3 {
+		t.Errorf("DimCodes = %v %v %v", dict, codes, ok)
+	}
+	// Errors: unknown column, out-of-range code, length mismatch.
+	if err := d.SetEncodedDim("bogus", nil, nil); err == nil {
+		t.Error("expected unknown-dimension error")
+	}
+	if err := d.SetMeasure("bogus", nil); err == nil {
+		t.Error("expected unknown-measure error")
+	}
+	d2 := New("t", []string{"district"}, nil, nil)
+	if err := d2.SetEncodedDim("district", []string{"a"}, []uint32{0, 7}); err == nil {
+		t.Error("expected out-of-range code error")
+	}
+	d3 := New("t", []string{"district"}, []string{"m"}, nil)
+	if err := d3.SetEncodedDim("district", []string{"a"}, []uint32{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d3.SetMeasure("m", []float64{1}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	// An empty first column pins the row count at zero.
+	d4 := New("t", []string{"district"}, []string{"m"}, nil)
+	if err := d4.SetEncodedDim("district", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d4.SetMeasure("m", []float64{1, 2}); err == nil {
+		t.Error("expected length-mismatch error after empty first column")
+	}
+	// Appending rows drops the encoding (values may not be in the dict).
+	d.AppendRowVals([]string{"Tigray"}, []float64{4})
+	if _, _, ok := d.DimCodes("district"); ok {
+		t.Error("append kept a stale dictionary encoding")
+	}
+}
+
+func TestCodesSurviveSelectAndClone(t *testing.T) {
+	d := New("t", []string{"district"}, []string{"m"}, nil)
+	if err := d.SetEncodedDim("district", []string{"a", "b"}, []uint32{0, 1, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMeasure("m", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	sub := d.Select([]int{1, 2})
+	dict, codes, ok := sub.DimCodes("district")
+	if !ok || len(codes) != 2 || dict[codes[0]] != "b" || dict[codes[1]] != "b" {
+		t.Errorf("Select codes = %v %v %v", dict, codes, ok)
+	}
+	cl := d.Clone()
+	if _, codes, ok := cl.DimCodes("district"); !ok || len(codes) != 4 {
+		t.Errorf("Clone lost codes: %v %v", codes, ok)
+	}
+}
+
+func TestCodedFDCheck(t *testing.T) {
+	// Same FD violation as TestValidateFDViolation, but over coded columns.
+	h := []Hierarchy{{Name: "geo", Attrs: []string{"district", "village"}}}
+	d := New("t", []string{"district", "village"}, nil, h)
+	if err := d.SetEncodedDim("district", []string{"Ofla", "Raya"}, []uint32{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetEncodedDim("village", []string{"Zata"}, []uint32{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "FD violation") {
+		t.Fatalf("err = %v, want FD violation", err)
+	}
+	if !strings.Contains(err.Error(), `"Zata"`) {
+		t.Errorf("error %q does not name the violating value", err)
+	}
+}
+
 func TestParseHierarchySpec(t *testing.T) {
 	hs, err := ParseHierarchySpec("geo:region,district,village; time:year")
 	if err != nil {

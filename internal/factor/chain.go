@@ -20,6 +20,7 @@ package factor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/data"
@@ -98,6 +99,9 @@ func newSource(name string, attrs []string, paths [][]string, enforceFD bool) (*
 
 // SourceFromDataset extracts the distinct hierarchy paths present in d.
 func SourceFromDataset(d *data.Dataset, h data.Hierarchy) (*Source, error) {
+	if paths, ok := distinctPathsCoded(d, h); ok {
+		return NewSource(h.Name, h.Attrs, paths)
+	}
 	cols := make([][]string, len(h.Attrs))
 	for i, a := range h.Attrs {
 		cols[i] = d.Dim(a)
@@ -115,6 +119,52 @@ func SourceFromDataset(d *data.Dataset, h data.Hierarchy) (*Source, error) {
 		paths = append(paths, p)
 	}
 	return NewSource(h.Name, h.Attrs, paths)
+}
+
+// distinctPathsCoded extracts the hierarchy's distinct paths over dictionary
+// codes when every attribute carries an encoding (datasets loaded through
+// internal/store): rows dedupe on a mixed-radix composite of their codes
+// instead of an encoded string key, and path strings are decoded once per
+// distinct path. Reports ok=false (use the string path) when any attribute
+// lacks codes or the radix product overflows uint64.
+func distinctPathsCoded(d *data.Dataset, h data.Hierarchy) ([][]string, bool) {
+	dicts := make([][]string, len(h.Attrs))
+	codes := make([][]uint32, len(h.Attrs))
+	radix := uint64(1)
+	for i, a := range h.Attrs {
+		dict, cs, ok := d.DimCodes(a)
+		if !ok || len(dict) == 0 {
+			if d.NumRows() > 0 {
+				return nil, false
+			}
+			dict = []string{}
+		}
+		if len(dict) > 0 {
+			if radix > math.MaxUint64/uint64(len(dict)) {
+				return nil, false
+			}
+			radix *= uint64(len(dict))
+		}
+		dicts[i], codes[i] = dict, cs
+	}
+	seen := make(map[uint64]struct{})
+	var paths [][]string
+	for row := 0; row < d.NumRows(); row++ {
+		k := uint64(0)
+		for i := range h.Attrs {
+			k = k*uint64(len(dicts[i])) + uint64(codes[i][row])
+		}
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		vals := make([]string, len(h.Attrs))
+		for i := range h.Attrs {
+			vals[i] = dicts[i][codes[i][row]]
+		}
+		paths = append(paths, vals)
+	}
+	return paths, true
 }
 
 func lessPath(a, b []string) bool {

@@ -1,0 +1,61 @@
+package factor
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestSourceFromDatasetCodedMatchesStringPath verifies the dictionary-code
+// fast path of SourceFromDataset produces the same Source as the string path.
+func TestSourceFromDatasetCodedMatchesStringPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := data.Hierarchy{Name: "geo", Attrs: []string{"region", "district", "village"}}
+	ds := data.New("t", h.Attrs, []string{"m"}, []data.Hierarchy{h})
+	// Build FD-respecting paths: village determines district determines region.
+	for i := 0; i < 800; i++ {
+		r := rng.Intn(4)
+		d := r*3 + rng.Intn(3)
+		v := d*5 + rng.Intn(5)
+		ds.AppendRowVals([]string{
+			fmt.Sprintf("r%d", r), fmt.Sprintf("d%02d", d), fmt.Sprintf("v%03d", v),
+		}, []float64{1})
+	}
+	want, err := SourceFromDataset(ds, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coded := data.New("t", ds.DimNames(), ds.MeasureNames(), ds.Hierarchies)
+	for _, name := range ds.DimNames() {
+		col := ds.Dim(name)
+		idx := make(map[string]uint32)
+		var dict []string
+		codes := make([]uint32, len(col))
+		for i, v := range col {
+			c, ok := idx[v]
+			if !ok {
+				c = uint32(len(dict))
+				idx[v] = c
+				dict = append(dict, v)
+			}
+			codes[i] = c
+		}
+		if err := coded.SetEncodedDim(name, dict, codes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coded.SetMeasure("m", append([]float64(nil), ds.Measure("m")...)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := SourceFromDataset(coded, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("coded source != string source:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// appendCSV adds two 1986/1987 reports for a brand-new Raya village; the
+// header deliberately reorders columns to exercise the schema mapping.
+const appendCSV = "severity,year,village,district\n4,1986,Bala,Raya\n5,1987,Bala,Raya\n"
+
+func TestAppendHotSwapsEngineAndInvalidatesCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := registerTestDataset(t, ts.URL)
+	recommendURL := ts.URL + "/v1/sessions/" + id + "/recommend"
+
+	// Warm the cache.
+	code, b := post(t, recommendURL, recommendRequest{Complaint: testComplaint})
+	if code != http.StatusOK {
+		t.Fatalf("recommend: %d %s", code, b)
+	}
+	code, b = post(t, recommendURL, recommendRequest{Complaint: testComplaint})
+	var warm recommendResponse
+	if code != http.StatusOK || json.Unmarshal(b, &warm) != nil || warm.Cache != "hit" {
+		t.Fatalf("warm recommend: %d cache=%q %s", code, warm.Cache, b)
+	}
+
+	code, b = post(t, ts.URL+"/v1/datasets/drought/append", appendRequest{CSV: appendCSV})
+	if code != http.StatusOK {
+		t.Fatalf("append: %d %s", code, b)
+	}
+	var ar appendResponse
+	if err := json.Unmarshal(b, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Appended != 2 || ar.Version != 2 || ar.Rows != 10 {
+		t.Fatalf("append response = %+v", ar)
+	}
+
+	// The same complaint now misses (the swap invalidated the cache) and is
+	// answered by the new engine version — byte-identical to an in-process
+	// engine over the combined dataset.
+	code, b = post(t, recommendURL, recommendRequest{Complaint: testComplaint})
+	if code != http.StatusOK {
+		t.Fatalf("post-append recommend: %d %s", code, b)
+	}
+	var after recommendResponse
+	if err := json.Unmarshal(b, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cache != "miss" {
+		t.Errorf("post-append cache = %q, want miss", after.Cache)
+	}
+	if after.State != "geo:1|time:1" {
+		t.Errorf("post-append state = %q: session lost its drill state", after.State)
+	}
+	if bytes.Equal(after.Recommendation, warm.Recommendation) {
+		t.Error("post-append recommendation identical to pre-append: hot swap did not take")
+	}
+
+	combined := testCSV + "Raya,Bala,1986,4\nRaya,Bala,1987,5\n"
+	hs, err := data.ParseHierarchySpec(testHierarchies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := data.ReadCSV(strings.NewReader(combined), "drought", []string{"severity"}, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds, core.Options{EMIterations: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession([]string{"district", "year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.ParseComplaint(testComplaint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sess.Recommend(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after.Recommendation, want) {
+		t.Errorf("post-append recommendation differs from direct engine over combined data:\nserved: %s\ndirect: %s",
+			after.Recommendation, want)
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerTestDataset(t, ts.URL)
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+		code int
+		want string
+	}{
+		{"unknown dataset", "/v1/datasets/nope/append", appendRequest{CSV: appendCSV}, http.StatusNotFound, "unknown dataset"},
+		{"empty body", "/v1/datasets/drought/append", appendRequest{}, http.StatusBadRequest, "needs csv"},
+		{"missing column", "/v1/datasets/drought/append",
+			appendRequest{CSV: "district,village,severity\nRaya,Bala,4\n"}, http.StatusBadRequest, `missing dimension column`},
+		{"extra column", "/v1/datasets/drought/append",
+			appendRequest{CSV: "district,village,year,severity,bogus\nRaya,Bala,1986,4,x\n"}, http.StatusBadRequest, "columns"},
+		{"bad measure", "/v1/datasets/drought/append",
+			appendRequest{CSV: "district,village,year,severity\nRaya,Bala,1986,NaN\n"}, http.StatusBadRequest, "non-finite"},
+		// Adishim already belongs to Ofla: the batch violates village →
+		// district and must be rejected without changing the dataset.
+		{"fd violation", "/v1/datasets/drought/append",
+			appendRequest{CSV: "district,village,year,severity\nRaya,Adishim,1986,4\n"}, http.StatusUnprocessableEntity, "FD violation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, b := post(t, ts.URL+tc.url, tc.body)
+			if code != tc.code {
+				t.Fatalf("status = %d, want %d (%s)", code, tc.code, b)
+			}
+			if !strings.Contains(string(b), tc.want) {
+				t.Errorf("body %s does not mention %q", b, tc.want)
+			}
+		})
+	}
+
+	// After the failures the dataset still serves and is unchanged.
+	code, b := post(t, ts.URL+"/v1/datasets/drought/append", appendRequest{CSV: appendCSV})
+	var ar appendResponse
+	if code != http.StatusOK || json.Unmarshal(b, &ar) != nil || ar.Version != 2 {
+		t.Fatalf("append after failures: %d %s", code, b)
+	}
+}
+
+// TestConcurrentRecommendsDuringAppend drives recommends, drills and appends
+// against one dataset at once; run with -race it proves the hot-swap path is
+// data-race free and never serves an error other than the 429 back-pressure.
+func TestConcurrentRecommendsDuringAppend(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerTestDataset(t, ts.URL)
+
+	// Several sessions share the engine; one is drilled mid-flight.
+	ids := make([]string, 3)
+	for i := range ids {
+		code, b := post(t, ts.URL+"/v1/sessions", sessionRequest{
+			Dataset: "drought",
+			GroupBy: []string{"district", "year"},
+		})
+		if code != http.StatusCreated {
+			t.Fatalf("create session: %d %s", code, b)
+		}
+		var sr sessionResponse
+		if err := json.Unmarshal(b, &sr); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = sr.ID
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for si, id := range ids {
+		wg.Add(1)
+		go func(si int, id string) {
+			defer wg.Done()
+			url := ts.URL + "/v1/sessions/" + id + "/recommend"
+			for i := 0; i < 8; i++ {
+				code, b := post(t, url, recommendRequest{Complaint: testComplaint})
+				// Session 0 races a drill that exhausts its hierarchies, after
+				// which "fully drilled" is the correct answer.
+				if si == 0 && code == http.StatusUnprocessableEntity && bytes.Contains(b, []byte("fully drilled")) {
+					continue
+				}
+				if code != http.StatusOK && code != http.StatusTooManyRequests {
+					errc <- fmt.Errorf("recommend: %d %s", code, b)
+					return
+				}
+			}
+		}(si, id)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			csv := fmt.Sprintf("district,village,year,severity\nRaya,New%02d,1986,%d\n", i, 3+i)
+			code, b := post(t, ts.URL+"/v1/datasets/drought/append", appendRequest{CSV: csv})
+			if code != http.StatusOK {
+				errc <- fmt.Errorf("append %d: %d %s", i, code, b)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, b := post(t, ts.URL+"/v1/sessions/"+ids[0]+"/drill", drillRequest{Hierarchy: "geo"})
+		if code != http.StatusOK {
+			errc <- fmt.Errorf("drill: %d %s", code, b)
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Every session settles on the final version and sees the appended rows:
+	// a complaint about Raya 1986 must rank the appended villages.
+	code, b := post(t, ts.URL+"/v1/sessions/"+ids[1]+"/recommend",
+		recommendRequest{Complaint: "agg=mean measure=severity dir=low district=Raya year=1986"})
+	if code != http.StatusOK {
+		t.Fatalf("final recommend: %d %s", code, b)
+	}
+	var rr recommendResponse
+	if err := json.Unmarshal(b, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(rr.Recommendation, []byte("New03")) {
+		t.Errorf("final recommendation does not reflect the last appended village:\n%s", rr.Recommendation)
+	}
+}

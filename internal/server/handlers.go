@@ -1,16 +1,20 @@
 package server
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; inline CSV datasets are the largest
@@ -41,16 +45,18 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// datasetRequest registers a CSV dataset. Exactly one of Path (a file the
-// server can read) and CSV (inline content) must be set.
+// datasetRequest registers a dataset. Exactly one of Path (a CSV or .rst
+// file the server can read) and CSV (inline content) must be set. When Path
+// names a .rst snapshot, measures and hierarchies come from the file and the
+// request fields must be empty.
 type datasetRequest struct {
 	Name     string   `json:"name"`
 	Path     string   `json:"path,omitempty"`
 	CSV      string   `json:"csv,omitempty"`
-	Measures []string `json:"measures"`
+	Measures []string `json:"measures,omitempty"`
 	// Hierarchies uses the CLI's compact notation, e.g.
 	// "geo:region,district,village;time:year".
-	Hierarchies string `json:"hierarchies"`
+	Hierarchies string `json:"hierarchies,omitempty"`
 	// Engine options; zero values select the core defaults.
 	EMIterations int `json:"em_iterations,omitempty"`
 	TopK         int `json:"topk,omitempty"`
@@ -60,6 +66,7 @@ type datasetRequest struct {
 type datasetResponse struct {
 	Name        string   `json:"name"`
 	Rows        int      `json:"rows"`
+	Version     uint64   `json:"version"`
 	Hierarchies []string `json:"hierarchies"`
 	Measures    []string `json:"measures"`
 }
@@ -78,11 +85,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs exactly one of path and csv"))
 		return
 	}
-	if len(req.Measures) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs at least one measure column"))
-		return
-	}
-	// Answer retries of an already-registered name before loading the CSV.
+	// Answer retries of an already-registered name before loading the data.
 	s.mu.Lock()
 	_, dup := s.engines[req.Name]
 	s.mu.Unlock()
@@ -90,23 +93,44 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("server: %v: %q", ErrDuplicateDataset, req.Name))
 		return
 	}
-	hierarchies, err := data.ParseHierarchySpec(req.Hierarchies)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	var ds *data.Dataset
-	if req.Path != "" {
-		ds, err = data.ReadCSVFile(req.Path, req.Name, req.Measures, hierarchies)
-	} else {
-		ds, err = data.ReadCSV(strings.NewReader(req.CSV), req.Name, req.Measures, hierarchies)
-	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
 	opts := core.Options{EMIterations: req.EMIterations, TopK: req.TopK, Workers: req.Workers}
-	if err := s.RegisterDataset(req.Name, ds, opts); err != nil {
+	var snap *store.Snapshot
+	if strings.HasSuffix(req.Path, ".rst") {
+		// Snapshot files carry their own schema.
+		if len(req.Measures) > 0 || req.Hierarchies != "" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("a .rst snapshot carries its own measures and hierarchies; leave both fields empty"))
+			return
+		}
+		var err error
+		snap, err = store.OpenFile(req.Path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		if len(req.Measures) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs at least one measure column"))
+			return
+		}
+		hierarchies, err := data.ParseHierarchySpec(req.Hierarchies)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var ds *data.Dataset
+		if req.Path != "" {
+			ds, err = data.ReadCSVFile(req.Path, req.Name, req.Measures, hierarchies)
+		} else {
+			ds, err = data.ReadCSV(strings.NewReader(req.CSV), req.Name, req.Measures, hierarchies)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		snap = store.FromDataset(ds)
+	}
+	if err := s.RegisterSnapshot(req.Name, snap, opts); err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrDuplicateDataset) {
 			status = http.StatusConflict
@@ -114,16 +138,135 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	names := make([]string, len(ds.Hierarchies))
-	for i, h := range ds.Hierarchies {
+	writeJSON(w, http.StatusCreated, datasetSummary(req.Name, snap))
+}
+
+// datasetSummary describes one snapshot version for dataset responses.
+func datasetSummary(name string, snap *store.Snapshot) datasetResponse {
+	names := make([]string, len(snap.Hierarchies))
+	for i, h := range snap.Hierarchies {
 		names[i] = h.Name
 	}
-	writeJSON(w, http.StatusCreated, datasetResponse{
-		Name:        req.Name,
-		Rows:        ds.NumRows(),
+	measures := make([]string, len(snap.Measures))
+	for i, m := range snap.Measures {
+		measures[i] = m.Name
+	}
+	return datasetResponse{
+		Name:        name,
+		Rows:        snap.NumRows(),
+		Version:     snap.Version,
 		Hierarchies: names,
-		Measures:    ds.MeasureNames(),
+		Measures:    measures,
+	}
+}
+
+// appendRequest ingests rows into a registered dataset: CSV content whose
+// header names every dimension and measure column of the dataset (in any
+// order).
+type appendRequest struct {
+	CSV string `json:"csv"`
+}
+
+type appendResponse struct {
+	datasetResponse
+	Appended int `json:"appended"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	ent, ok := s.engines[name]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return
+	}
+	var req appendRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.CSV == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("append needs csv content"))
+		return
+	}
+	rows, err := parseAppendCSV(ent.state.Load().snap, req.CSV)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	next, err := s.Append(name, rows)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, appendResponse{
+		datasetResponse: datasetSummary(name, next),
+		Appended:        len(rows),
 	})
+}
+
+// parseAppendCSV decodes appended rows against the snapshot's schema. The
+// header must name every column exactly once; column order is free.
+func parseAppendCSV(snap *store.Snapshot, content string) ([]store.Row, error) {
+	cr := csv.NewReader(strings.NewReader(content))
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading append CSV header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, c := range header {
+		if _, dup := col[c]; dup {
+			return nil, fmt.Errorf("duplicate column %q in append CSV header", c)
+		}
+		col[c] = i
+	}
+	dimIdx := make([]int, len(snap.Dims))
+	for i, c := range snap.Dims {
+		j, ok := col[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("append CSV is missing dimension column %q", c.Name)
+		}
+		dimIdx[i] = j
+	}
+	msIdx := make([]int, len(snap.Measures))
+	for i, m := range snap.Measures {
+		j, ok := col[m.Name]
+		if !ok {
+			return nil, fmt.Errorf("append CSV is missing measure column %q", m.Name)
+		}
+		msIdx[i] = j
+	}
+	if len(col) != len(snap.Dims)+len(snap.Measures) {
+		return nil, fmt.Errorf("append CSV has %d columns, dataset has %d", len(col), len(snap.Dims)+len(snap.Measures))
+	}
+	var rows []store.Row
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reading append CSV line %d: %w", line, err)
+		}
+		row := store.Row{Dims: make([]string, len(dimIdx)), Measures: make([]float64, len(msIdx))}
+		for i, j := range dimIdx {
+			row.Dims[i] = rec[j]
+		}
+		for i, j := range msIdx {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("append CSV line %d column %q: %w", line, snap.Measures[i].Name, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("append CSV line %d column %q: non-finite measure value %q",
+					line, snap.Measures[i].Name, rec[j])
+			}
+			row.Measures[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 type sessionRequest struct {
@@ -154,7 +297,8 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
 		return
 	}
-	cs, err := ent.eng.NewSession(req.GroupBy)
+	st := ent.state.Load()
+	cs, err := st.eng.NewSession(req.GroupBy)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -170,7 +314,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 		ttl = time.Duration(secs) * time.Second
 	}
-	sess := &session{id: newSessionID(), engine: ent, sess: cs, ttl: ttl}
+	sess := &session{id: newSessionID(), engine: ent, sess: cs, version: st.snap.Version, ttl: ttl}
 	s.mu.Lock()
 	now := s.now()
 	s.sweepExpiredLocked(now)
@@ -203,7 +347,7 @@ type recommendResponse struct {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	sess, status, err := s.lookupSession(r.PathValue("id"))
+	view, status, err := s.lookupSession(r.PathValue("id"))
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -218,10 +362,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	state := sess.sess.StateKey()
+	state := view.cs.StateKey()
 	cacheKey := ""
 	if ck, cacheable := c.Key(); cacheable && s.cache != nil {
-		cacheKey = sess.id + "\x00" + state + "\x00" + ck
+		// The dataset version is part of the key: a request still evaluating
+		// the swapped-out version can only insert under the old version's
+		// key, which no rebound session will ever look up again.
+		cacheKey = fmt.Sprintf("%s\x00v%d\x00%s\x00%s", view.id, view.version, state, ck)
 		if raw, ok := s.cache.Get(cacheKey); ok {
 			s.cacheHits.Add(1)
 			s.respondRecommend(w, state, "hit", raw)
@@ -230,15 +377,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.cacheMiss.Add(1)
 	}
 
-	if !sess.engine.acquire(r.Context(), s.cfg.QueueWait) {
+	if !view.engine.acquire(r.Context(), s.cfg.QueueWait) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("dataset %q is at its concurrent recommendation limit", sess.engine.name))
+			fmt.Errorf("dataset %q is at its concurrent recommendation limit", view.engine.name))
 		return
 	}
-	defer sess.engine.release()
+	defer view.engine.release()
 
-	rec, err := sess.sess.Recommend(c)
+	rec, err := view.cs.Recommend(c)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -257,7 +404,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		// pre-drill key would resurrect an entry the drill just invalidated.
 		// Drilling is monotonic, so an unchanged state key proves no drill
 		// landed in between and the entry is safe to insert.
-		if sess.sess.StateKey() == state {
+		if view.cs.StateKey() == state {
 			s.cache.Add(cacheKey, raw)
 		}
 	}
@@ -279,7 +426,7 @@ type drillResponse struct {
 }
 
 func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
-	sess, status, err := s.lookupSession(r.PathValue("id"))
+	view, status, err := s.lookupSession(r.PathValue("id"))
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -289,18 +436,29 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := sess.sess.Drill(req.Hierarchy); err != nil {
+	// Drill the session's *current* core.Session, holding the registry lock
+	// so a hot-swap cannot rebind the session mid-drill and silently lose
+	// the step. Drill only flips depth counters, so the critical section is
+	// short.
+	s.mu.Lock()
+	cs := view.cs
+	if sess, ok := s.sessions[view.id]; ok {
+		cs = sess.sess
+	}
+	err = cs.Drill(req.Hierarchy)
+	s.mu.Unlock()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// Drilling changes the session's state key, so cached entries for the
 	// old state can never be requested again — drop them eagerly.
 	if s.cache != nil {
-		s.cache.RemovePrefix(sess.id + "\x00")
+		s.cache.RemovePrefix(view.id + "\x00")
 	}
 	writeJSON(w, http.StatusOK, drillResponse{
-		GroupBy: nonNil(sess.sess.GroupBy()),
-		State:   sess.sess.StateKey(),
+		GroupBy: nonNil(cs.GroupBy()),
+		State:   cs.StateKey(),
 	})
 }
 

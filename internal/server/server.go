@@ -7,9 +7,18 @@
 // concurrent Recommend calls so floods degrade to 429s instead of
 // oversubscribing the worker pool.
 //
+// Datasets live in the registry as immutable store.Snapshot versions with a
+// shared engine per version. POST /v1/datasets/{name}/append ingests rows:
+// the successor snapshot and engine build while traffic continues on the
+// current version, then swap in atomically; the dataset's cached
+// recommendations are invalidated, sessions rebind to the new version on
+// their next request, and evaluations already in flight finish on the old
+// one.
+//
 // Endpoints:
 //
-//	POST /v1/datasets                   register a CSV dataset
+//	POST /v1/datasets                   register a CSV or .rst dataset
+//	POST /v1/datasets/{name}/append     append rows, hot-swapping the engine
 //	POST /v1/sessions                   start a drill-down session
 //	POST /v1/sessions/{id}/recommend    evaluate a complaint
 //	POST /v1/sessions/{id}/drill        accept a recommendation
@@ -29,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/store"
 )
 
 // Config tunes the server. The zero value selects sensible defaults.
@@ -69,11 +79,28 @@ var ErrDuplicateDataset = errors.New("dataset already registered")
 // maxSessionTTL caps client-requested session lifetimes.
 const maxSessionTTL = 24 * time.Hour
 
-// engineEntry is one registered dataset: a shared engine plus its
-// recommendation limiter.
+// engineState is one immutable version of a registered dataset: the snapshot
+// it was built from and the engine serving it. Appends build a new state and
+// swap the pointer; readers that loaded the old state keep using it until
+// they finish.
+type engineState struct {
+	eng  *core.Engine
+	snap *store.Snapshot
+}
+
+// engineEntry is one registered dataset: its atomically swappable engine
+// state plus the recommendation limiter.
 type engineEntry struct {
 	name string
-	eng  *core.Engine
+	opts core.Options
+	// state is the current engine version. Load it once per request; a
+	// concurrent append swaps in a successor without disturbing loads.
+	state atomic.Pointer[engineState]
+	// appendMu serializes appends so concurrent batches cannot both build on
+	// the same base version and lose one of the two. It also guards builder,
+	// whose per-dimension value indexes stay warm across appends.
+	appendMu sync.Mutex
+	builder  *store.Builder
 	// slots is the per-engine Recommend limiter: acquire before evaluating,
 	// release after. Capacity is Config.MaxInflight (default: the engine's
 	// worker count).
@@ -107,11 +134,18 @@ func (e *engineEntry) acquire(ctx context.Context, wait time.Duration) bool {
 func (e *engineEntry) release() { <-e.slots }
 
 // session is one client's drill-down state bound to a registered engine.
+// A session pins the engine version it last evaluated against: when an
+// append hot-swaps the dataset, the next lookup rebinds the session to the
+// new version (preserving its drill state) while any in-flight Recommend
+// finishes on the old one.
 type session struct {
 	id     string
 	engine *engineEntry
 	sess   *core.Session
-	ttl    time.Duration
+	// version is the snapshot version sess was built against; guarded by
+	// Server.mu like deadline.
+	version uint64
+	ttl     time.Duration
 	// deadline is guarded by Server.mu; every successful lookup renews it.
 	deadline time.Time
 }
@@ -146,10 +180,17 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// RegisterDataset adds a named dataset to the registry, building its shared
-// engine. It is the programmatic twin of POST /v1/datasets (preloading,
-// tests).
+// RegisterDataset adds a named dataset to the registry. The dataset is
+// dictionary-encoded into a store.Snapshot first, so the shared engine runs
+// over code-backed columns and the dataset can later take appends. It is the
+// programmatic twin of POST /v1/datasets (preloading, tests).
 func (s *Server) RegisterDataset(name string, ds *data.Dataset, opts core.Options) error {
+	return s.RegisterSnapshot(name, store.FromDataset(ds), opts)
+}
+
+// RegisterSnapshot adds a named columnar snapshot to the registry, building
+// its shared engine.
+func (s *Server) RegisterSnapshot(name string, snap *store.Snapshot, opts core.Options) error {
 	if name == "" {
 		return fmt.Errorf("server: dataset needs a name")
 	}
@@ -162,6 +203,10 @@ func (s *Server) RegisterDataset(name string, ds *data.Dataset, opts core.Option
 	if dup {
 		return fmt.Errorf("server: %w: %q", ErrDuplicateDataset, name)
 	}
+	ds, err := snap.Dataset()
+	if err != nil {
+		return err
+	}
 	eng, err := core.NewEngine(ds, opts)
 	if err != nil {
 		return err
@@ -172,7 +217,8 @@ func (s *Server) RegisterDataset(name string, ds *data.Dataset, opts core.Option
 		// the workers a Recommend actually fans out onto.
 		max = eng.Workers()
 	}
-	ent := &engineEntry{name: name, eng: eng, slots: make(chan struct{}, max)}
+	ent := &engineEntry{name: name, opts: opts, slots: make(chan struct{}, max), builder: store.NewBuilder(snap)}
+	ent.state.Store(&engineState{eng: eng, snap: snap})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.engines[name]; dup {
@@ -182,33 +228,108 @@ func (s *Server) RegisterDataset(name string, ds *data.Dataset, opts core.Option
 	return nil
 }
 
+// Append ingests rows into a registered dataset: it builds the successor
+// snapshot and engine off to the side (no registry or entry lock held while
+// serving traffic continues on the current version), atomically swaps the
+// new state in, and invalidates the dataset's cached recommendations.
+// Sessions rebind to the new version on their next request; a Recommend
+// already in flight finishes on the version it loaded. Concurrent Appends to
+// the same dataset serialize.
+func (s *Server) Append(name string, rows []store.Row) (*store.Snapshot, error) {
+	s.mu.Lock()
+	ent, ok := s.engines[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown dataset %q", name)
+	}
+	ent.appendMu.Lock()
+	defer ent.appendMu.Unlock()
+	next, err := ent.builder.Append(rows)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := next.Dataset()
+	if err == nil {
+		var eng *core.Engine
+		if eng, err = core.NewEngine(ds, ent.opts); err == nil {
+			ent.state.Store(&engineState{eng: eng, snap: next})
+		}
+	}
+	if err != nil {
+		// The builder advanced past the served state; rewind it so the next
+		// append builds on what clients actually see.
+		ent.builder = store.NewBuilder(ent.state.Load().snap)
+		return nil, err
+	}
+	// The swapped-out version's recommendations are stale: drop every cache
+	// entry belonging to this dataset's sessions. In-flight evaluations of
+	// the old version guard their own inserts with a state re-check, and a
+	// rebound session's state key rests on the new engine, so nothing stale
+	// can be re-inserted under a live key.
+	s.mu.Lock()
+	if s.cache != nil {
+		for _, sess := range s.sessions {
+			if sess.engine == ent {
+				s.cache.RemovePrefix(sess.id + "\x00")
+			}
+		}
+	}
+	s.mu.Unlock()
+	return next, nil
+}
+
 // Handler returns the server's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/recommend", s.handleRecommend)
 	mux.HandleFunc("POST /v1/sessions/{id}/drill", s.handleDrill)
 	return mux
 }
 
+// sessionView is one request's consistent snapshot of a session: the
+// core.Session and engine version captured under the registry lock, so a
+// concurrent hot-swap rebinding the session cannot tear the request's view.
+type sessionView struct {
+	id      string
+	engine  *engineEntry
+	cs      *core.Session
+	version uint64
+}
+
 // lookupSession resolves a live session, renewing its TTL. Expired sessions
-// are removed (with their cache entries) and reported as 410 Gone.
-func (s *Server) lookupSession(id string) (*session, int, error) {
+// are removed (with their cache entries) and reported as 410 Gone. If the
+// dataset was hot-swapped since the session's last request, the session is
+// rebound to the current engine version, preserving its drill state; any
+// request already evaluating keeps the old version's view.
+func (s *Server) lookupSession(id string) (sessionView, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if !ok {
-		return nil, http.StatusNotFound, fmt.Errorf("unknown session %q", id)
+		return sessionView{}, http.StatusNotFound, fmt.Errorf("unknown session %q", id)
 	}
 	now := s.now()
 	if now.After(sess.deadline) {
 		s.dropSessionLocked(sess)
-		return nil, http.StatusGone, fmt.Errorf("session %q expired", id)
+		return sessionView{}, http.StatusGone, fmt.Errorf("session %q expired", id)
 	}
 	sess.deadline = now.Add(sess.ttl)
-	return sess, 0, nil
+	if st := sess.engine.state.Load(); st.snap.Version != sess.version {
+		cs, err := st.eng.NewSession(sess.sess.GroupBy())
+		if err != nil {
+			// Appends never change the schema, so the old drill state always
+			// transfers; failure here means a bug, not bad client input.
+			return sessionView{}, http.StatusInternalServerError,
+				fmt.Errorf("rebinding session %q to dataset version %d: %w", id, st.snap.Version, err)
+		}
+		sess.sess = cs
+		sess.version = st.snap.Version
+	}
+	return sessionView{id: sess.id, engine: sess.engine, cs: sess.sess, version: sess.version}, 0, nil
 }
 
 // dropSessionLocked removes a session and invalidates its cached

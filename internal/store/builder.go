@@ -1,0 +1,109 @@
+package store
+
+import (
+	"fmt"
+	"math"
+)
+
+// Row is one ingested record: dimension values in Snapshot.Dims order and
+// measure values in Snapshot.Measures order.
+type Row struct {
+	Dims     []string
+	Measures []float64
+}
+
+// Builder appends rows to a snapshot lineage. Each Append produces a new
+// immutable Snapshot with Version+1 — the base snapshot, and every dataset or
+// engine derived from it, is never mutated (dictionaries are extended
+// copy-on-write, so unchanged prefixes are shared). A Builder is not safe for
+// concurrent use; callers serialize Appends per dataset.
+type Builder struct {
+	base *Snapshot
+	// valIdx maps each dimension's value → code for the builder's current
+	// base, built lazily on first Append and extended as dictionaries grow.
+	valIdx []map[string]uint32
+}
+
+// NewBuilder starts an append lineage on top of base.
+func NewBuilder(base *Snapshot) *Builder {
+	return &Builder{base: base}
+}
+
+// Snapshot returns the builder's current (latest) snapshot.
+func (b *Builder) Snapshot() *Snapshot { return b.base }
+
+// Append encodes rows against the current snapshot and returns the new
+// version. New dimension values extend the dictionaries; the result is
+// validated (hierarchy functional dependencies included) before it becomes
+// the builder's new base, so a bad batch leaves the lineage unchanged.
+func (b *Builder) Append(rows []Row) (*Snapshot, error) {
+	base := b.base
+	if len(rows) == 0 {
+		return base, nil
+	}
+	for i, r := range rows {
+		if len(r.Dims) != len(base.Dims) || len(r.Measures) != len(base.Measures) {
+			return nil, fmt.Errorf("store: append row %d: arity mismatch: %d/%d dims, %d/%d measures",
+				i, len(r.Dims), len(base.Dims), len(r.Measures), len(base.Measures))
+		}
+		for j, v := range r.Measures {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("store: append row %d measure %q: non-finite value %v",
+					i, base.Measures[j].Name, v)
+			}
+		}
+	}
+	if b.valIdx == nil {
+		b.valIdx = make([]map[string]uint32, len(base.Dims))
+		for ci, c := range base.Dims {
+			idx := make(map[string]uint32, len(c.Dict))
+			for code, v := range c.Dict {
+				idx[v] = uint32(code)
+			}
+			b.valIdx[ci] = idx
+		}
+	}
+
+	next := &Snapshot{
+		Name:        base.Name,
+		Version:     base.Version + 1,
+		Hierarchies: base.Hierarchies,
+		Dims:        make([]Column, len(base.Dims)),
+		Measures:    make([]MeasureColumn, len(base.Measures)),
+		rows:        base.rows + len(rows),
+	}
+	for ci, c := range base.Dims {
+		// Full slice expressions pin capacity to length, so appending always
+		// copies instead of scribbling over a sibling version's backing array.
+		dict := c.Dict[:len(c.Dict):len(c.Dict)]
+		codes := append(c.Codes[:len(c.Codes):len(c.Codes)], make([]uint32, len(rows))...)
+		idx := b.valIdx[ci]
+		for ri, r := range rows {
+			v := r.Dims[ci]
+			code, ok := idx[v]
+			if !ok {
+				code = uint32(len(dict))
+				dict = append(dict, v)
+				idx[v] = code
+			}
+			codes[base.rows+ri] = code
+		}
+		next.Dims[ci] = Column{Name: c.Name, Dict: dict, Codes: codes}
+	}
+	for mi, m := range base.Measures {
+		vals := append(m.Values[:len(m.Values):len(m.Values)], make([]float64, len(rows))...)
+		for ri, r := range rows {
+			vals[base.rows+ri] = r.Measures[mi]
+		}
+		next.Measures[mi] = MeasureColumn{Name: m.Name, Values: vals}
+	}
+	if err := next.validate(); err != nil {
+		// The batch introduced an inconsistency (typically an FD violation
+		// against existing rows). Drop the cached value indexes: they may
+		// hold entries for the rejected batch's new values.
+		b.valIdx = nil
+		return nil, err
+	}
+	b.base = next
+	return next, nil
+}

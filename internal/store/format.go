@@ -1,0 +1,322 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/data"
+)
+
+// The .rst binary layout, format version 1. All integers are little-endian;
+// varints use the unsigned encoding/binary format; strings are a uvarint
+// byte length followed by UTF-8 bytes.
+//
+//	[0:7)   magic "RSTSNAP"
+//	[7]     format version (1)
+//	        name            string
+//	        version         uvarint   snapshot version (Builder.Append bumps it)
+//	        rows            uvarint
+//	        #hierarchies    uvarint   then per hierarchy: name, #attrs, attrs
+//	        #dims           uvarint   then per dim: name, #dict, dict values,
+//	                                  rows×4 bytes of uint32 codes
+//	        #measures       uvarint   then per measure: name,
+//	                                  rows×8 bytes of float64 bits
+//	[tail]  uint32 CRC-32C (Castagnoli) of every preceding byte
+var magic = [7]byte{'R', 'S', 'T', 'S', 'N', 'A', 'P'}
+
+// FormatVersion is the current .rst format version.
+const FormatVersion = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSaneCount bounds decoded element counts so a corrupt or hostile header
+// cannot trigger a huge allocation before the length checks run.
+const maxSaneCount = 1 << 31
+
+// Write serializes the snapshot in .rst format, checksum included.
+func (s *Snapshot) Write(w io.Writer) error {
+	h := crc32.New(castagnoli)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, h), 1<<16)
+	e := &encoder{w: bw}
+	e.bytes(magic[:])
+	e.byte(FormatVersion)
+	e.string(s.Name)
+	e.uvarint(s.Version)
+	e.uvarint(uint64(s.rows))
+	e.uvarint(uint64(len(s.Hierarchies)))
+	for _, hr := range s.Hierarchies {
+		e.string(hr.Name)
+		e.uvarint(uint64(len(hr.Attrs)))
+		for _, a := range hr.Attrs {
+			e.string(a)
+		}
+	}
+	e.uvarint(uint64(len(s.Dims)))
+	for _, c := range s.Dims {
+		e.string(c.Name)
+		e.uvarint(uint64(len(c.Dict)))
+		for _, v := range c.Dict {
+			e.string(v)
+		}
+		e.codes(c.Codes)
+	}
+	e.uvarint(uint64(len(s.Measures)))
+	for _, m := range s.Measures {
+		e.string(m.Name)
+		e.floats(m.Values)
+	}
+	if e.err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", e.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	// The checksum covers everything flushed so far and is written to the
+	// destination only (hashing it too would make verification impossible).
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], h.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("store: writing snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the snapshot to path atomically (temp file + rename).
+func (s *Snapshot) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Open decodes and validates a snapshot from r (checksum, structural
+// invariants, hierarchy functional dependencies).
+func Open(r io.Reader) (*Snapshot, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	return decode(b)
+}
+
+// OpenFile loads a .rst snapshot from disk.
+func OpenFile(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func decode(b []byte) (*Snapshot, error) {
+	if len(b) < len(magic)+1+4 {
+		return nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(b))
+	}
+	payload, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	d := &decoder{b: payload}
+	var m [7]byte
+	copy(m[:], d.bytes(len(magic)))
+	if d.err == nil && m != magic {
+		return nil, fmt.Errorf("store: bad magic %q: not a .rst snapshot", m[:])
+	}
+	if v := d.byte(); d.err == nil && v != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported format version %d (want %d)", v, FormatVersion)
+	}
+	s := &Snapshot{}
+	s.Name = d.string()
+	s.Version = d.uvarint()
+	rows := d.uvarint()
+	if rows > maxSaneCount {
+		return nil, fmt.Errorf("store: implausible row count %d", rows)
+	}
+	s.rows = int(rows)
+	for i, nh := 0, d.count(); i < nh && d.err == nil; i++ {
+		h := data.Hierarchy{Name: d.string()}
+		for j, na := 0, d.count(); j < na && d.err == nil; j++ {
+			h.Attrs = append(h.Attrs, d.string())
+		}
+		s.Hierarchies = append(s.Hierarchies, h)
+	}
+	for i, nd := 0, d.count(); i < nd && d.err == nil; i++ {
+		c := Column{Name: d.string()}
+		ndict := d.count()
+		c.Dict = make([]string, 0, min(ndict, 1<<16))
+		for j := 0; j < ndict && d.err == nil; j++ {
+			c.Dict = append(c.Dict, d.string())
+		}
+		c.Codes = d.codes(s.rows)
+		s.Dims = append(s.Dims, c)
+	}
+	for i, nm := 0, d.count(); i < nm && d.err == nil; i++ {
+		mc := MeasureColumn{Name: d.string()}
+		mc.Values = d.floats(s.rows)
+		s.Measures = append(s.Measures, mc)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot: %w", d.err)
+	}
+	if len(d.b) != d.off {
+		return nil, fmt.Errorf("store: %d trailing bytes after snapshot payload", len(d.b)-d.off)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// encoder writes the primitive field types, latching the first error.
+type encoder struct {
+	w       *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+	err     error
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) byte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.bytes(e.scratch[:n])
+}
+
+func (e *encoder) string(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) codes(cs []uint32) {
+	var buf [4]byte
+	for _, c := range cs {
+		binary.LittleEndian.PutUint32(buf[:], c)
+		e.bytes(buf[:])
+	}
+}
+
+func (e *encoder) floats(vs []float64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		e.bytes(buf[:])
+	}
+}
+
+// decoder reads the primitive field types from an in-memory payload,
+// latching the first error.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.fail("truncated: need %d bytes at offset %d, have %d", n, d.off, len(d.b)-d.off)
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) byte() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count decodes an element count, bounding it to sane sizes.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if v > maxSaneCount {
+		d.fail("implausible element count %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) string() string {
+	n := d.count()
+	return string(d.bytes(n))
+}
+
+func (d *decoder) codes(rows int) []uint32 {
+	raw := d.bytes(4 * rows)
+	if raw == nil {
+		return nil
+	}
+	out := make([]uint32, rows)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	return out
+}
+
+func (d *decoder) floats(rows int) []float64 {
+	raw := d.bytes(8 * rows)
+	if raw == nil {
+		return nil
+	}
+	out := make([]float64, rows)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}

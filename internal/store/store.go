@@ -1,0 +1,183 @@
+// Package store is Reptile's persistent storage layer: an immutable,
+// dictionary-encoded columnar snapshot of a data.Dataset, a versioned binary
+// file format (.rst) that round-trips snapshots without reparsing CSV, and an
+// append path that produces new snapshot versions for live ingestion.
+//
+// A Snapshot keeps each dimension as a dictionary of distinct strings plus
+// one uint32 code per row, and each measure as a raw []float64. Converting a
+// snapshot back to a data.Dataset installs the dictionary encoding on the
+// dataset (data.SetEncodedDim), which lets agg.GroupBy and the factorizer
+// consume precomputed codes instead of re-hashing strings on the query path.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// Column is one dictionary-encoded dimension: Dict holds the distinct values
+// in order of first appearance, Codes holds one index into Dict per row.
+type Column struct {
+	Name  string
+	Dict  []string
+	Codes []uint32
+}
+
+// MeasureColumn is one numeric measure column.
+type MeasureColumn struct {
+	Name   string
+	Values []float64
+}
+
+// Snapshot is one immutable version of a dataset in columnar form. Appending
+// rows (Builder.Append) produces a new Snapshot with Version+1; the base
+// snapshot and all datasets derived from it stay valid.
+type Snapshot struct {
+	Name        string
+	Version     uint64
+	Hierarchies []data.Hierarchy
+	Dims        []Column
+	Measures    []MeasureColumn
+
+	rows int
+	// ds memoizes Dataset(): snapshots are immutable, so the derived dataset
+	// is built once and shared by every caller.
+	ds *data.Dataset
+}
+
+// NumRows returns the snapshot's row count.
+func (s *Snapshot) NumRows() int { return s.rows }
+
+// FromDataset dictionary-encodes a dataset into a version-1 snapshot.
+// Dictionaries list values in order of first appearance, so encoding is
+// deterministic for a given row order.
+func FromDataset(ds *data.Dataset) *Snapshot {
+	s := &Snapshot{
+		Name:        ds.Name,
+		Version:     1,
+		Hierarchies: append([]data.Hierarchy(nil), ds.Hierarchies...),
+		rows:        ds.NumRows(),
+	}
+	for _, name := range ds.DimNames() {
+		s.Dims = append(s.Dims, encodeColumn(ds, name))
+	}
+	for _, name := range ds.MeasureNames() {
+		s.Measures = append(s.Measures, MeasureColumn{
+			Name:   name,
+			Values: append([]float64(nil), ds.Measure(name)...),
+		})
+	}
+	return s
+}
+
+// encodeColumn dictionary-encodes one dimension, reusing the dataset's own
+// encoding when it already carries one.
+func encodeColumn(ds *data.Dataset, name string) Column {
+	if dict, codes, ok := ds.DimCodes(name); ok {
+		return Column{Name: name, Dict: dict, Codes: codes}
+	}
+	col := ds.Dim(name)
+	idx := make(map[string]uint32)
+	var dict []string
+	codes := make([]uint32, len(col))
+	for i, v := range col {
+		c, ok := idx[v]
+		if !ok {
+			c = uint32(len(dict))
+			idx[v] = c
+			dict = append(dict, v)
+		}
+		codes[i] = c
+	}
+	return Column{Name: name, Dict: dict, Codes: codes}
+}
+
+// Dataset materializes the snapshot as a code-backed data.Dataset. The
+// result is memoized and shared: callers must treat it as immutable, like
+// every engine-owned dataset.
+func (s *Snapshot) Dataset() (*data.Dataset, error) {
+	if s.ds != nil {
+		return s.ds, nil
+	}
+	dimNames := make([]string, len(s.Dims))
+	for i, c := range s.Dims {
+		dimNames[i] = c.Name
+	}
+	msNames := make([]string, len(s.Measures))
+	for i, m := range s.Measures {
+		msNames[i] = m.Name
+	}
+	ds := data.New(s.Name, dimNames, msNames, append([]data.Hierarchy(nil), s.Hierarchies...))
+	for _, c := range s.Dims {
+		if len(c.Codes) != s.rows {
+			return nil, fmt.Errorf("store: dimension %q has %d rows, snapshot has %d", c.Name, len(c.Codes), s.rows)
+		}
+		if err := ds.SetEncodedDim(c.Name, c.Dict, c.Codes); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range s.Measures {
+		if len(m.Values) != s.rows {
+			return nil, fmt.Errorf("store: measure %q has %d rows, snapshot has %d", m.Name, len(m.Values), s.rows)
+		}
+		if err := ds.SetMeasure(m.Name, m.Values); err != nil {
+			return nil, err
+		}
+	}
+	s.ds = ds
+	return ds, nil
+}
+
+// dim returns the column with the given name, or nil.
+func (s *Snapshot) dim(name string) *Column {
+	for i := range s.Dims {
+		if s.Dims[i].Name == name {
+			return &s.Dims[i]
+		}
+	}
+	return nil
+}
+
+// validate checks the snapshot's structural invariants (column lengths, code
+// ranges, hierarchy attributes) and, via the derived dataset, the hierarchy
+// functional dependencies. It is run on every Open and Append.
+func (s *Snapshot) validate() error {
+	for _, c := range s.Dims {
+		if len(c.Codes) != s.rows {
+			return fmt.Errorf("store: dimension %q has %d rows, snapshot has %d", c.Name, len(c.Codes), s.rows)
+		}
+		// Dictionary values must be distinct: duplicates would make the coded
+		// group-by split what the string semantics merge, so a checksum-valid
+		// but hand-crafted file cannot smuggle the inconsistency in.
+		seen := make(map[string]struct{}, len(c.Dict))
+		for _, v := range c.Dict {
+			if _, dup := seen[v]; dup {
+				return fmt.Errorf("store: dimension %q: duplicate dictionary value %q", c.Name, v)
+			}
+			seen[v] = struct{}{}
+		}
+		for i, code := range c.Codes {
+			if int(code) >= len(c.Dict) {
+				return fmt.Errorf("store: dimension %q row %d: code %d out of range (dictionary size %d)",
+					c.Name, i, code, len(c.Dict))
+			}
+		}
+	}
+	for _, m := range s.Measures {
+		if len(m.Values) != s.rows {
+			return fmt.Errorf("store: measure %q has %d rows, snapshot has %d", m.Name, len(m.Values), s.rows)
+		}
+	}
+	if len(s.Hierarchies) == 0 {
+		return nil // auxiliary tables carry no hierarchy metadata
+	}
+	ds, err := s.Dataset()
+	if err != nil {
+		return err
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("store: snapshot %q: %w", s.Name, err)
+	}
+	return nil
+}

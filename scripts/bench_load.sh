@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Runs the storage-layer benchmarks (CSV vs .rst snapshot load, string-keyed
+# vs dictionary-coded Recommend) and writes the results to BENCH_load.json in
+# the repository root. Override the iteration count with BENCHTIME (a Go
+# -benchtime value, e.g. "3x" or "2s").
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-5x}"
+out=BENCH_load.json
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# No pipelines around go test: plain sh has no pipefail, and a pipe into tee
+# would mask a benchmark failure behind tee's exit status.
+go test -run '^$' -bench 'BenchmarkLoad(CSV|Snapshot)$' -benchtime "$benchtime" -count 1 ./internal/store > "$tmp"
+go test -run '^$' -bench 'BenchmarkRecommend(Sequential|Coded)$' -benchtime "$benchtime" -count 1 . >> "$tmp"
+cat "$tmp"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3
+}
+END { if (n == 0) exit 1 }
+' "$tmp" > "$out.body"
+
+{
+    printf '{\n  "benchmarks": [\n'
+    cat "$out.body"
+    printf '\n  ]\n}\n'
+} > "$out"
+rm -f "$out.body"
+echo "wrote $out"
