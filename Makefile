@@ -10,10 +10,11 @@ test: build
 	go test ./...
 
 race:
-	go test -race ./internal/core/... ./internal/server/... ./internal/store/...
+	go test -race ./internal/core/... ./internal/server/... ./internal/store/... ./internal/cube/...
 
 # bench-load seeds the storage performance trajectory: CSV vs .rst snapshot
-# load and string-keyed vs dictionary-coded Recommend, recorded to
-# BENCH_load.json. BENCHTIME overrides the per-benchmark iteration budget.
+# load, string-keyed vs dictionary-coded Recommend, and cube vs coded-scan
+# GroupBy (plus incremental cube maintenance), recorded to BENCH_load.json.
+# BENCHTIME overrides the per-benchmark iteration budget.
 bench-load:
 	sh scripts/bench_load.sh

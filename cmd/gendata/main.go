@@ -5,6 +5,11 @@
 //
 //	gendata -dataset covid-us -out covid_us.csv
 //	gendata -dataset fist -out fist.rst -aux-out rainfall.csv
+//	gendata -dataset absentee -out absentee.rst -cube
+//
+// With -cube, .rst outputs additionally carry the materialized hierarchy
+// rollup cube (internal/cube), so loaders answer hierarchy-prefix group-bys
+// from precomputed cells.
 //
 // Datasets: covid-us, covid-global, fist, vote, absentee, compas.
 package main
@@ -28,6 +33,7 @@ func main() {
 		auxOut = flag.String("aux-out", "", "auxiliary table path, .csv or .rst (fist: rainfall; vote: 2016 results)")
 		seed   = flag.Int64("seed", 1, "random seed")
 		rows   = flag.Int("rows", 0, "row count override (absentee/compas; 0 = paper scale)")
+		cube   = flag.Bool("cube", false, "materialize the hierarchy rollup cube into .rst outputs")
 	)
 	flag.Parse()
 	if *which == "" || *out == "" {
@@ -55,23 +61,30 @@ func main() {
 		log.Fatalf("unknown dataset %q", *which)
 	}
 
-	if err := writeDataset(ds, *out); err != nil {
+	if err := writeDataset(ds, *out, *cube); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d rows to %s\n", ds.NumRows(), *out)
 	if aux != nil && *auxOut != "" {
-		if err := writeDataset(aux, *auxOut); err != nil {
+		if err := writeDataset(aux, *auxOut, *cube); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d auxiliary rows to %s\n", aux.NumRows(), *auxOut)
 	}
 }
 
-// writeDataset emits a .rst binary snapshot when the path asks for one, and
-// CSV otherwise.
-func writeDataset(ds *data.Dataset, path string) error {
+// writeDataset emits a .rst binary snapshot when the path asks for one
+// (materializing the rollup cube into it when requested), and CSV otherwise.
+// Auxiliary tables carry no hierarchies, so -cube leaves them unchanged.
+func writeDataset(ds *data.Dataset, path string, cube bool) error {
 	if strings.HasSuffix(path, ".rst") {
-		return store.FromDataset(ds).WriteFile(path)
+		snap := store.FromDataset(ds)
+		if cube {
+			if err := snap.BuildCube(); err != nil {
+				return err
+			}
+		}
+		return snap.WriteFile(path)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -8,7 +8,11 @@
 //
 //	reptile convert -data survey.csv \
 //	        -hierarchies "geo:region,district,village;time:year" \
-//	        -measures severity -out survey.rst
+//	        -measures severity -out survey.rst [-cube]
+//
+// With -cube the snapshot additionally materializes the hierarchy rollup
+// cube (internal/cube): group-bys over hierarchy prefixes are then answered
+// from precomputed cells when the snapshot is loaded, here or by reptiled.
 //
 // Usage:
 //
@@ -146,6 +150,7 @@ func runConvert(args []string) error {
 		hierSpec    = fs.String("hierarchies", "", `hierarchies, e.g. "geo:region,district,village;time:year" (required)`)
 		measureList = fs.String("measures", "", "comma-separated measure columns (required)")
 		name        = fs.String("name", "", "dataset name stored in the snapshot (default: the input path)")
+		withCube    = fs.Bool("cube", false, "materialize the hierarchy rollup cube into the snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -166,11 +171,22 @@ func runConvert(args []string) error {
 		return fmt.Errorf("loading %s: %w", *in, err)
 	}
 	snap := store.FromDataset(ds)
+	cubeNote := ""
+	if *withCube {
+		if err := snap.BuildCube(); err != nil {
+			return err
+		}
+		if c := snap.Cube(); c != nil {
+			cubeNote = fmt.Sprintf(", cube: %d groupings / %d cells", c.NumLevels(), c.NumCells())
+		} else {
+			cubeNote = ", cube: skipped (dataset not cubable)"
+		}
+	}
 	if err := snap.WriteFile(*out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d rows (%d dimensions, %d measures) to %s\n",
-		snap.NumRows(), len(snap.Dims), len(snap.Measures), *out)
+	fmt.Printf("wrote %d rows (%d dimensions, %d measures%s) to %s\n",
+		snap.NumRows(), len(snap.Dims), len(snap.Measures), cubeNote, *out)
 	return nil
 }
 

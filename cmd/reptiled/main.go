@@ -6,7 +6,7 @@
 // Usage:
 //
 //	reptiled [-addr 127.0.0.1:8372] [-session-ttl 15m] [-cache-size 256]
-//	         [-max-inflight 0] [-queue-wait 100ms]
+//	         [-max-inflight 0] [-queue-wait 100ms] [-no-cube]
 //
 // The API is unauthenticated and POST /v1/datasets can name server-local CSV
 // paths, so the default bind is loopback; put a reverse proxy with
@@ -19,7 +19,14 @@
 //	POST /v1/sessions                   start a drill-down session
 //	POST /v1/sessions/{id}/recommend    evaluate a complaint
 //	POST /v1/sessions/{id}/drill        accept a recommendation
+//	GET  /v1/stats                      per-dataset versions + cube status
 //	GET  /healthz                       liveness + cache statistics
+//
+// Every registered dataset version materializes a hierarchy rollup cube
+// (internal/cube) shared by all its sessions — group-bys over hierarchy
+// prefixes are answered from precomputed cells, and appends maintain the
+// cube incrementally. -no-cube disables materialization (snapshots loaded
+// from .rst files that already carry a cube keep it).
 //
 // Registering a path ending in .rst loads a dictionary-encoded binary
 // snapshot (see internal/store and "reptile convert") instead of reparsing
@@ -55,6 +62,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "concurrent recommendations per dataset (0 = the engine's worker count)")
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "how long an over-limit recommendation waits before 429")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+		noCube      = flag.Bool("no-cube", false, "skip materializing rollup cubes for registered datasets")
 	)
 	flag.Parse()
 
@@ -63,6 +71,7 @@ func main() {
 		CacheSize:   *cacheSize,
 		MaxInflight: *maxInflight,
 		QueueWait:   *queueWait,
+		DisableCube: *noCube,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -214,6 +214,28 @@ type Result struct {
 	Index   map[string]int
 }
 
+// NewResult assembles a Result from unordered groups: it sorts them by their
+// key values lexicographically, attribute by attribute, and indexes the
+// sorted positions. Every GroupBy path — the string scan, the coded scan,
+// and materialized providers (internal/cube) — assembles its output here, so
+// group ordering can never drift between them.
+func NewResult(attrs []string, measure string, groups []Group) *Result {
+	sort.Slice(groups, func(a, b int) bool {
+		ga, gb := groups[a].Vals, groups[b].Vals
+		for i := range ga {
+			if ga[i] != gb[i] {
+				return ga[i] < gb[i]
+			}
+		}
+		return false
+	})
+	index := make(map[string]int, len(groups))
+	for i, g := range groups {
+		index[g.Key] = i
+	}
+	return &Result{Attrs: attrs, Measure: measure, Groups: groups, Index: index}
+}
+
 // Get returns the group with the given key values.
 func (r *Result) Get(vals []string) (Group, bool) {
 	i, ok := r.Index[data.EncodeKey(vals)]
@@ -232,12 +254,39 @@ func (r *Result) Total() Stats {
 	return out
 }
 
+// Materialized is the interface of a precomputed-aggregate provider attached
+// to a dataset via data.Dataset.SetRollup (internal/cube's Cube implements
+// it). GroupBy reports ok=false when it cannot answer the grouping — the
+// caller then falls back to a row scan. A provider must return results
+// equal to the scan it replaces, freshly allocated per call: bit-identical
+// when built directly from the rows (internal/cube's build path), and at
+// worst reassociating the floating-point sums of incrementally merged
+// partitions (its append path) — counts are always exact.
+type Materialized interface {
+	GroupBy(attrs []string, measure string) (*Result, bool)
+}
+
+// MaterializedOf returns the dataset's attached materialized-aggregate
+// provider, if any.
+func MaterializedOf(d *data.Dataset) (Materialized, bool) {
+	m, ok := d.Rollup().(Materialized)
+	return m, ok
+}
+
 // GroupBy aggregates measure over the given attributes. Groups are sorted by
-// their key values lexicographically, attribute by attribute. When every
-// attribute carries a dictionary encoding (datasets loaded through
-// internal/store), grouping runs over integer codes instead of encoded
-// string keys; the two paths produce identical results.
+// their key values lexicographically, attribute by attribute. When the
+// dataset carries a materialized aggregate attachment that covers the
+// grouping (a hierarchy-prefix cube), the answer comes from precomputed
+// cells in O(groups); otherwise, when every attribute carries a dictionary
+// encoding (datasets loaded through internal/store), grouping runs over
+// integer codes instead of encoded string keys. All paths produce identical
+// results.
 func GroupBy(d *data.Dataset, attrs []string, measure string) *Result {
+	if m, ok := MaterializedOf(d); ok {
+		if r, ok := m.GroupBy(attrs, measure); ok {
+			return r
+		}
+	}
 	if r := groupByCoded(d, attrs, measure); r != nil {
 		return r
 	}
@@ -266,19 +315,7 @@ func GroupBy(d *data.Dataset, attrs []string, measure string) *Result {
 		g.Stats.Sum += v
 		g.Stats.SumSq += v * v
 	}
-	sort.Slice(groups, func(a, b int) bool {
-		ga, gb := groups[a].Vals, groups[b].Vals
-		for i := range ga {
-			if ga[i] != gb[i] {
-				return ga[i] < gb[i]
-			}
-		}
-		return false
-	})
-	for i, g := range groups {
-		index[g.Key] = i
-	}
-	return &Result{Attrs: attrs, Measure: measure, Groups: groups, Index: index}
+	return NewResult(attrs, measure, groups)
 }
 
 // groupByCoded is the dictionary-code fast path of GroupBy: rows are bucketed
@@ -338,18 +375,5 @@ func groupByCoded(d *data.Dataset, attrs []string, measure string) *Result {
 		groups[gi].Vals = vals
 		groups[gi].Key = data.EncodeKey(vals)
 	}
-	sort.Slice(groups, func(a, b int) bool {
-		ga, gb := groups[a].Vals, groups[b].Vals
-		for i := range ga {
-			if ga[i] != gb[i] {
-				return ga[i] < gb[i]
-			}
-		}
-		return false
-	})
-	index := make(map[string]int, len(groups))
-	for i, g := range groups {
-		index[g.Key] = i
-	}
-	return &Result{Attrs: attrs, Measure: measure, Groups: groups, Index: index}
+	return NewResult(attrs, measure, groups)
 }

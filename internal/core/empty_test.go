@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"repro/internal/agg"
 	"repro/internal/data"
+	"repro/internal/store"
 )
 
 // moveGroup relabels every row of (village, year) into another year — the
@@ -59,6 +62,62 @@ func TestRecommendFindsVanishedGroup(t *testing.T) {
 	// Its predicted count should be near the regular group size (10).
 	if p := top.Predicted[agg.Count]; p < 5 || p > 15 {
 		t.Errorf("predicted count = %v, want ≈10", p)
+	}
+}
+
+// TestVanishedGroupWithCube reruns the vanished-group scenario with a
+// materialized cube attached: the engine then discovers the empty drill-down
+// candidates from the cube's prefix grouping instead of a row scan
+// (cubeChildValues), and the whole recommendation must stay byte-identical
+// to the scan engine's.
+func TestVanishedGroupWithCube(t *testing.T) {
+	sc := buildScenario(21)
+	sc.moveGroup("d2_v1", "1993", "1994")
+	complaint := Complaint{
+		Agg:       agg.Count,
+		Measure:   "severity",
+		Tuple:     data.Predicate{"district": "d2", "year": "1993"},
+		Direction: TooLow,
+	}
+	var recs [][]byte
+	for _, withCube := range []bool{false, true} {
+		snap := store.FromDataset(sc.ds)
+		if withCube {
+			if err := snap.BuildCube(); err != nil {
+				t.Fatal(err)
+			}
+			if snap.Cube() == nil {
+				t.Fatal("scenario dataset did not materialize a cube")
+			}
+		}
+		ds, err := snap.Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(ds, Options{EMIterations: 10, Trainer: TrainerNaive, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := eng.NewSession([]string{"district", "year"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := s.Recommend(complaint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top := rec.Best.Ranked[0]; top.Group.Stats.Count != 0 {
+			t.Errorf("withCube=%v: top group %v has count %v, want the vanished (empty) group",
+				withCube, top.Group.Vals, top.Group.Stats.Count)
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, b)
+	}
+	if !bytes.Equal(recs[0], recs[1]) {
+		t.Errorf("cube-backed empty-group discovery changed the recommendation:\nscan: %.300s\ncube: %.300s", recs[0], recs[1])
 	}
 }
 

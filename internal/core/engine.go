@@ -628,7 +628,10 @@ func (s *Session) evaluateHierarchy(h data.Hierarchy, c Complaint, st evalState)
 
 // emptyChildValues returns the drilled attribute's values that appear under
 // the tuple's same-hierarchy ancestors somewhere in the dataset but have no
-// group in the tuple's provenance.
+// group in the tuple's provenance. When the dataset carries a materialized
+// cube, the candidates come from the drilled hierarchy's prefix grouping in
+// O(groups); otherwise a row scan collects them. Both paths yield the same
+// sorted value set.
 func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string, groups *agg.Result, children []int, c Complaint) []string {
 	anc := data.Predicate{}
 	for _, a := range h.Attrs {
@@ -642,6 +645,9 @@ func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string
 		observed[v] = true
 	}
 	ds := s.eng.ds
+	if out, ok := cubeChildValues(ds, h, attr, c.Measure, anc, observed); ok {
+		return out
+	}
 	col := ds.Dim(attr)
 	seen := make(map[string]bool)
 	var out []string
@@ -657,6 +663,48 @@ func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string
 	}
 	sort.Strings(out)
 	return out
+}
+
+// cubeChildValues collects the drilled attribute's unobserved values under
+// the ancestor predicate from an attached materialized cube: the hierarchy's
+// prefix grouping down to attr enumerates every (ancestors, attr) path with
+// at least one row, so filtering its groups by the predicate yields exactly
+// the value set the row scan finds. The ancestor predicate only constrains
+// attributes of h above attr (the complaint tuple holds the session's
+// current drill prefix), so every condition is present in the grouping.
+func cubeChildValues(ds *data.Dataset, h data.Hierarchy, attr, measure string, anc data.Predicate, observed map[string]bool) ([]string, bool) {
+	m, ok := agg.MaterializedOf(ds)
+	if !ok {
+		return nil, false
+	}
+	lvl := h.Level(attr)
+	prefix := h.Attrs[:lvl+1]
+	r, ok := m.GroupBy(prefix, measure)
+	if !ok {
+		return nil, false
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, g := range r.Groups {
+		match := true
+		for a, want := range anc {
+			if v, ok := g.Value(r.Attrs, a); !ok || v != want {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		v := g.Vals[lvl]
+		if observed[v] || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, true
 }
 
 // statModel is one fitted base-statistic model: fitted values per observed

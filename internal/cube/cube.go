@@ -1,0 +1,594 @@
+package cube
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/data"
+)
+
+// ErrNotCubable reports a dataset the cube subsystem declines to materialize:
+// no hierarchies, a dimension without dictionary codes, a composite key space
+// that overflows uint64, or a lattice with more levels than maxLevels.
+// Callers treat it as "serve from row scans instead", not as a failure.
+var ErrNotCubable = errors.New("dataset not cubable")
+
+// maxLevels bounds the lattice size (the product of depth+1 over
+// hierarchies) so pathological schemas cannot explode the build.
+const maxLevels = 4096
+
+// attrInfo is one flattened hierarchy attribute in canonical order
+// (hierarchy by hierarchy, least to most specific).
+type attrInfo struct {
+	name  string
+	hier  int // index into hiers
+	level int // depth within the hierarchy
+	dict  []string
+	radix uint64 // dictionary size (1 for an empty dictionary)
+}
+
+// level is one lattice grouping: the cells of the group-by over every
+// hierarchy's prefix of the level's depth. Cells are keyed by the
+// mixed-radix composite of their attribute codes in canonical attribute
+// order and stored sorted by key.
+type level struct {
+	depths []int // depth per hierarchy
+	attrs  []int // flattened attribute indices, canonical order
+	keys   []uint64
+	counts []float64
+	sums   [][]float64 // per measure, aligned with keys
+	sumsqs [][]float64
+}
+
+// Cube is the materialized rollup lattice of one immutable dataset version.
+// It is safe for concurrent use; query methods allocate fresh results.
+type Cube struct {
+	name     string
+	rows     int
+	measures []string
+	hiers    []data.Hierarchy
+	attrs    []attrInfo
+	attrIdx  map[string]int // attribute name → flattened index
+	// firstAttr[h] is the flattened index of hierarchy h's first attribute.
+	firstAttr []int
+	// prefixRadix[h][d] is the product of the first d attribute radices of
+	// hierarchy h: the size of the composite key space of its depth-d prefix.
+	prefixRadix [][]uint64
+	levels      []*level // in lattice order (latticeIndex over depth vectors)
+}
+
+// skeleton builds an empty cube over the dataset's schema: flattened
+// attributes, radices, and one empty level per lattice point.
+func skeleton(ds *data.Dataset) (*Cube, error) {
+	if len(ds.Hierarchies) == 0 {
+		return nil, fmt.Errorf("cube: %w: dataset %q has no hierarchies", ErrNotCubable, ds.Name)
+	}
+	c := &Cube{
+		name:     ds.Name,
+		rows:     ds.NumRows(),
+		measures: ds.MeasureNames(),
+		hiers:    append([]data.Hierarchy(nil), ds.Hierarchies...),
+		attrIdx:  make(map[string]int),
+	}
+	product := uint64(1)
+	nlevels := 1
+	for hi, h := range c.hiers {
+		if len(h.Attrs) == 0 || nlevels > maxLevels/(len(h.Attrs)+1) {
+			return nil, fmt.Errorf("cube: %w: lattice exceeds %d groupings", ErrNotCubable, maxLevels)
+		}
+		nlevels *= len(h.Attrs) + 1
+		c.firstAttr = append(c.firstAttr, len(c.attrs))
+		pr := []uint64{1}
+		for lvl, a := range h.Attrs {
+			if _, dup := c.attrIdx[a]; dup {
+				return nil, fmt.Errorf("cube: %w: attribute %q appears in two hierarchies", ErrNotCubable, a)
+			}
+			dict, _, ok := ds.DimCodes(a)
+			if !ok && ds.NumRows() > 0 {
+				return nil, fmt.Errorf("cube: %w: attribute %q has no dictionary encoding", ErrNotCubable, a)
+			}
+			radix := uint64(len(dict))
+			if radix == 0 {
+				radix = 1 // empty dataset: no rows, no cells, any radix works
+			}
+			if product > math.MaxUint64/radix || pr[lvl] > math.MaxUint64/radix {
+				return nil, fmt.Errorf("cube: %w: composite key space overflows uint64", ErrNotCubable)
+			}
+			product *= radix
+			pr = append(pr, pr[lvl]*radix)
+			c.attrIdx[a] = len(c.attrs)
+			c.attrs = append(c.attrs, attrInfo{name: a, hier: hi, level: lvl, dict: dict, radix: radix})
+		}
+		c.prefixRadix = append(c.prefixRadix, pr)
+	}
+	c.levels = make([]*level, nlevels)
+	for li := range c.levels {
+		lv := &level{depths: c.depthsOf(li)}
+		for hi := range c.hiers {
+			for d := 0; d < lv.depths[hi]; d++ {
+				lv.attrs = append(lv.attrs, c.firstAttr[hi]+d)
+			}
+		}
+		lv.sums = make([][]float64, len(c.measures))
+		lv.sumsqs = make([][]float64, len(c.measures))
+		c.levels[li] = lv
+	}
+	return c, nil
+}
+
+// latticeIndex maps a depth vector to its position in levels.
+func (c *Cube) latticeIndex(depths []int) int {
+	idx := 0
+	for hi, h := range c.hiers {
+		idx = idx*(len(h.Attrs)+1) + depths[hi]
+	}
+	return idx
+}
+
+// depthsOf inverts latticeIndex.
+func (c *Cube) depthsOf(li int) []int {
+	out := make([]int, len(c.hiers))
+	for hi := len(c.hiers) - 1; hi >= 0; hi-- {
+		n := len(c.hiers[hi].Attrs) + 1
+		out[hi] = li % n
+		li /= n
+	}
+	return out
+}
+
+// Build materializes the full lattice over a code-backed dataset (one loaded
+// through internal/store). Every level accumulates in row order, so its
+// cells carry exactly the statistics a row scan of that grouping produces.
+func Build(ds *data.Dataset) (*Cube, error) {
+	return BuildRows(ds, 0, ds.NumRows())
+}
+
+// BuildRows materializes the lattice over the row range [lo, hi) — the delta
+// cube of an appended batch when lo is the predecessor's row count.
+func BuildRows(ds *data.Dataset, lo, hi int) (*Cube, error) {
+	if lo < 0 || hi < lo || hi > ds.NumRows() {
+		return nil, fmt.Errorf("cube: row range [%d,%d) out of bounds (%d rows)", lo, hi, ds.NumRows())
+	}
+	c, err := skeleton(ds)
+	if err != nil {
+		return nil, err
+	}
+	c.rows = hi - lo
+	codes := make([][]uint32, len(c.attrs))
+	for ai, a := range c.attrs {
+		_, cs, _ := ds.DimCodes(a.name)
+		codes[ai] = cs
+	}
+	cols := make([][]float64, len(c.measures))
+	for mi, m := range c.measures {
+		cols[mi] = ds.Measure(m)
+	}
+	cellIdx := make([]map[uint64]int, len(c.levels))
+	for li := range cellIdx {
+		cellIdx[li] = make(map[uint64]int)
+	}
+	// prefKey[h][d] is the current row's composite key over hierarchy h's
+	// first d+1 attributes, rebuilt incrementally per row.
+	prefKey := make([][]uint64, len(c.hiers))
+	for hi, h := range c.hiers {
+		prefKey[hi] = make([]uint64, len(h.Attrs))
+	}
+	for row := lo; row < hi; row++ {
+		for hi, h := range c.hiers {
+			k := uint64(0)
+			for d := 0; d < len(h.Attrs); d++ {
+				ai := c.firstAttr[hi] + d
+				k = k*c.attrs[ai].radix + uint64(codes[ai][row])
+				prefKey[hi][d] = k
+			}
+		}
+		for li, lv := range c.levels {
+			k := uint64(0)
+			for hi := range c.hiers {
+				d := lv.depths[hi]
+				if d == 0 {
+					continue
+				}
+				k = k*c.prefixRadix[hi][d] + prefKey[hi][d-1]
+			}
+			ci, ok := cellIdx[li][k]
+			if !ok {
+				ci = len(lv.keys)
+				cellIdx[li][k] = ci
+				lv.keys = append(lv.keys, k)
+				lv.counts = append(lv.counts, 0)
+				for mi := range lv.sums {
+					lv.sums[mi] = append(lv.sums[mi], 0)
+					lv.sumsqs[mi] = append(lv.sumsqs[mi], 0)
+				}
+			}
+			lv.counts[ci]++
+			for mi, col := range cols {
+				v := col[row]
+				lv.sums[mi][ci] += v
+				lv.sumsqs[mi][ci] += v * v
+			}
+		}
+	}
+	for _, lv := range c.levels {
+		lv.sortByKey()
+	}
+	return c, nil
+}
+
+// sortByKey orders the level's cells by composite key (the storage and
+// merge-join order; query paths re-sort by decoded values).
+func (lv *level) sortByKey() {
+	perm := make([]int, len(lv.keys))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return lv.keys[perm[a]] < lv.keys[perm[b]] })
+	reorderU64(lv.keys, perm)
+	reorderF64(lv.counts, perm)
+	for mi := range lv.sums {
+		reorderF64(lv.sums[mi], perm)
+		reorderF64(lv.sumsqs[mi], perm)
+	}
+}
+
+func reorderU64(s []uint64, perm []int) {
+	tmp := make([]uint64, len(s))
+	for i, p := range perm {
+		tmp[i] = s[p]
+	}
+	copy(s, tmp)
+}
+
+func reorderF64(s []float64, perm []int) {
+	tmp := make([]float64, len(s))
+	for i, p := range perm {
+		tmp[i] = s[p]
+	}
+	copy(s, tmp)
+}
+
+// decodeKey splits a level's composite key into per-attribute codes, in the
+// level's canonical attribute order.
+func (c *Cube) decodeKey(lv *level, k uint64, out []uint64) {
+	for i := len(lv.attrs) - 1; i >= 0; i-- {
+		r := c.attrs[lv.attrs[i]].radix
+		out[i] = k % r
+		k /= r
+	}
+}
+
+// measureIndex returns the position of measure in the cube, or -1.
+func (c *Cube) measureIndex(measure string) int {
+	for mi, m := range c.measures {
+		if m == measure {
+			return mi
+		}
+	}
+	return -1
+}
+
+// resolve maps the requested attributes to flattened indices and
+// per-hierarchy depth counts. ok is false on an unknown or duplicate
+// attribute.
+func (c *Cube) resolve(attrs []string) (flat []int, depths, maxLvl []int, ok bool) {
+	flat = make([]int, len(attrs))
+	depths = make([]int, len(c.hiers))
+	maxLvl = make([]int, len(c.hiers))
+	for hi := range maxLvl {
+		maxLvl[hi] = -1
+	}
+	seen := make(map[int]bool, len(attrs))
+	for qi, a := range attrs {
+		ai, found := c.attrIdx[a]
+		if !found || seen[ai] {
+			return nil, nil, nil, false
+		}
+		seen[ai] = true
+		flat[qi] = ai
+		info := c.attrs[ai]
+		depths[info.hier]++
+		if info.level > maxLvl[info.hier] {
+			maxLvl[info.hier] = info.level
+		}
+	}
+	return flat, depths, maxLvl, true
+}
+
+// GroupBy answers a group-by over hierarchy-prefix attributes from the
+// materialized level, in O(groups) and without touching rows. The attributes
+// may arrive in any order (the engine orders the drilled hierarchy last) as
+// long as, within each hierarchy, the ones present form a prefix. The result
+// is bit-identical to agg.GroupBy's row scan and freshly allocated per call.
+// ok=false means the grouping or measure is outside the cube; callers fall
+// back to a scan. GroupBy implements agg.Materialized.
+func (c *Cube) GroupBy(attrs []string, measure string) (*agg.Result, bool) {
+	mi := c.measureIndex(measure)
+	if mi < 0 || len(attrs) == 0 {
+		return nil, false
+	}
+	flat, depths, maxLvl, ok := c.resolve(attrs)
+	if !ok {
+		return nil, false
+	}
+	for hi := range depths {
+		if depths[hi] != maxLvl[hi]+1 {
+			return nil, false // a gap: not a hierarchy prefix
+		}
+	}
+	lv := c.levels[c.latticeIndex(depths)]
+	// Position of each query attribute within the level's canonical order.
+	pos := make([]int, len(attrs))
+	for qi, ai := range flat {
+		for i, la := range lv.attrs {
+			if la == ai {
+				pos[qi] = i
+				break
+			}
+		}
+	}
+	var groups []agg.Group
+	codes := make([]uint64, len(lv.attrs))
+	for ci, k := range lv.keys {
+		c.decodeKey(lv, k, codes)
+		vals := make([]string, len(attrs))
+		for qi := range attrs {
+			vals[qi] = c.attrs[flat[qi]].dict[codes[pos[qi]]]
+		}
+		groups = append(groups, agg.Group{
+			Key:   data.EncodeKey(vals),
+			Vals:  vals,
+			Stats: agg.Stats{Count: lv.counts[ci], Sum: lv.sums[mi][ci], SumSq: lv.sumsqs[mi][ci]},
+		})
+	}
+	return agg.NewResult(attrs, measure, groups), true
+}
+
+// Rollup answers an arbitrary grouping over hierarchy attributes — prefix or
+// not, e.g. by a mid-hierarchy attribute alone or with whole hierarchies
+// dropped — by merging the cells of the coarsest materialized level that
+// covers it (Stats.Add) instead of recomputing from rows. Because merging
+// reassociates floating-point additions, sums may differ from a row scan in
+// the last bit (counts are exact); the transparent agg.GroupBy path
+// therefore never uses Rollup, only explicit callers do.
+func (c *Cube) Rollup(attrs []string, measure string) (*agg.Result, bool) {
+	mi := c.measureIndex(measure)
+	if mi < 0 || len(attrs) == 0 {
+		return nil, false
+	}
+	flat, _, maxLvl, ok := c.resolve(attrs)
+	if !ok {
+		return nil, false
+	}
+	// The covering level: each hierarchy at the deepest requested attribute.
+	depths := make([]int, len(c.hiers))
+	for hi := range depths {
+		depths[hi] = maxLvl[hi] + 1
+	}
+	lv := c.levels[c.latticeIndex(depths)]
+	pos := make([]int, len(attrs))
+	for qi, ai := range flat {
+		for i, la := range lv.attrs {
+			if la == ai {
+				pos[qi] = i
+				break
+			}
+		}
+	}
+	codes := make([]uint64, len(lv.attrs))
+	cellOf := make(map[uint64]int)
+	var groups []agg.Group
+	for ci, k := range lv.keys {
+		c.decodeKey(lv, k, codes)
+		pk := uint64(0)
+		for qi := range attrs {
+			pk = pk*c.attrs[flat[qi]].radix + codes[pos[qi]]
+		}
+		cell := agg.Stats{Count: lv.counts[ci], Sum: lv.sums[mi][ci], SumSq: lv.sumsqs[mi][ci]}
+		if gi, ok := cellOf[pk]; ok {
+			groups[gi].Stats = groups[gi].Stats.Add(cell)
+			continue
+		}
+		vals := make([]string, len(attrs))
+		for qi := range attrs {
+			vals[qi] = c.attrs[flat[qi]].dict[codes[pos[qi]]]
+		}
+		cellOf[pk] = len(groups)
+		groups = append(groups, agg.Group{Key: data.EncodeKey(vals), Vals: vals, Stats: cell})
+	}
+	return agg.NewResult(attrs, measure, groups), true
+}
+
+// HierarchyPaths enumerates the distinct full-depth paths of hierarchy h
+// from the level that drills only h, without touching rows. It implements
+// factor.PathProvider; ok=false when the hierarchy is not the cube's.
+func (c *Cube) HierarchyPaths(h data.Hierarchy) ([][]string, bool) {
+	hi := -1
+	for i, ch := range c.hiers {
+		if ch.Name == h.Name && slices.Equal(ch.Attrs, h.Attrs) {
+			hi = i
+			break
+		}
+	}
+	if hi < 0 {
+		return nil, false
+	}
+	depths := make([]int, len(c.hiers))
+	depths[hi] = len(h.Attrs)
+	lv := c.levels[c.latticeIndex(depths)]
+	codes := make([]uint64, len(lv.attrs))
+	paths := make([][]string, 0, len(lv.keys))
+	for _, k := range lv.keys {
+		c.decodeKey(lv, k, codes)
+		p := make([]string, len(lv.attrs))
+		for i, ai := range lv.attrs {
+			p[i] = c.attrs[ai].dict[codes[i]]
+		}
+		paths = append(paths, p)
+	}
+	return paths, true
+}
+
+// Merge folds a delta cube (built over an appended batch with BuildRows)
+// into c, producing the successor version's cube: cells present in both are
+// merged with Stats.Add, and c's keys are re-encoded into the delta's radix
+// space when appended values grew the dictionaries (dictionaries grow
+// append-only, so codes — and therefore key order — are preserved). Neither
+// input is modified.
+//
+// Exactness: counts merge exactly, and a cell untouched by the delta is
+// copied verbatim. A cell present in both sides gains the delta's subtotal
+// in one addition, where a row scan of the combined rows would have added
+// the batch's values one at a time — so merged sums can differ from that
+// scan in the last floating-point bit unless the batch's values are exactly
+// representable (integers) or the cell received a single batch row. Every
+// derived aggregate remains a correct aggregation of the combined rows.
+func (c *Cube) Merge(delta *Cube) (*Cube, error) {
+	if len(delta.hiers) != len(c.hiers) || len(delta.attrs) != len(c.attrs) ||
+		len(delta.measures) != len(c.measures) || len(delta.levels) != len(c.levels) {
+		return nil, fmt.Errorf("cube: merge: schema mismatch")
+	}
+	for i, h := range c.hiers {
+		if delta.hiers[i].Name != h.Name || !slices.Equal(delta.hiers[i].Attrs, h.Attrs) {
+			return nil, fmt.Errorf("cube: merge: hierarchy %q differs", h.Name)
+		}
+	}
+	for i, m := range c.measures {
+		if delta.measures[i] != m {
+			return nil, fmt.Errorf("cube: merge: measure %q differs", m)
+		}
+	}
+	for i := range c.attrs {
+		if delta.attrs[i].radix < c.attrs[i].radix {
+			return nil, fmt.Errorf("cube: merge: dictionary of %q shrank", c.attrs[i].name)
+		}
+	}
+	out := &Cube{
+		name:        c.name,
+		rows:        c.rows + delta.rows,
+		measures:    c.measures,
+		hiers:       c.hiers,
+		attrs:       delta.attrs,
+		attrIdx:     delta.attrIdx,
+		firstAttr:   delta.firstAttr,
+		prefixRadix: delta.prefixRadix,
+		levels:      make([]*level, len(c.levels)),
+	}
+	for li, base := range c.levels {
+		dlv := delta.levels[li]
+		// Re-encode the base keys into the delta's (possibly larger) radix
+		// space; mixed-radix encoding preserves code-tuple order, so the
+		// re-encoded keys stay sorted and a linear merge-join suffices.
+		rekeys := make([]uint64, len(base.keys))
+		codes := make([]uint64, len(base.attrs))
+		for i, k := range base.keys {
+			c.decodeKey(base, k, codes)
+			nk := uint64(0)
+			for ai, code := range codes {
+				nk = nk*delta.attrs[base.attrs[ai]].radix + code
+			}
+			rekeys[i] = nk
+		}
+		mlv := &level{depths: base.depths, attrs: base.attrs}
+		mlv.sums = make([][]float64, len(c.measures))
+		mlv.sumsqs = make([][]float64, len(c.measures))
+		bi, di := 0, 0
+		for bi < len(rekeys) || di < len(dlv.keys) {
+			switch {
+			case di == len(dlv.keys) || (bi < len(rekeys) && rekeys[bi] < dlv.keys[di]):
+				mlv.appendCell(rekeys[bi], base.cell(bi))
+				bi++
+			case bi == len(rekeys) || dlv.keys[di] < rekeys[bi]:
+				mlv.appendCell(dlv.keys[di], dlv.cell(di))
+				di++
+			default: // equal keys: merge the partitions' statistics
+				bc, dc := base.cell(bi), dlv.cell(di)
+				merged := make([]agg.Stats, len(bc))
+				for mi := range bc {
+					merged[mi] = bc[mi].Add(dc[mi])
+				}
+				mlv.appendCell(rekeys[bi], merged)
+				bi++
+				di++
+			}
+		}
+		out.levels[li] = mlv
+	}
+	return out, nil
+}
+
+// cell returns the per-measure statistics of cell ci.
+func (lv *level) cell(ci int) []agg.Stats {
+	out := make([]agg.Stats, len(lv.sums))
+	for mi := range lv.sums {
+		out[mi] = agg.Stats{Count: lv.counts[ci], Sum: lv.sums[mi][ci], SumSq: lv.sumsqs[mi][ci]}
+	}
+	if len(out) == 0 {
+		out = []agg.Stats{{Count: lv.counts[ci]}}
+	}
+	return out
+}
+
+// appendCell appends one cell given its per-measure statistics.
+func (lv *level) appendCell(k uint64, stats []agg.Stats) {
+	lv.keys = append(lv.keys, k)
+	lv.counts = append(lv.counts, stats[0].Count)
+	for mi := range lv.sums {
+		lv.sums[mi] = append(lv.sums[mi], stats[mi].Sum)
+		lv.sumsqs[mi] = append(lv.sumsqs[mi], stats[mi].SumSq)
+	}
+}
+
+// NumRows returns the number of rows the cube summarizes.
+func (c *Cube) NumRows() int { return c.rows }
+
+// NumLevels returns the number of materialized lattice groupings.
+func (c *Cube) NumLevels() int { return len(c.levels) }
+
+// NumCells returns the total number of cells across all levels.
+func (c *Cube) NumCells() int {
+	n := 0
+	for _, lv := range c.levels {
+		n += len(lv.keys)
+	}
+	return n
+}
+
+// MeasureNames returns the cube's measure columns in order.
+func (c *Cube) MeasureNames() []string { return append([]string(nil), c.measures...) }
+
+// validate checks the structural invariants a decoded cube must satisfy:
+// strictly ascending in-range keys, positive integral counts, and every
+// level partitioning exactly the cube's rows.
+func (c *Cube) validate() error {
+	for li, lv := range c.levels {
+		max := uint64(1)
+		for hi, d := range lv.depths {
+			max *= c.prefixRadix[hi][d]
+		}
+		var total float64
+		prev := uint64(0)
+		for ci, k := range lv.keys {
+			if ci > 0 && k <= prev {
+				return fmt.Errorf("cube: level %d: keys not strictly ascending", li)
+			}
+			prev = k
+			if k >= max {
+				return fmt.Errorf("cube: level %d: key %d out of range (key space %d)", li, k, max)
+			}
+			cnt := lv.counts[ci]
+			if cnt < 1 || cnt != math.Trunc(cnt) {
+				return fmt.Errorf("cube: level %d cell %d: bad count %v", li, ci, cnt)
+			}
+			total += cnt
+		}
+		if total != float64(c.rows) {
+			return fmt.Errorf("cube: level %d covers %v rows, cube has %d", li, total, c.rows)
+		}
+	}
+	return nil
+}

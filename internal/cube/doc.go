@@ -1,0 +1,47 @@
+// Package cube materializes the hierarchy-rollup lattice of a dataset: one
+// precomputed aggregate table per combination of per-hierarchy drill depths,
+// so that every group-by the Recommend loop issues over hierarchy prefixes is
+// answered from precomputed cells in O(groups) instead of rescanning rows.
+//
+// # The lattice
+//
+// A dataset with hierarchies H_1..H_k of depths D_1..D_k has one lattice
+// level per depth vector (d_1..d_k), d_i ∈ 0..D_i — the classic data-cube
+// lattice restricted to hierarchy prefixes, which is exactly the space of
+// groupings core.Session can reach by drilling. Each level stores its groups
+// as cells keyed by a mixed-radix composite of the attributes' dictionary
+// codes (the same key construction as agg.GroupBy's coded fast path), with
+// the distributive triple (count, sum, sum of squares) per measure. The
+// whole lattice is built in a single pass over the rows; within each cell
+// the accumulation visits rows in row order, which makes every level's
+// statistics bit-identical to the row scan it replaces — the property the
+// byte-identity guarantees of the serving stack rest on.
+//
+// # Query paths
+//
+// Cube.GroupBy answers any grouping whose attributes form per-hierarchy
+// prefixes (in any attribute order) straight from a materialized level; it
+// implements agg.Materialized, so datasets carrying a cube attachment
+// (data.Dataset.SetRollup) accelerate agg.GroupBy transparently and
+// bit-identically. Cube.Rollup additionally answers arbitrary groupings over
+// hierarchy attributes — prefix or not — by merging the cells of the
+// coarsest covering level with Stats.Add instead of recomputing from rows;
+// merged sums may differ from a scan in the last floating-point bit because
+// merging reassociates the additions, so the transparent agg path never uses
+// it. HierarchyPaths enumerates a hierarchy's distinct full-depth paths for
+// the factorizer (factor.PathProvider) from the level that drills only that
+// hierarchy.
+//
+// # Maintenance and persistence
+//
+// Cubes are immutable and safe for concurrent use. Live ingestion maintains
+// them without rebuilding: BuildRows computes a delta cube over just the
+// appended batch, and Merge folds it into the predecessor version cell by
+// cell (Stats.Add), re-keying the predecessor's cells when appended values
+// grew the dictionaries. Merged cells absorb the batch's subtotal in one
+// addition, so — unlike built cubes — a merged cube's sums can differ from a
+// full rescan in the last floating-point bit when the batch carried
+// non-integral values (counts stay exact; see Merge). internal/store
+// persists cubes as an optional, versioned, checksummed trailing section of
+// the .rst format; files without the section load exactly as before.
+package cube

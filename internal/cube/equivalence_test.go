@@ -1,0 +1,197 @@
+package cube_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/datasets"
+	"repro/internal/store"
+)
+
+// quickstartDataset rebuilds the examples/quickstart survey (same generator,
+// same seed as the example program and the store round-trip tests).
+func quickstartDataset() *data.Dataset {
+	rng := rand.New(rand.NewSource(7))
+	h := []data.Hierarchy{
+		{Name: "geo", Attrs: []string{"district", "village"}},
+		{Name: "time", Attrs: []string{"year"}},
+	}
+	ds := data.New("drought", []string{"district", "village", "year"}, []string{"severity"}, h)
+	villages := map[string][]string{
+		"Ofla": {"Adishim", "Darube", "Dinka", "Fala", "Zata"},
+		"Raya": {"Kukufto", "Mehoni", "Wajirat", "Chercher", "Bala"},
+	}
+	for _, year := range []string{"1984", "1985", "1986", "1987", "1988"} {
+		for _, district := range []string{"Ofla", "Raya"} {
+			for _, v := range villages[district] {
+				base := 6.0
+				if year == "1986" {
+					base = 8
+				}
+				for i := 0; i < 6; i++ {
+					sev := base + rng.NormFloat64()
+					if v == "Zata" && year == "1986" {
+						sev -= 5
+					}
+					ds.AppendRowVals([]string{district, v, year}, []float64{sev})
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// TestCubeRecommendationFidelity asserts, for each dataset the examples/
+// programs run on, that an engine over the snapshot with a materialized cube
+// attached and one over the same snapshot without a cube produce
+// byte-identical Recommendation JSON — the cube accelerates every
+// hierarchy-prefix group-by and the factorizer-source scan on the Recommend
+// hot path without perturbing a single bit of output. Same harness as the
+// store round-trip fidelity sweep.
+func TestCubeRecommendationFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cube fidelity sweep is not short")
+	}
+	cases := []struct {
+		name      string
+		ds        *data.Dataset
+		groupBy   []string
+		complaint core.Complaint
+	}{
+		{
+			name:      "quickstart",
+			ds:        quickstartDataset(),
+			groupBy:   []string{"district", "year"},
+			complaint: core.Complaint{Agg: agg.Std, Measure: "severity", Tuple: data.Predicate{"district": "Ofla", "year": "1986"}, Direction: core.TooHigh},
+		},
+		{
+			name:      "drought",
+			ds:        datasets.GenerateFIST(11).DS,
+			groupBy:   []string{"region", "year"},
+			complaint: core.Complaint{Agg: agg.Mean, Measure: "severity", Tuple: data.Predicate{"region": "Tigray", "year": "y2010"}, Direction: core.TooLow},
+		},
+		{
+			name:      "covid",
+			ds:        datasets.GenerateCovidUS(3),
+			groupBy:   []string{"day"},
+			complaint: core.Complaint{Agg: agg.Sum, Measure: "confirmed", Tuple: data.Predicate{"day": "d070"}, Direction: core.TooLow},
+		},
+		{
+			name:      "vote",
+			ds:        datasets.GenerateVote(9).DS,
+			groupBy:   []string{"state"},
+			complaint: core.Complaint{Agg: agg.Mean, Measure: "pct2020", Tuple: data.Predicate{"state": "Georgia"}, Direction: core.TooLow},
+		},
+		{
+			name:      "absentee",
+			ds:        datasets.GenerateAbsentee(5, 3000),
+			groupBy:   nil,
+			complaint: core.Complaint{Agg: agg.Count, Measure: "one", Tuple: data.Predicate{}, Direction: core.TooHigh},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var recs [][]byte
+			for _, withCube := range []bool{false, true} {
+				snap := store.FromDataset(tc.ds)
+				if withCube {
+					if err := snap.BuildCube(); err != nil {
+						t.Fatal(err)
+					}
+					if snap.Cube() == nil {
+						t.Fatal("cube not materialized: the comparison would be vacuous")
+					}
+				}
+				ds, err := snap.Dataset()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := agg.MaterializedOf(ds); ok != withCube {
+					t.Fatalf("rollup attachment = %v, want %v", ok, withCube)
+				}
+				eng, err := core.NewEngine(ds, core.Options{EMIterations: 4, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess, err := eng.NewSession(tc.groupBy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := sess.Recommend(tc.complaint)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recs = append(recs, b)
+			}
+			if !bytes.Equal(recs[0], recs[1]) {
+				t.Errorf("cube-enabled and cube-disabled recommendations differ:\nscan: %.400s\ncube: %.400s", recs[0], recs[1])
+			}
+		})
+	}
+}
+
+// TestCubeDrilledRecommendationFidelity drills the quickstart session along
+// the engine's own best recommendation and re-complains at the deeper state,
+// exercising the cube across several lattice levels (and the empty-group
+// discovery path) with byte-identity asserted at every step.
+func TestCubeDrilledRecommendationFidelity(t *testing.T) {
+	base := quickstartDataset()
+	complaint := core.Complaint{Agg: agg.Std, Measure: "severity", Tuple: data.Predicate{"district": "Ofla", "year": "1986"}, Direction: core.TooHigh}
+
+	run := func(withCube bool) [][]byte {
+		snap := store.FromDataset(base)
+		if withCube {
+			if err := snap.BuildCube(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ds, err := snap.Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.NewEngine(ds, core.Options{EMIterations: 4, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Start with geo undrilled so the session can accept the first
+		// recommendation (year's hierarchy is already at full depth).
+		sess, err := eng.NewSession([]string{"year"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for step := 0; step < 2; step++ {
+			rec, err := sess.Recommend(complaint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b)
+			if step == 0 {
+				if err := sess.Drill(rec.Best.Hierarchy); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return out
+	}
+
+	scan, cubed := run(false), run(true)
+	for i := range scan {
+		if !bytes.Equal(scan[i], cubed[i]) {
+			t.Errorf("step %d: cube-enabled recommendation differs from scan:\nscan: %.400s\ncube: %.400s", i, scan[i], cubed[i])
+		}
+	}
+}

@@ -62,6 +62,12 @@ type Dataset struct {
 	// nFixed marks that a bulk column setter has pinned the row count, so a
 	// zero-length first column still constrains every later one.
 	nFixed bool
+	// rollup is an opaque acceleration attachment (e.g. internal/cube's
+	// materialized aggregate lattice) installed by bulk loaders. Consumers
+	// discover capabilities by type-asserting it against their own interfaces
+	// (agg.Materialized, factor.PathProvider); the data package never looks
+	// inside. Row-mutating operations drop it.
+	rollup any
 }
 
 // dimCode is one dimension's dictionary encoding: codes index into dict.
@@ -135,6 +141,15 @@ func (d *Dataset) DimCodes(name string) (dict []string, codes []uint32, ok bool)
 	return dc.dict, dc.codes, true
 }
 
+// SetRollup attaches an opaque precomputed-aggregate provider to the dataset.
+// The attachment must have been derived from exactly these rows: consumers
+// trust it to answer aggregation queries without rescanning. Subset
+// operations (Select, Filter, Where) and row appends do not carry it over.
+func (d *Dataset) SetRollup(r any) { d.rollup = r }
+
+// Rollup returns the dataset's precomputed-aggregate attachment, or nil.
+func (d *Dataset) Rollup() any { return d.rollup }
+
 // SetEncodedDim bulk-loads a dimension column from its dictionary encoding,
 // materializing the string column and keeping the codes for consumers that
 // can exploit them. The first column setter fixes the row count; later ones
@@ -192,7 +207,8 @@ func (d *Dataset) setColumnLen(name string, n int) error {
 // AppendRow adds one row. dims and measures are keyed by column name; every
 // declared column must be present.
 func (d *Dataset) AppendRow(dims map[string]string, measures map[string]float64) {
-	d.codes = nil // appended values may not be in the dictionaries
+	d.codes = nil  // appended values may not be in the dictionaries
+	d.rollup = nil // precomputed aggregates no longer cover every row
 	for _, c := range d.dimNames {
 		v, ok := dims[c]
 		if !ok {
@@ -217,7 +233,8 @@ func (d *Dataset) AppendRowVals(dimVals []string, measureVals []float64) {
 		panic(fmt.Sprintf("data: AppendRowVals arity mismatch: %d/%d dims, %d/%d measures",
 			len(dimVals), len(d.dimNames), len(measureVals), len(d.measureNames)))
 	}
-	d.codes = nil // appended values may not be in the dictionaries
+	d.codes = nil  // appended values may not be in the dictionaries
+	d.rollup = nil // precomputed aggregates no longer cover every row
 	for i, c := range d.dimNames {
 		d.dims[c] = append(d.dims[c], dimVals[i])
 	}

@@ -97,8 +97,25 @@ func newSource(name string, attrs []string, paths [][]string, enforceFD bool) (*
 	return &Source{Name: name, Attrs: attrs, Paths: dedup}, nil
 }
 
+// PathProvider is implemented by precomputed-aggregate attachments
+// (data.Dataset.SetRollup, e.g. internal/cube's Cube) that can enumerate a
+// hierarchy's distinct full-depth paths without scanning rows. ok=false
+// means the provider does not cover the hierarchy; callers fall back to a
+// row scan.
+type PathProvider interface {
+	HierarchyPaths(h data.Hierarchy) ([][]string, bool)
+}
+
 // SourceFromDataset extracts the distinct hierarchy paths present in d.
+// When the dataset carries a materialized cube covering the hierarchy, the
+// paths come from its cells in O(paths) instead of a row scan; the derived
+// source is identical either way (NewSource sorts and deduplicates).
 func SourceFromDataset(d *data.Dataset, h data.Hierarchy) (*Source, error) {
+	if pp, ok := d.Rollup().(PathProvider); ok {
+		if paths, ok := pp.HierarchyPaths(h); ok {
+			return NewSource(h.Name, h.Attrs, paths)
+		}
+	}
 	if paths, ok := distinctPathsCoded(d, h); ok {
 		return NewSource(h.Name, h.Attrs, paths)
 	}

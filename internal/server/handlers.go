@@ -462,6 +462,66 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// cubeStatus describes a dataset version's materialized rollup cube.
+type cubeStatus struct {
+	Present bool `json:"present"`
+	// Levels is the number of materialized lattice groupings, Cells the
+	// total precomputed group count across them (0 when absent).
+	Levels int `json:"levels,omitempty"`
+	Cells  int `json:"cells,omitempty"`
+}
+
+// datasetStats is one registered dataset's serving state: the snapshot
+// version currently answering queries, its row count, the sessions bound to
+// it, and whether a materialized cube backs its group-bys.
+type datasetStats struct {
+	Version  uint64     `json:"version"`
+	Rows     int        `json:"rows"`
+	Sessions int        `json:"sessions"`
+	Cube     cubeStatus `json:"cube"`
+}
+
+// statsResponse is the GET /v1/stats payload.
+type statsResponse struct {
+	Status   string                  `json:"status"`
+	Datasets map[string]datasetStats `json:"datasets"`
+	Sessions int                     `json:"sessions"`
+	Cache    struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+		Size   int    `json:"size"`
+	} `json:"cache"`
+}
+
+// handleStats reports per-dataset serving counters: the live snapshot
+// version, row count, bound sessions, and cube status (presence plus
+// materialized level/cell counts), alongside the recommendation-cache
+// hit/miss statistics that /healthz already exposes.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.sweepExpiredLocked(s.now())
+	perDataset := make(map[string]int, len(s.engines))
+	for _, sess := range s.sessions {
+		perDataset[sess.engine.name]++
+	}
+	resp := statsResponse{Status: "ok", Datasets: make(map[string]datasetStats, len(s.engines)), Sessions: len(s.sessions)}
+	for name, ent := range s.engines {
+		st := ent.state.Load()
+		d := datasetStats{Version: st.snap.Version, Rows: st.snap.NumRows(), Sessions: perDataset[name]}
+		if c := st.snap.Cube(); c != nil {
+			d.Cube = cubeStatus{Present: true, Levels: c.NumLevels(), Cells: c.NumCells()}
+		}
+		resp.Datasets[name] = d
+	}
+	s.mu.Unlock()
+	resp.Cache.Hits = s.cacheHits.Load()
+	resp.Cache.Misses = s.cacheMiss.Load()
+	if s.cache != nil {
+		resp.Cache.Size = s.cache.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 type healthResponse struct {
 	Status   string `json:"status"`
 	Datasets int    `json:"datasets"`

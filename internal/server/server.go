@@ -22,6 +22,8 @@
 //	POST /v1/sessions                   start a drill-down session
 //	POST /v1/sessions/{id}/recommend    evaluate a complaint
 //	POST /v1/sessions/{id}/drill        accept a recommendation
+//	GET  /v1/stats                      per-dataset versions, cube status,
+//	                                    session and cache counters
 //	GET  /healthz                       liveness + registry/cache statistics
 package server
 
@@ -58,6 +60,12 @@ type Config struct {
 	// QueueWait is how long an over-limit Recommend waits for a slot before
 	// answering 429. Default 100ms; negative means fail immediately.
 	QueueWait time.Duration
+	// DisableCube skips materializing rollup cubes for registered datasets.
+	// By default every snapshot version gets one immutable cube, shared by
+	// all sessions, that answers hierarchy-prefix group-bys from precomputed
+	// cells; snapshots the cube subsystem declines (or .rst files without a
+	// stored cube when disabled) serve from row scans instead.
+	DisableCube bool
 }
 
 func (c Config) withDefaults() Config {
@@ -189,7 +197,10 @@ func (s *Server) RegisterDataset(name string, ds *data.Dataset, opts core.Option
 }
 
 // RegisterSnapshot adds a named columnar snapshot to the registry, building
-// its shared engine.
+// its shared engine. Unless Config.DisableCube is set, the snapshot's rollup
+// cube is materialized first (or adopted from the .rst file it was loaded
+// from), so every session over this version shares one immutable cube and
+// hierarchy-prefix group-bys never rescan rows.
 func (s *Server) RegisterSnapshot(name string, snap *store.Snapshot, opts core.Options) error {
 	if name == "" {
 		return fmt.Errorf("server: dataset needs a name")
@@ -202,6 +213,11 @@ func (s *Server) RegisterSnapshot(name string, snap *store.Snapshot, opts core.O
 	s.mu.Unlock()
 	if dup {
 		return fmt.Errorf("server: %w: %q", ErrDuplicateDataset, name)
+	}
+	if !s.cfg.DisableCube {
+		if err := snap.BuildCube(); err != nil {
+			return err
+		}
 	}
 	ds, err := snap.Dataset()
 	if err != nil {
@@ -282,6 +298,7 @@ func (s *Server) Append(name string, rows []store.Row) (*store.Snapshot, error) 
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)

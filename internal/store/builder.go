@@ -1,8 +1,11 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/cube"
 )
 
 // Row is one ingested record: dimension values in Snapshot.Dims order and
@@ -104,6 +107,40 @@ func (b *Builder) Append(rows []Row) (*Snapshot, error) {
 		b.valIdx = nil
 		return nil, err
 	}
+	if err := b.extendCube(next); err != nil {
+		b.valIdx = nil
+		return nil, err
+	}
 	b.base = next
 	return next, nil
+}
+
+// extendCube maintains the base snapshot's materialized cube across an
+// append without rebuilding it: a delta cube is built over just the appended
+// batch and merged into the successor version (Stats.Add per shared cell,
+// re-keying the base cells where new values grew the dictionaries). When the
+// grown dictionaries push the successor outside what the cube subsystem
+// materializes (e.g. the composite key space overflows), the successor
+// simply carries no cube and serving falls back to row scans.
+func (b *Builder) extendCube(next *Snapshot) error {
+	base := b.base
+	if base.cube == nil {
+		return nil
+	}
+	nds, err := next.Dataset()
+	if err != nil {
+		return err
+	}
+	delta, err := cube.BuildRows(nds, base.rows, next.rows)
+	if err == nil {
+		var merged *cube.Cube
+		if merged, err = base.cube.Merge(delta); err == nil {
+			next.attachCube(merged)
+			return nil
+		}
+	}
+	if errors.Is(err, cube.ErrNotCubable) {
+		return nil
+	}
+	return err
 }

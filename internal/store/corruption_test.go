@@ -1,0 +1,191 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// cubeSnapshotBytes serializes the demo dataset with a materialized cube.
+func cubeSnapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	snap := FromDataset(demoDataset())
+	if err := snap.BuildCube(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cube() == nil {
+		t.Fatal("demo dataset did not materialize a cube")
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// noCubeLen returns the byte length of the same snapshot without its cube
+// section — the one truncation point that yields a valid (pre-cube) file.
+func noCubeLen(t *testing.T) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := FromDataset(demoDataset()).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len() - 4 // minus the file checksum, which truncation removes too
+}
+
+func TestCubeSectionRoundTrip(t *testing.T) {
+	b := cubeSnapshotBytes(t)
+	snap, err := Open(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := snap.Cube()
+	if c == nil {
+		t.Fatal("cube section did not survive the round trip")
+	}
+	// demo dataset: geo (district, village) × time (year) → 3×2 lattice.
+	if c.NumLevels() != 6 {
+		t.Errorf("levels = %d, want 6", c.NumLevels())
+	}
+	if c.NumRows() != 6 {
+		t.Errorf("cube rows = %d, want 6", c.NumRows())
+	}
+	// The loaded dataset carries the cube as its rollup attachment.
+	ds, err := snap.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rollup() == nil {
+		t.Error("loaded dataset has no rollup attachment")
+	}
+	// Re-serializing the loaded snapshot reproduces the file bit for bit.
+	var again bytes.Buffer
+	if err := snap.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), b) {
+		t.Error("re-serialized snapshot differs from the original bytes")
+	}
+}
+
+func TestOpenWithoutCubeSectionStillWorks(t *testing.T) {
+	// Pre-cube writers produce files without the section; they must load
+	// exactly as before, just with no cube attached.
+	var buf bytes.Buffer
+	if err := FromDataset(demoDataset()).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Open(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cube() != nil {
+		t.Fatal("cube appeared out of nowhere")
+	}
+	ds, err := snap.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rollup() != nil {
+		t.Error("rollup attached without a cube")
+	}
+}
+
+// TestOpenRejectsTruncationEverywhere cuts a cube-carrying .rst at every
+// byte offset — which covers every section boundary: inside the magic,
+// header varints, dictionary strings, code and measure arrays, and the cube
+// tag, version, length, payload and checksums — and asserts Open fails with
+// a clean error (never a panic) on each.
+func TestOpenRejectsTruncationEverywhere(t *testing.T) {
+	good := cubeSnapshotBytes(t)
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Open(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at offset %d/%d opened successfully", cut, len(good))
+		}
+	}
+}
+
+// TestOpenRejectsResealedTruncation re-seals the file checksum after each
+// truncation, so the damage reaches the section decoders instead of being
+// caught by the whole-file CRC — the hardening the length checks inside the
+// dictionary and cube sections provide. The single offset that removes
+// exactly the cube section yields a valid pre-cube file and must open (with
+// no cube); every other offset must fail cleanly.
+func TestOpenRejectsResealedTruncation(t *testing.T) {
+	good := cubeSnapshotBytes(t)
+	compat := noCubeLen(t)
+	for cut := 0; cut < len(good)-4; cut++ {
+		b := append(append([]byte(nil), good[:cut]...), 0, 0, 0, 0)
+		reseal(b)
+		snap, err := Open(bytes.NewReader(b))
+		if cut == compat {
+			if err != nil {
+				t.Fatalf("cutting exactly the cube section must yield a valid pre-cube file, got %v", err)
+			}
+			if snap.Cube() != nil {
+				t.Fatal("truncated file still has a cube")
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("resealed truncation at offset %d/%d opened successfully", cut, len(good))
+		}
+	}
+}
+
+// TestOpenRejectsCubeSectionDamage corrupts the cube section in targeted
+// ways — with the outer file checksum re-sealed each time, so the section's
+// own defenses (tag, version, length, inner CRC, structural validation) are
+// what reject the file.
+func TestOpenRejectsCubeSectionDamage(t *testing.T) {
+	good := cubeSnapshotBytes(t)
+	plain := noCubeLen(t) // offset where the cube section begins
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		want   string
+	}{
+		{"bad tag", func(b []byte) { b[plain] = 'X' }, "unknown trailing section"},
+		{"future section version", func(b []byte) { b[plain+4] = CubeFormatVersion + 1 }, "cube section version"},
+		{"payload bit flip", func(b []byte) { b[plain+8] ^= 0x20 }, "checksum mismatch"},
+		// Zeroing the payload length leaves the payload bytes dangling after
+		// the (now empty, wrong-checksum) section.
+		{"zero payload length", func(b []byte) { b[plain+5] = 0 }, "checksum mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := append([]byte(nil), good...)
+			tc.mutate(b)
+			reseal(b)
+			_, err := Open(bytes.NewReader(b))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteFileOpenFilePreservesCube(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/demo.rst"
+	snap := FromDataset(demoDataset())
+	if err := snap.BuildCube(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cube() == nil {
+		t.Fatal("cube lost through WriteFile/OpenFile")
+	}
+	back, err := got.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, back, demoDataset())
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/cube"
 	"repro/internal/data"
 )
 
@@ -26,11 +27,29 @@ import (
 //	                                  rows×4 bytes of uint32 codes
 //	        #measures       uvarint   then per measure: name,
 //	                                  rows×8 bytes of float64 bits
+//	[opt]   materialized cube section (absent in files written without one):
+//	          "CUBE"        4-byte section tag
+//	          version       byte      cube section format version (1)
+//	          length        uvarint   payload byte count
+//	          payload       the cube wire format (see internal/cube)
+//	          uint32        CRC-32C of the payload alone, so the section
+//	                        validates independently of the file checksum
 //	[tail]  uint32 CRC-32C (Castagnoli) of every preceding byte
+//
+// Files without the cube section decode exactly as before the section
+// existed, and a snapshot written without a cube is byte-identical to the
+// pre-cube format — old readers and writers interoperate with new files as
+// long as no cube is materialized.
 var magic = [7]byte{'R', 'S', 'T', 'S', 'N', 'A', 'P'}
 
 // FormatVersion is the current .rst format version.
 const FormatVersion = 1
+
+// cubeTag introduces the optional materialized-cube section.
+var cubeTag = [4]byte{'C', 'U', 'B', 'E'}
+
+// CubeFormatVersion is the current cube section format version.
+const CubeFormatVersion = 1
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -69,6 +88,16 @@ func (s *Snapshot) Write(w io.Writer) error {
 	for _, m := range s.Measures {
 		e.string(m.Name)
 		e.floats(m.Values)
+	}
+	if s.cube != nil {
+		payload := s.cube.AppendBinary(nil)
+		e.bytes(cubeTag[:])
+		e.byte(CubeFormatVersion)
+		e.uvarint(uint64(len(payload)))
+		e.bytes(payload)
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+		e.bytes(sum[:])
 	}
 	if e.err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", e.err)
@@ -175,6 +204,10 @@ func decode(b []byte) (*Snapshot, error) {
 		mc.Values = d.floats(s.rows)
 		s.Measures = append(s.Measures, mc)
 	}
+	var cubePayload []byte
+	if d.err == nil && d.off < len(d.b) {
+		cubePayload = d.cubeSection()
+	}
 	if d.err != nil {
 		return nil, fmt.Errorf("store: decoding snapshot: %w", d.err)
 	}
@@ -184,7 +217,45 @@ func decode(b []byte) (*Snapshot, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
+	if cubePayload != nil {
+		// The snapshot's own invariants hold, so the derived dataset exists;
+		// decode the cube against it and attach (validate-on-open included).
+		ds, err := s.Dataset()
+		if err != nil {
+			return nil, err
+		}
+		c, err := cube.Decode(cubePayload, ds)
+		if err != nil {
+			return nil, fmt.Errorf("store: decoding cube section: %w", err)
+		}
+		s.attachCube(c)
+	}
 	return s, nil
+}
+
+// cubeSection parses the optional trailing cube section and returns its
+// checksum-verified payload.
+func (d *decoder) cubeSection() []byte {
+	var tag [4]byte
+	copy(tag[:], d.bytes(len(tag)))
+	if d.err == nil && tag != cubeTag {
+		d.fail("unknown trailing section %q", tag[:])
+		return nil
+	}
+	if v := d.byte(); d.err == nil && v != CubeFormatVersion {
+		d.fail("unsupported cube section version %d (want %d)", v, CubeFormatVersion)
+		return nil
+	}
+	payload := d.bytes(d.count())
+	sum := d.bytes(4)
+	if d.err != nil {
+		return nil
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(sum); got != want {
+		d.fail("cube section checksum mismatch (file %08x, computed %08x)", want, got)
+		return nil
+	}
+	return payload
 }
 
 // encoder writes the primitive field types, latching the first error.

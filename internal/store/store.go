@@ -11,8 +11,10 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/cube"
 	"repro/internal/data"
 )
 
@@ -44,6 +46,11 @@ type Snapshot struct {
 	// ds memoizes Dataset(): snapshots are immutable, so the derived dataset
 	// is built once and shared by every caller.
 	ds *data.Dataset
+	// cube is the snapshot's materialized rollup lattice, if one was built
+	// (BuildCube), loaded from the .rst cube section, or maintained through
+	// an append. It is attached to the derived dataset so agg.GroupBy and
+	// the factorizer consult it transparently.
+	cube *cube.Cube
 }
 
 // NumRows returns the snapshot's row count.
@@ -125,8 +132,49 @@ func (s *Snapshot) Dataset() (*data.Dataset, error) {
 			return nil, err
 		}
 	}
+	if s.cube != nil {
+		ds.SetRollup(s.cube)
+	}
 	s.ds = ds
 	return ds, nil
+}
+
+// Cube returns the snapshot's materialized rollup lattice, or nil.
+func (s *Snapshot) Cube() *cube.Cube { return s.cube }
+
+// BuildCube materializes the snapshot's rollup lattice and attaches it to
+// the derived dataset, so group-bys over hierarchy prefixes are answered
+// from precomputed cells. It is a no-op when a cube is already present, and
+// silently skips datasets the cube subsystem declines (no hierarchies, key
+// space too wide): callers check Cube() for presence and serving falls back
+// to row scans.
+func (s *Snapshot) BuildCube() error {
+	if s.cube != nil || len(s.Hierarchies) == 0 {
+		return nil
+	}
+	ds, err := s.Dataset()
+	if err != nil {
+		return err
+	}
+	c, err := cube.Build(ds)
+	if errors.Is(err, cube.ErrNotCubable) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s.attachCube(c)
+	return nil
+}
+
+// attachCube installs a cube on the snapshot and on the already-derived
+// dataset, if any. Snapshots are shared immutably once published, so callers
+// attach before handing the snapshot to concurrent readers.
+func (s *Snapshot) attachCube(c *cube.Cube) {
+	s.cube = c
+	if s.ds != nil {
+		s.ds.SetRollup(c)
+	}
 }
 
 // dim returns the column with the given name, or nil.
