@@ -1,7 +1,7 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race bench-load
+.PHONY: build test race lint bench-load
 
 build:
 	go build ./...
@@ -10,7 +10,15 @@ test: build
 	go test ./...
 
 race:
-	go test -race ./internal/core/... ./internal/server/... ./internal/store/... ./internal/cube/...
+	go test -race ./internal/core/... ./internal/server/... ./internal/store/... ./internal/cube/... ./reptile/...
+
+# lint checks formatting, vets every package, and enforces the public-API
+# import boundary (examples/ and reptile/{api,client} never reach into
+# repro/internal).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	go vet ./...
+	sh scripts/check_boundaries.sh
 
 # bench-load seeds the storage performance trajectory: CSV vs .rst snapshot
 # load, string-keyed vs dictionary-coded Recommend, and cube vs coded-scan

@@ -6,7 +6,7 @@ import (
 	"io"
 	"strings"
 
-	"repro/internal/core"
+	"repro/reptile"
 )
 
 // runInteractive drives an iterative drill-down session: the user submits
@@ -20,7 +20,7 @@ import (
 //	groupby
 //	help
 //	quit
-func runInteractive(eng *core.Engine, groupBy []string, in io.Reader, out io.Writer) error {
+func runInteractive(eng *reptile.Engine, groupBy []string, in io.Reader, out io.Writer) error {
 	sess, err := eng.NewSession(groupBy)
 	if err != nil {
 		return err
@@ -55,7 +55,7 @@ func runInteractive(eng *core.Engine, groupBy []string, in io.Reader, out io.Wri
 			}
 			fmt.Fprintf(out, "  drilled %s; group-by is now %s\n", h, strings.Join(sess.GroupBy(), ", "))
 		case "complain":
-			c, err := parseComplaint(rest)
+			c, err := reptile.ParseComplaint(rest)
 			if err != nil {
 				fmt.Fprintf(out, "  error: %v\n", err)
 				continue
@@ -72,7 +72,7 @@ func runInteractive(eng *core.Engine, groupBy []string, in io.Reader, out io.Wri
 	}
 }
 
-func printRecommendation(out io.Writer, rec *core.Recommendation) {
+func printRecommendation(out io.Writer, rec *reptile.Recommendation) {
 	for _, hr := range rec.All {
 		marker := " "
 		if hr.Hierarchy == rec.Best.Hierarchy {

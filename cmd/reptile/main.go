@@ -1,5 +1,7 @@
 // Command reptile answers complaint-based drill-down queries over a CSV or
-// .rst dataset from the command line.
+// .rst dataset from the command line. It is a thin shell around the public
+// reptile SDK — everything it does is available programmatically via
+// reptile.Open.
 //
 // A -data path ending in .rst loads a dictionary-encoded binary snapshot
 // (written by "reptile convert" or cmd/gendata) instead of CSV; the snapshot
@@ -37,10 +39,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/data"
-	"repro/internal/feature"
-	"repro/internal/store"
+	"repro/reptile"
 )
 
 func main() {
@@ -70,22 +69,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	ds, err := loadDataset(*dataPath, splitNonEmpty(*measureList, ","), *hierSpec)
-	if err != nil {
-		log.Fatalf("loading %s: %v", *dataPath, err)
+	opts := []reptile.Option{
+		reptile.WithEMIterations(*emIters),
+		reptile.WithTopK(*topK),
+		reptile.WithWorkers(*workers),
 	}
-
-	opts := core.Options{EMIterations: *emIters, TopK: *topK, Workers: *workers}
+	if !isSnapshot {
+		opts = append(opts,
+			reptile.WithMeasures(splitNonEmpty(*measureList, ",")...),
+			reptile.WithHierarchies(*hierSpec))
+	}
 	if *auxSpec != "" {
 		auxes, err := parseAux(*auxSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts.Aux = auxes
+		opts = append(opts, reptile.WithAux(auxes...))
 	}
-	eng, err := core.NewEngine(ds, opts)
+	eng, err := reptile.Open(*dataPath, opts...)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("loading %s: %v", *dataPath, err)
 	}
 	if *interactive {
 		if err := runInteractive(eng, splitNonEmpty(*groupBy, ","), os.Stdin, os.Stdout); err != nil {
@@ -97,7 +100,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c, err := parseComplaint(*complain)
+	c, err := reptile.ParseComplaint(*complain)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,24 +124,6 @@ func main() {
 	}
 }
 
-// loadDataset loads either format behind -data: a .rst snapshot (which
-// carries its own schema, so hierSpec and measures are ignored) or a CSV
-// with the schema given by flags.
-func loadDataset(path string, measures []string, hierSpec string) (*data.Dataset, error) {
-	if strings.HasSuffix(path, ".rst") {
-		snap, err := store.OpenFile(path)
-		if err != nil {
-			return nil, err
-		}
-		return snap.Dataset()
-	}
-	hierarchies, err := parseHierarchies(hierSpec)
-	if err != nil {
-		return nil, err
-	}
-	return data.ReadCSVFile(path, path, measures, hierarchies)
-}
-
 // runConvert implements "reptile convert": load a CSV dataset (validating
 // its hierarchy metadata) and persist it as a .rst binary snapshot, which
 // later runs load without reparsing or re-deriving dictionaries.
@@ -159,67 +144,51 @@ func runConvert(args []string) error {
 		fs.Usage()
 		os.Exit(2)
 	}
-	hierarchies, err := parseHierarchies(*hierSpec)
-	if err != nil {
-		return err
+	opts := []reptile.Option{
+		reptile.WithMeasures(splitNonEmpty(*measureList, ",")...),
+		reptile.WithHierarchies(*hierSpec),
 	}
-	if *name == "" {
-		*name = *in
+	if *name != "" {
+		opts = append(opts, reptile.WithName(*name))
 	}
-	ds, err := data.ReadCSVFile(*in, *name, splitNonEmpty(*measureList, ","), hierarchies)
+	if *withCube {
+		opts = append(opts, reptile.WithCube())
+	}
+	eng, err := reptile.Open(*in, opts...)
 	if err != nil {
 		return fmt.Errorf("loading %s: %w", *in, err)
 	}
-	snap := store.FromDataset(ds)
+	info, err := eng.Save(*out)
+	if err != nil {
+		return err
+	}
 	cubeNote := ""
 	if *withCube {
-		if err := snap.BuildCube(); err != nil {
-			return err
-		}
-		if c := snap.Cube(); c != nil {
-			cubeNote = fmt.Sprintf(", cube: %d groupings / %d cells", c.NumLevels(), c.NumCells())
+		if info.CubeLevels > 0 {
+			cubeNote = fmt.Sprintf(", cube: %d groupings / %d cells", info.CubeLevels, info.CubeCells)
 		} else {
 			cubeNote = ", cube: skipped (dataset not cubable)"
 		}
 	}
-	if err := snap.WriteFile(*out); err != nil {
-		return err
-	}
 	fmt.Printf("wrote %d rows (%d dimensions, %d measures%s) to %s\n",
-		snap.NumRows(), len(snap.Dims), len(snap.Measures), cubeNote, *out)
+		info.Rows, info.Dims, info.Measures, cubeNote, *out)
 	return nil
 }
 
-func parseHierarchies(spec string) ([]data.Hierarchy, error) {
-	return data.ParseHierarchySpec(spec)
-}
-
-func parseAux(spec string) ([]feature.Aux, error) {
-	var out []feature.Aux
+func parseAux(spec string) ([]reptile.Aux, error) {
+	var out []reptile.Aux
 	for _, part := range splitNonEmpty(spec, ";") {
 		fields := strings.Split(part, ":")
 		if len(fields) != 4 {
 			return nil, fmt.Errorf("bad aux %q: want name:path:joinattr:measure", part)
 		}
-		table, err := data.ReadCSVFile(fields[1], fields[0], []string{fields[3]}, nil)
+		table, err := reptile.ReadCSVFile(fields[1], fields[0], []string{fields[3]}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("loading aux %s: %w", fields[0], err)
 		}
-		out = append(out, feature.Aux{Name: fields[0], Table: table, JoinAttr: fields[2], Measure: fields[3]})
+		out = append(out, reptile.Aux{Name: fields[0], Table: table, JoinAttr: fields[2], Measure: fields[3]})
 	}
 	return out, nil
-}
-
-// parseComplaint delegates to the shared parser in core, which supports
-// double-quoted values (district="New York") and dir=should target=N; the
-// same parser backs the server's complaint decoding.
-func parseComplaint(spec string) (core.Complaint, error) {
-	return core.ParseComplaint(spec)
-}
-
-// readCSVString loads a dataset from an in-memory CSV (tests and scripting).
-func readCSVString(csv string, hierarchies []data.Hierarchy) (*data.Dataset, error) {
-	return data.ReadCSV(strings.NewReader(csv), "inline", []string{"severity"}, hierarchies)
 }
 
 func splitNonEmpty(s, sep string) []string {

@@ -8,49 +8,37 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/data"
+	"repro/reptile"
 )
 
-func TestParseHierarchies(t *testing.T) {
-	hs, err := parseHierarchies("geo:district,village;time:year")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(hs) != 2 || hs[0].Name != "geo" || len(hs[0].Attrs) != 2 || hs[1].Attrs[0] != "year" {
-		t.Errorf("parsed = %+v", hs)
-	}
-	if _, err := parseHierarchies("noattrs"); err == nil {
-		t.Error("expected error for missing colon")
-	}
-	if _, err := parseHierarchies(""); err == nil {
-		t.Error("expected error for empty spec")
-	}
-}
-
 func TestParseComplaint(t *testing.T) {
-	c, err := parseComplaint("agg=mean measure=severity dir=low district=Ofla year=1986")
+	c, err := reptile.ParseComplaint("agg=mean measure=severity dir=low district=Ofla year=1986")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Agg != agg.Mean || c.Measure != "severity" || c.Direction != core.TooLow {
+	if c.Agg != reptile.Mean || c.Measure != "severity" || c.Direction != reptile.TooLow {
 		t.Errorf("parsed = %+v", c)
 	}
 	if c.Tuple["district"] != "Ofla" || c.Tuple["year"] != "1986" {
 		t.Errorf("tuple = %v", c.Tuple)
 	}
-	if _, err := parseComplaint("agg=mean"); err == nil {
+	if _, err := reptile.ParseComplaint("agg=mean"); err == nil {
 		t.Error("expected error for missing measure")
 	}
-	if _, err := parseComplaint("agg=bogus measure=m dir=low"); err == nil {
+	if _, err := reptile.ParseComplaint("agg=bogus measure=m dir=low"); err == nil {
 		t.Error("expected error for bad aggregate")
 	}
-	if _, err := parseComplaint("agg=mean measure=m dir=sideways"); err == nil {
+	if _, err := reptile.ParseComplaint("agg=mean measure=m dir=sideways"); err == nil {
 		t.Error("expected error for bad direction")
 	}
-	if _, err := parseComplaint("notakv"); err == nil {
+	if _, err := reptile.ParseComplaint("notakv"); err == nil {
 		t.Error("expected error for malformed field")
+	}
+}
+
+func TestParseAux(t *testing.T) {
+	if _, err := parseAux("toofew:fields"); err == nil {
+		t.Error("expected error for bad aux spec")
 	}
 }
 
@@ -64,8 +52,35 @@ func TestSplitNonEmpty(t *testing.T) {
 	}
 }
 
+const testCSV = "district,village,year,severity\n" +
+	"Ofla,Adishim,1986,8\nOfla,Adishim,1987,7\nOfla,Zata,1986,2\nOfla,Zata,1987,7\n" +
+	"Raya,Kukufto,1986,8\nRaya,Kukufto,1987,6\nRaya,Mehoni,1986,7\nRaya,Mehoni,1987,6\n"
+
+const testHierarchies = "geo:district,village;time:year"
+
+// writeTestCSV materializes the demo dataset and returns its path.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "drought.csv")
+	if err := os.WriteFile(path, []byte(testCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func buildTestEngine(t *testing.T) *reptile.Engine {
+	t.Helper()
+	eng, err := reptile.Open(writeTestCSV(t),
+		reptile.WithMeasures("severity"),
+		reptile.WithHierarchies(testHierarchies),
+		reptile.WithEMIterations(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
 func TestInteractiveSession(t *testing.T) {
-	// Build a dataset inline (mirrors the quickstart shape).
 	eng := buildTestEngine(t)
 	in := strings.NewReader(strings.Join([]string{
 		"groupby",
@@ -89,72 +104,37 @@ func TestInteractiveSession(t *testing.T) {
 	}
 }
 
-func buildTestEngine(t *testing.T) *core.Engine {
-	t.Helper()
-	csv := "district,village,year,severity\n" +
-		"Ofla,Adishim,1986,8\nOfla,Adishim,1987,7\nOfla,Zata,1986,2\nOfla,Zata,1987,7\n" +
-		"Raya,Kukufto,1986,8\nRaya,Kukufto,1987,6\nRaya,Mehoni,1986,7\nRaya,Mehoni,1987,6\n"
-	hs, err := parseHierarchies("geo:district,village;time:year")
-	if err != nil {
-		t.Fatal(err)
-	}
-	ds, err := readCSVString(csv, hs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := core.NewEngine(ds, core.Options{EMIterations: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return eng
-}
-
 func TestConvertAndSnapshotLoad(t *testing.T) {
-	dir := t.TempDir()
-	csvPath := filepath.Join(dir, "drought.csv")
-	rstPath := filepath.Join(dir, "drought.rst")
-	csv := "district,village,year,severity\n" +
-		"Ofla,Adishim,1986,8\nOfla,Adishim,1987,7\nOfla,Zata,1986,2\nOfla,Zata,1987,7\n" +
-		"Raya,Kukufto,1986,8\nRaya,Kukufto,1987,6\nRaya,Mehoni,1986,7\nRaya,Mehoni,1987,6\n"
-	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	csvPath := writeTestCSV(t)
+	rstPath := filepath.Join(filepath.Dir(csvPath), "drought.rst")
 	err := runConvert([]string{
 		"-data", csvPath, "-out", rstPath,
-		"-hierarchies", "geo:district,village;time:year",
+		"-hierarchies", testHierarchies,
 		"-measures", "severity", "-name", "drought",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	fromCSV, err := loadDataset(csvPath, []string{"severity"}, "geo:district,village;time:year")
-	if err != nil {
-		t.Fatal(err)
-	}
-	fromRST, err := loadDataset(rstPath, nil, "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fromRST.NumRows() != fromCSV.NumRows() {
-		t.Fatalf("snapshot rows = %d, CSV rows = %d", fromRST.NumRows(), fromCSV.NumRows())
-	}
 	// Both loads drive the engine to byte-identical recommendations.
 	var recs [][]byte
-	for _, ds := range []*data.Dataset{fromCSV, fromRST} {
-		eng, err := core.NewEngine(ds, core.Options{EMIterations: 4, Workers: 1})
+	for _, path := range []string{csvPath, rstPath} {
+		opts := []reptile.Option{reptile.WithEMIterations(4), reptile.WithWorkers(1)}
+		if strings.HasSuffix(path, ".csv") {
+			opts = append(opts, reptile.WithMeasures("severity"), reptile.WithHierarchies(testHierarchies))
+		}
+		eng, err := reptile.Open(path, opts...)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if strings.HasSuffix(path, ".rst") && eng.Dataset().Name != "drought" {
+			t.Errorf("snapshot dataset name = %q, want the -name value", eng.Dataset().Name)
 		}
 		sess, err := eng.NewSession([]string{"district", "year"})
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := parseComplaint("agg=mean measure=severity dir=low district=Ofla year=1986")
-		if err != nil {
-			t.Fatal(err)
-		}
-		rec, err := sess.Recommend(c)
+		rec, err := sess.Complain("agg=mean measure=severity dir=low district=Ofla year=1986")
 		if err != nil {
 			t.Fatal(err)
 		}

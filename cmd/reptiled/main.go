@@ -12,15 +12,19 @@
 // paths, so the default bind is loopback; put a reverse proxy with
 // authentication in front before exposing it beyond the host.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON; request/response types and the structured error
+// envelope are defined in reptile/api, and reptile/client is the native Go
+// client for the full surface):
 //
-//	POST /v1/datasets                   register a CSV or .rst dataset
-//	POST /v1/datasets/{name}/append     append rows, hot-swapping the engine
-//	POST /v1/sessions                   start a drill-down session
-//	POST /v1/sessions/{id}/recommend    evaluate a complaint
-//	POST /v1/sessions/{id}/drill        accept a recommendation
-//	GET  /v1/stats                      per-dataset versions + cube status
-//	GET  /healthz                       liveness + cache statistics
+//	POST   /v1/datasets                  register a CSV or .rst dataset
+//	GET    /v1/datasets                  list registered datasets
+//	POST   /v1/datasets/{name}/append    append rows, hot-swapping the engine
+//	POST   /v1/sessions                  start a drill-down session
+//	DELETE /v1/sessions/{id}             release a session explicitly
+//	POST   /v1/sessions/{id}/recommend   evaluate a complaint
+//	POST   /v1/sessions/{id}/drill       accept a recommendation
+//	GET    /v1/stats                     per-dataset versions + cube status
+//	GET    /healthz                      liveness + cache statistics
 //
 // Every registered dataset version materializes a hierarchy rollup cube
 // (internal/cube) shared by all its sessions — group-bys over hierarchy

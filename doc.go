@@ -1,8 +1,27 @@
 // Package repro is a from-scratch Go reproduction of "Reptile:
 // Aggregation-level Explanations for Hierarchical Data" (Huang & Wu, SIGMOD
-// 2022). The public entry points live under internal/core (the explanation
-// engine), with the factorised-representation machinery in internal/factor
-// and internal/fmatrix, the multi-level model trainer in internal/mlm, and
-// one runner per paper table/figure in internal/experiments. See README.md
-// for build, CLI usage and the package map.
+// 2022).
+//
+// The public entry points are the three packages under reptile/:
+//
+//   - reptile — the SDK: open a CSV or .rst dataset (or build one in
+//     memory), start drill-down sessions, submit complaints, and receive
+//     ranked drill-down recommendations, all without importing internal/.
+//   - reptile/api — the versioned v1 wire protocol of the HTTP service:
+//     request/response structs and the structured error envelope, shared by
+//     the server and every client.
+//   - reptile/client — the native Go client for the full v1 surface, with
+//     context support and typed errors.
+//
+// reptile/sampledata ships the generators for the demo datasets the
+// examples/ programs run on.
+//
+// The engine itself lives under internal/: internal/core (the explanation
+// engine), internal/factor and internal/fmatrix (the factorised
+// representation), internal/mlm (the multi-level model trainer),
+// internal/store (columnar .rst snapshots), internal/cube (the materialized
+// rollup lattice), internal/server (the HTTP serving layer behind
+// cmd/reptiled), and one runner per paper table/figure in
+// internal/experiments. See README.md for build, CLI usage, the library
+// quickstart and the package map.
 package repro

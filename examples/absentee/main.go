@@ -1,7 +1,8 @@
 // Absentee: the §5.1.4 end-to-end workflow on the simulated North Carolina
 // absentee data — four single-attribute hierarchies, an overall COUNT
 // complaint, and a full drill-down sequence on the factorised engine,
-// printing the recommendation at every step.
+// printing the recommendation at every step. Built entirely on the public
+// SDK.
 package main
 
 import (
@@ -9,19 +10,16 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/data"
-	"repro/internal/datasets"
+	"repro/reptile"
+	"repro/reptile/sampledata"
 )
 
 func main() {
-	ds := datasets.GenerateAbsentee(5, 30_000)
-	eng, err := core.NewEngine(ds, core.Options{
-		EMIterations: 10,
-		Trainer:      core.TrainerFactorised,
-		TopK:         3,
-	})
+	ds := sampledata.Absentee(5, 30_000)
+	eng, err := reptile.New(ds,
+		reptile.WithEMIterations(10),
+		reptile.WithTrainer(reptile.TrainerFactorised),
+		reptile.WithTopK(3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,19 +28,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tuple := data.Predicate{}
+	tuple := reptile.Predicate{}
 	start := time.Now()
-	for _, hier := range datasets.AbsenteeDrillOrder {
-		rec, err := sess.Recommend(core.Complaint{
-			Agg:       agg.Count,
+	for _, hier := range sampledata.AbsenteeDrillOrder {
+		rec, err := sess.Recommend(reptile.Complaint{
+			Agg:       reptile.Count,
 			Measure:   "one",
 			Tuple:     tuple,
-			Direction: core.TooHigh,
+			Direction: reptile.TooHigh,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		var hr *core.HierarchyResult
+		var hr *reptile.HierarchyResult
 		for i := range rec.All {
 			if rec.All[i].Hierarchy == hier {
 				hr = &rec.All[i]
@@ -54,12 +52,12 @@ func main() {
 		top := hr.Ranked[0]
 		val := top.Group.Vals[len(top.Group.Vals)-1]
 		fmt.Printf("drill %-7s → top group %-12s count %.0f (expected %.1f, gain %.1f)\n",
-			hier, val, top.Group.Stats.Count, top.Predicted[agg.Count], top.Gain)
+			hier, val, top.Group.Stats.Count, top.Predicted[reptile.Count], top.Gain)
 		if err := sess.Drill(hier); err != nil {
 			log.Fatal(err)
 		}
 		tuple[hr.Attr] = val
 	}
 	fmt.Printf("\n%d invocations over %d rows in %v (factorised trainer)\n",
-		len(datasets.AbsenteeDrillOrder), ds.NumRows(), time.Since(start).Round(time.Millisecond))
+		len(sampledata.AbsenteeDrillOrder), ds.NumRows(), time.Since(start).Round(time.Millisecond))
 }

@@ -1,25 +1,23 @@
 // Covid: the §5.3 case-study workflow — a data-quality analyst notices the
 // national total on one day is off, and Reptile localizes the state whose
 // reporting broke, using 1-day and 7-day lag features for trend and
-// seasonality.
+// seasonality. Built entirely on the public SDK: the demo data comes from
+// reptile/sampledata.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/data"
-	"repro/internal/datasets"
-	"repro/internal/feature"
+	"repro/reptile"
+	"repro/reptile/sampledata"
 )
 
 func main() {
-	base := datasets.GenerateCovidUS(3)
+	base := sampledata.CovidUS(3)
 	// Inject the Table 1 issue 3572: Texas confirmed cases missing on d070.
-	var issue datasets.Issue
-	for _, i := range datasets.USIssues() {
+	var issue sampledata.Issue
+	for _, i := range sampledata.USIssues() {
 		if i.ID == "3572" {
 			issue = i
 		}
@@ -27,15 +25,14 @@ func main() {
 	ds := issue.Apply(base)
 	fmt.Printf("injected issue %s: %s\n\n", issue.ID, issue.Title)
 
-	eng, err := core.NewEngine(ds, core.Options{
-		EMIterations:  10,
-		TopK:          5,
-		RandomEffects: core.ZIntercept,
-		GroupFeatures: []feature.GroupFeature{
-			feature.LagFeature("day", 1),
-			feature.LagFeature("day", 7),
-		},
-	})
+	eng, err := reptile.New(ds,
+		reptile.WithEMIterations(10),
+		reptile.WithTopK(5),
+		reptile.WithRandomEffects(reptile.ZIntercept),
+		reptile.WithGroupFeatures(
+			reptile.LagFeature("day", 1),
+			reptile.LagFeature("day", 7),
+		))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,11 +40,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := sess.Recommend(core.Complaint{
-		Agg:       agg.Sum,
+	rec, err := sess.Recommend(reptile.Complaint{
+		Agg:       reptile.Sum,
 		Measure:   issue.Measure,
-		Tuple:     data.Predicate{"day": issue.DayName()},
-		Direction: core.TooLow,
+		Tuple:     reptile.Predicate{"day": issue.DayName()},
+		Direction: reptile.TooLow,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -58,6 +55,6 @@ func main() {
 	for i, gs := range rec.Best.Ranked {
 		state, _ := gs.Group.Value([]string{"day", "state"}, "state")
 		fmt.Printf("  %d. %-15s observed %.0f, expected %.0f (gain %.0f)\n",
-			i+1, state, gs.Group.Stats.Sum, gs.Predicted[agg.Mean]*gs.Group.Stats.Count, gs.Gain)
+			i+1, state, gs.Group.Stats.Sum, gs.Predicted[reptile.Mean]*gs.Group.Stats.Count, gs.Gain)
 	}
 }

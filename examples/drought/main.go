@@ -1,33 +1,31 @@
 // Drought: the §5.4 FIST workflow on the simulated Ethiopian survey data —
 // iterative drill-down with a satellite-rainfall auxiliary dataset joined on
 // (village, year). The example replays one of the user-study complaints end
-// to end: region-level STD complaint → district → village.
+// to end: region-level STD complaint → district → village. Built entirely on
+// the public SDK.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/feature"
+	"repro/reptile"
+	"repro/reptile/sampledata"
 )
 
 func main() {
-	f := datasets.GenerateFIST(11)
-	eng, err := core.NewEngine(f.DS, core.Options{
-		EMIterations: 15,
-		TopK:         5,
-		GroupFeatures: []feature.GroupFeature{
-			feature.AuxGroupFeature("rainfall", f.Rainfall, []string{"village", "year"}, "rainfall"),
-		},
-	})
+	f := sampledata.FISTSurvey(11)
+	eng, err := reptile.New(f.DS,
+		reptile.WithEMIterations(15),
+		reptile.WithTopK(5),
+		reptile.WithGroupFeatures(
+			reptile.AuxGroupFeature("rainfall", f.Rainfall, []string{"village", "year"}, "rainfall")))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Pick a scripted region-level scenario from the generated study.
-	var scenario datasets.FISTComplaint
+	var scenario sampledata.FISTComplaint
 	for _, sc := range f.Study {
 		if len(sc.Steps) == 2 && sc.ExpectResolve {
 			scenario = sc

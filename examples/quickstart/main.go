@@ -1,7 +1,8 @@
-// Quickstart: the paper's Example 1 in miniature. A drought-severity survey
-// over a geography hierarchy (district → village) and a year hierarchy; the
-// analyst complains that the standard deviation of severity in (Ofla, 1986)
-// is too high, and Reptile recommends the drill-down that best explains it.
+// Quickstart: the paper's Example 1 in miniature, written against the
+// public reptile SDK only. A drought-severity survey over a geography
+// hierarchy (district → village) and a year hierarchy; the analyst complains
+// that the standard deviation of severity in (Ofla, 1986) is too high, and
+// Reptile recommends the drill-down that best explains it.
 package main
 
 import (
@@ -9,18 +10,16 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/data"
+	"repro/reptile"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(7))
-	h := []data.Hierarchy{
+	h := []reptile.Hierarchy{
 		{Name: "geo", Attrs: []string{"district", "village"}},
 		{Name: "time", Attrs: []string{"year"}},
 	}
-	ds := data.New("drought", []string{"district", "village", "year"}, []string{"severity"}, h)
+	ds := reptile.NewDataset("drought", []string{"district", "village", "year"}, []string{"severity"}, h)
 
 	// Villages report severity ≈ 8 during the 1986 drought — except Zata,
 	// whose reports were mistakenly recorded far too low.
@@ -46,7 +45,7 @@ func main() {
 		}
 	}
 
-	eng, err := core.NewEngine(ds, core.Options{EMIterations: 15})
+	eng, err := reptile.New(ds, reptile.WithEMIterations(15))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,11 +55,11 @@ func main() {
 	}
 
 	// The complaint: Ofla's 1986 severity standard deviation is too high.
-	rec, err := sess.Recommend(core.Complaint{
-		Agg:       agg.Std,
+	rec, err := sess.Recommend(reptile.Complaint{
+		Agg:       reptile.Std,
 		Measure:   "severity",
-		Tuple:     data.Predicate{"district": "Ofla", "year": "1986"},
-		Direction: core.TooHigh,
+		Tuple:     reptile.Predicate{"district": "Ofla", "year": "1986"},
+		Direction: reptile.TooHigh,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -72,7 +71,7 @@ func main() {
 	for i, gs := range rec.Best.Ranked {
 		fmt.Printf("  %d. %-10v repaired STD %.2f (gain %.2f), expected mean %.1f vs observed %.1f\n",
 			i+1, gs.Group.Vals[len(gs.Group.Vals)-1], gs.Repaired, gs.Gain,
-			gs.Predicted[agg.Mean], gs.Group.Stats.Mean())
+			gs.Predicted[reptile.Mean], gs.Group.Stats.Mean())
 	}
 	fmt.Println("\nZata's low mean is the unexplained anomaly — exactly the paper's Figure 1 walkthrough.")
 }

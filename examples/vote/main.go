@@ -2,25 +2,24 @@
 // share lower than expected? Comparing the default model with one that joins
 // the 2016 county shares shows how auxiliary data changes the explanation:
 // model 1 flags outlier counties, model 2 flags counties that *moved*.
+// Built entirely on the public SDK.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/data"
-	"repro/internal/datasets"
-	"repro/internal/feature"
+	"repro/reptile"
+	"repro/reptile/sampledata"
 )
 
-func run(v *datasets.Vote, withAux bool) *core.Recommendation {
-	opts := core.Options{EMIterations: 15, TopK: 5}
+func run(v *sampledata.Vote, withAux bool) *reptile.Recommendation {
+	opts := []reptile.Option{reptile.WithEMIterations(15), reptile.WithTopK(5)}
 	if withAux {
-		opts.Aux = []feature.Aux{{Name: "pct2016", Table: v.Aux2016, JoinAttr: "county", Measure: "pct2016"}}
+		opts = append(opts, reptile.WithAux(
+			reptile.Aux{Name: "pct2016", Table: v.Aux2016, JoinAttr: "county", Measure: "pct2016"}))
 	}
-	eng, err := core.NewEngine(v.DS, opts)
+	eng, err := reptile.New(v.DS, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,11 +27,11 @@ func run(v *datasets.Vote, withAux bool) *core.Recommendation {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := sess.Recommend(core.Complaint{
-		Agg:       agg.Mean,
+	rec, err := sess.Recommend(reptile.Complaint{
+		Agg:       reptile.Mean,
 		Measure:   "pct2020",
-		Tuple:     data.Predicate{"state": "Georgia"},
-		Direction: core.TooLow,
+		Tuple:     reptile.Predicate{"state": "Georgia"},
+		Direction: reptile.TooLow,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -41,7 +40,7 @@ func run(v *datasets.Vote, withAux bool) *core.Recommendation {
 }
 
 func main() {
-	v := datasets.GenerateVote(9)
+	v := sampledata.VoteData(9)
 	fmt.Println("complaint: Georgia's mean 2020 Trump share across counties is too low")
 
 	for _, cfg := range []struct {
@@ -56,7 +55,7 @@ func main() {
 		for i, gs := range rec.Best.Ranked {
 			county, _ := gs.Group.Value([]string{"state", "county"}, "county")
 			fmt.Printf("  %d. %-14s observed %.1f%%, expected %.1f%% (gain %.3f)\n",
-				i+1, county, gs.Group.Stats.Mean(), gs.Predicted[agg.Mean], gs.Gain)
+				i+1, county, gs.Group.Stats.Mean(), gs.Predicted[reptile.Mean], gs.Gain)
 		}
 	}
 	fmt.Println("\nModel 2's ranking tracks the 2016→2020 change rather than raw low shares (Appendix N).")

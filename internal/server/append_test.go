@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/reptile/api"
 )
 
 // appendCSV adds two 1986/1987 reports for a brand-new Raya village; the
@@ -23,21 +24,21 @@ func TestAppendHotSwapsEngineAndInvalidatesCache(t *testing.T) {
 	recommendURL := ts.URL + "/v1/sessions/" + id + "/recommend"
 
 	// Warm the cache.
-	code, b := post(t, recommendURL, recommendRequest{Complaint: testComplaint})
+	code, b := post(t, recommendURL, api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusOK {
 		t.Fatalf("recommend: %d %s", code, b)
 	}
-	code, b = post(t, recommendURL, recommendRequest{Complaint: testComplaint})
-	var warm recommendResponse
+	code, b = post(t, recommendURL, api.RecommendRequest{Complaint: testComplaint})
+	var warm api.RecommendResponse
 	if code != http.StatusOK || json.Unmarshal(b, &warm) != nil || warm.Cache != "hit" {
 		t.Fatalf("warm recommend: %d cache=%q %s", code, warm.Cache, b)
 	}
 
-	code, b = post(t, ts.URL+"/v1/datasets/drought/append", appendRequest{CSV: appendCSV})
+	code, b = post(t, ts.URL+"/v1/datasets/drought/append", api.AppendRequest{CSV: appendCSV})
 	if code != http.StatusOK {
 		t.Fatalf("append: %d %s", code, b)
 	}
-	var ar appendResponse
+	var ar api.AppendResponse
 	if err := json.Unmarshal(b, &ar); err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +49,11 @@ func TestAppendHotSwapsEngineAndInvalidatesCache(t *testing.T) {
 	// The same complaint now misses (the swap invalidated the cache) and is
 	// answered by the new engine version — byte-identical to an in-process
 	// engine over the combined dataset.
-	code, b = post(t, recommendURL, recommendRequest{Complaint: testComplaint})
+	code, b = post(t, recommendURL, api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusOK {
 		t.Fatalf("post-append recommend: %d %s", code, b)
 	}
-	var after recommendResponse
+	var after api.RecommendResponse
 	if err := json.Unmarshal(b, &after); err != nil {
 		t.Fatal(err)
 	}
@@ -112,18 +113,18 @@ func TestAppendErrors(t *testing.T) {
 		code int
 		want string
 	}{
-		{"unknown dataset", "/v1/datasets/nope/append", appendRequest{CSV: appendCSV}, http.StatusNotFound, "unknown dataset"},
-		{"empty body", "/v1/datasets/drought/append", appendRequest{}, http.StatusBadRequest, "needs csv"},
+		{"unknown dataset", "/v1/datasets/nope/append", api.AppendRequest{CSV: appendCSV}, http.StatusNotFound, "unknown dataset"},
+		{"empty body", "/v1/datasets/drought/append", api.AppendRequest{}, http.StatusBadRequest, "needs csv"},
 		{"missing column", "/v1/datasets/drought/append",
-			appendRequest{CSV: "district,village,severity\nRaya,Bala,4\n"}, http.StatusBadRequest, `missing dimension column`},
+			api.AppendRequest{CSV: "district,village,severity\nRaya,Bala,4\n"}, http.StatusBadRequest, `missing dimension column`},
 		{"extra column", "/v1/datasets/drought/append",
-			appendRequest{CSV: "district,village,year,severity,bogus\nRaya,Bala,1986,4,x\n"}, http.StatusBadRequest, "columns"},
+			api.AppendRequest{CSV: "district,village,year,severity,bogus\nRaya,Bala,1986,4,x\n"}, http.StatusBadRequest, "columns"},
 		{"bad measure", "/v1/datasets/drought/append",
-			appendRequest{CSV: "district,village,year,severity\nRaya,Bala,1986,NaN\n"}, http.StatusBadRequest, "non-finite"},
+			api.AppendRequest{CSV: "district,village,year,severity\nRaya,Bala,1986,NaN\n"}, http.StatusBadRequest, "non-finite"},
 		// Adishim already belongs to Ofla: the batch violates village →
 		// district and must be rejected without changing the dataset.
 		{"fd violation", "/v1/datasets/drought/append",
-			appendRequest{CSV: "district,village,year,severity\nRaya,Adishim,1986,4\n"}, http.StatusUnprocessableEntity, "FD violation"},
+			api.AppendRequest{CSV: "district,village,year,severity\nRaya,Adishim,1986,4\n"}, http.StatusUnprocessableEntity, "FD violation"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -138,8 +139,8 @@ func TestAppendErrors(t *testing.T) {
 	}
 
 	// After the failures the dataset still serves and is unchanged.
-	code, b := post(t, ts.URL+"/v1/datasets/drought/append", appendRequest{CSV: appendCSV})
-	var ar appendResponse
+	code, b := post(t, ts.URL+"/v1/datasets/drought/append", api.AppendRequest{CSV: appendCSV})
+	var ar api.AppendResponse
 	if code != http.StatusOK || json.Unmarshal(b, &ar) != nil || ar.Version != 2 {
 		t.Fatalf("append after failures: %d %s", code, b)
 	}
@@ -155,14 +156,14 @@ func TestConcurrentRecommendsDuringAppend(t *testing.T) {
 	// Several sessions share the engine; one is drilled mid-flight.
 	ids := make([]string, 3)
 	for i := range ids {
-		code, b := post(t, ts.URL+"/v1/sessions", sessionRequest{
+		code, b := post(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{
 			Dataset: "drought",
 			GroupBy: []string{"district", "year"},
 		})
 		if code != http.StatusCreated {
 			t.Fatalf("create session: %d %s", code, b)
 		}
-		var sr sessionResponse
+		var sr api.Session
 		if err := json.Unmarshal(b, &sr); err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestConcurrentRecommendsDuringAppend(t *testing.T) {
 			defer wg.Done()
 			url := ts.URL + "/v1/sessions/" + id + "/recommend"
 			for i := 0; i < 8; i++ {
-				code, b := post(t, url, recommendRequest{Complaint: testComplaint})
+				code, b := post(t, url, api.RecommendRequest{Complaint: testComplaint})
 				// Session 0 races a drill that exhausts its hierarchies, after
 				// which "fully drilled" is the correct answer.
 				if si == 0 && code == http.StatusUnprocessableEntity && bytes.Contains(b, []byte("fully drilled")) {
@@ -195,7 +196,7 @@ func TestConcurrentRecommendsDuringAppend(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < 4; i++ {
 			csv := fmt.Sprintf("district,village,year,severity\nRaya,New%02d,1986,%d\n", i, 3+i)
-			code, b := post(t, ts.URL+"/v1/datasets/drought/append", appendRequest{CSV: csv})
+			code, b := post(t, ts.URL+"/v1/datasets/drought/append", api.AppendRequest{CSV: csv})
 			if code != http.StatusOK {
 				errc <- fmt.Errorf("append %d: %d %s", i, code, b)
 				return
@@ -205,7 +206,7 @@ func TestConcurrentRecommendsDuringAppend(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		code, b := post(t, ts.URL+"/v1/sessions/"+ids[0]+"/drill", drillRequest{Hierarchy: "geo"})
+		code, b := post(t, ts.URL+"/v1/sessions/"+ids[0]+"/drill", api.DrillRequest{Hierarchy: "geo"})
 		if code != http.StatusOK {
 			errc <- fmt.Errorf("drill: %d %s", code, b)
 		}
@@ -219,11 +220,11 @@ func TestConcurrentRecommendsDuringAppend(t *testing.T) {
 	// Every session settles on the final version and sees the appended rows:
 	// a complaint about Raya 1986 must rank the appended villages.
 	code, b := post(t, ts.URL+"/v1/sessions/"+ids[1]+"/recommend",
-		recommendRequest{Complaint: "agg=mean measure=severity dir=low district=Raya year=1986"})
+		api.RecommendRequest{Complaint: "agg=mean measure=severity dir=low district=Raya year=1986"})
 	if code != http.StatusOK {
 		t.Fatalf("final recommend: %d %s", code, b)
 	}
-	var rr recommendResponse
+	var rr api.RecommendResponse
 	if err := json.Unmarshal(b, &rr); err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -15,15 +16,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/store"
+	"repro/reptile/api"
 )
+
+// Every request and response body on this file's handlers is a reptile/api
+// type: the server declares no wire structs of its own, so the protocol the
+// Go client (reptile/client) compiles against is by construction the one
+// served here.
 
 // maxBodyBytes bounds request bodies; inline CSV datasets are the largest
 // legitimate payload.
 const maxBodyBytes = 64 << 20
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -34,8 +37,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// writeError sends the v1 error envelope. The HTTP status derives from the
+// code, and overload responses carry Retry-After both as a header and in the
+// envelope.
+func writeError(w http.ResponseWriter, code api.ErrorCode, err error) {
+	e := &api.Error{Message: err.Error(), Code: code}
+	if code == api.CodeOverloaded {
+		e.RetryAfter = 1
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
+	writeJSON(w, code.HTTPStatus(), e)
 }
 
 func decodeJSON(r *http.Request, v any) error {
@@ -45,44 +56,18 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// datasetRequest registers a dataset. Exactly one of Path (a CSV or .rst
-// file the server can read) and CSV (inline content) must be set. When Path
-// names a .rst snapshot, measures and hierarchies come from the file and the
-// request fields must be empty.
-type datasetRequest struct {
-	Name     string   `json:"name"`
-	Path     string   `json:"path,omitempty"`
-	CSV      string   `json:"csv,omitempty"`
-	Measures []string `json:"measures,omitempty"`
-	// Hierarchies uses the CLI's compact notation, e.g.
-	// "geo:region,district,village;time:year".
-	Hierarchies string `json:"hierarchies,omitempty"`
-	// Engine options; zero values select the core defaults.
-	EMIterations int `json:"em_iterations,omitempty"`
-	TopK         int `json:"topk,omitempty"`
-	Workers      int `json:"workers,omitempty"`
-}
-
-type datasetResponse struct {
-	Name        string   `json:"name"`
-	Rows        int      `json:"rows"`
-	Version     uint64   `json:"version"`
-	Hierarchies []string `json:"hierarchies"`
-	Measures    []string `json:"measures"`
-}
-
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
-	var req datasetRequest
+	var req api.RegisterDatasetRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs a name"))
+		writeError(w, api.CodeBadRequest, fmt.Errorf("dataset needs a name"))
 		return
 	}
 	if (req.Path == "") == (req.CSV == "") {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs exactly one of path and csv"))
+		writeError(w, api.CodeBadRequest, fmt.Errorf("dataset needs exactly one of path and csv"))
 		return
 	}
 	// Answer retries of an already-registered name before loading the data.
@@ -90,7 +75,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	_, dup := s.engines[req.Name]
 	s.mu.Unlock()
 	if dup {
-		writeError(w, http.StatusConflict, fmt.Errorf("server: %v: %q", ErrDuplicateDataset, req.Name))
+		writeError(w, api.CodeDatasetExists, fmt.Errorf("server: %v: %q", ErrDuplicateDataset, req.Name))
 		return
 	}
 	opts := core.Options{EMIterations: req.EMIterations, TopK: req.TopK, Workers: req.Workers}
@@ -98,24 +83,24 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	if strings.HasSuffix(req.Path, ".rst") {
 		// Snapshot files carry their own schema.
 		if len(req.Measures) > 0 || req.Hierarchies != "" {
-			writeError(w, http.StatusBadRequest,
+			writeError(w, api.CodeBadRequest,
 				fmt.Errorf("a .rst snapshot carries its own measures and hierarchies; leave both fields empty"))
 			return
 		}
 		var err error
 		snap, err = store.OpenFile(req.Path)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, api.CodeBadRequest, err)
 			return
 		}
 	} else {
 		if len(req.Measures) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("dataset needs at least one measure column"))
+			writeError(w, api.CodeBadRequest, fmt.Errorf("dataset needs at least one measure column"))
 			return
 		}
 		hierarchies, err := data.ParseHierarchySpec(req.Hierarchies)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, api.CodeBadRequest, err)
 			return
 		}
 		var ds *data.Dataset
@@ -125,24 +110,24 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 			ds, err = data.ReadCSV(strings.NewReader(req.CSV), req.Name, req.Measures, hierarchies)
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, api.CodeBadRequest, err)
 			return
 		}
 		snap = store.FromDataset(ds)
 	}
 	if err := s.RegisterSnapshot(req.Name, snap, opts); err != nil {
-		status := http.StatusBadRequest
+		code := api.CodeBadRequest
 		if errors.Is(err, ErrDuplicateDataset) {
-			status = http.StatusConflict
+			code = api.CodeDatasetExists
 		}
-		writeError(w, status, err)
+		writeError(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, datasetSummary(req.Name, snap))
+	writeJSON(w, http.StatusCreated, datasetInfo(req.Name, snap))
 }
 
-// datasetSummary describes one snapshot version for dataset responses.
-func datasetSummary(name string, snap *store.Snapshot) datasetResponse {
+// datasetInfo describes one snapshot version for dataset responses.
+func datasetInfo(name string, snap *store.Snapshot) api.DatasetInfo {
 	names := make([]string, len(snap.Hierarchies))
 	for i, h := range snap.Hierarchies {
 		names[i] = h.Name
@@ -151,7 +136,7 @@ func datasetSummary(name string, snap *store.Snapshot) datasetResponse {
 	for i, m := range snap.Measures {
 		measures[i] = m.Name
 	}
-	return datasetResponse{
+	return api.DatasetInfo{
 		Name:        name,
 		Rows:        snap.NumRows(),
 		Version:     snap.Version,
@@ -160,16 +145,21 @@ func datasetSummary(name string, snap *store.Snapshot) datasetResponse {
 	}
 }
 
-// appendRequest ingests rows into a registered dataset: CSV content whose
-// header names every dimension and measure column of the dataset (in any
-// order).
-type appendRequest struct {
-	CSV string `json:"csv"`
-}
-
-type appendResponse struct {
-	datasetResponse
-	Appended int `json:"appended"`
+// handleListDatasets reports every registered dataset's currently-served
+// version, sorted by name for deterministic output.
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := make([]*engineEntry, 0, len(s.engines))
+	for _, ent := range s.engines {
+		entries = append(entries, ent)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	resp := api.ListDatasetsResponse{Datasets: make([]api.DatasetInfo, len(entries))}
+	for i, ent := range entries {
+		resp.Datasets[i] = datasetInfo(ent.name, ent.state.Load().snap)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
@@ -178,31 +168,31 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	ent, ok := s.engines[name]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		writeError(w, api.CodeDatasetNotFound, fmt.Errorf("unknown dataset %q", name))
 		return
 	}
-	var req appendRequest
+	var req api.AppendRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	if req.CSV == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("append needs csv content"))
+		writeError(w, api.CodeBadRequest, fmt.Errorf("append needs csv content"))
 		return
 	}
 	rows, err := parseAppendCSV(ent.state.Load().snap, req.CSV)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	next, err := s.Append(name, rows)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, api.CodeUnprocessable, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, appendResponse{
-		datasetResponse: datasetSummary(name, next),
-		Appended:        len(rows),
+	writeJSON(w, http.StatusOK, api.AppendResponse{
+		DatasetInfo: datasetInfo(name, next),
+		Appended:    len(rows),
 	})
 }
 
@@ -269,38 +259,23 @@ func parseAppendCSV(snap *store.Snapshot, content string) ([]store.Row, error) {
 	return rows, nil
 }
 
-type sessionRequest struct {
-	Dataset string   `json:"dataset"`
-	GroupBy []string `json:"group_by"`
-	// TTLSeconds overrides the server's session TTL for this session.
-	TTLSeconds int `json:"ttl_seconds,omitempty"`
-}
-
-type sessionResponse struct {
-	ID        string   `json:"id"`
-	Dataset   string   `json:"dataset"`
-	GroupBy   []string `json:"group_by"`
-	State     string   `json:"state"`
-	ExpiresAt string   `json:"expires_at"`
-}
-
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	var req sessionRequest
+	var req api.CreateSessionRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	s.mu.Lock()
 	ent, ok := s.engines[req.Dataset]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
+		writeError(w, api.CodeDatasetNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
 		return
 	}
 	st := ent.state.Load()
 	cs, err := st.eng.NewSession(req.GroupBy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	ttl := s.cfg.SessionTTL
@@ -321,7 +296,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	sess.deadline = now.Add(ttl)
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, sessionResponse{
+	writeJSON(w, http.StatusCreated, api.Session{
 		ID:        sess.id,
 		Dataset:   ent.name,
 		GroupBy:   nonNil(cs.GroupBy()),
@@ -330,36 +305,41 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-type recommendRequest struct {
-	// Complaint uses the CLI's notation, quoted values included, e.g.
-	// `agg=mean measure=severity dir=low district="New York" year=1986`.
-	Complaint string `json:"complaint"`
-}
-
-type recommendResponse struct {
-	State string `json:"state"`
-	// Cache is "hit", "miss", or "bypass" (caching disabled).
-	Cache string `json:"cache"`
-	// Recommendation carries core's deterministic Recommendation encoding
-	// verbatim: the bytes equal json.Marshal of an in-process
-	// Session.Recommend result.
-	Recommendation json.RawMessage `json:"recommendation"`
+// handleReleaseSession explicitly releases a session, freeing its TTL-table
+// entry and cached recommendations without waiting for expiry. Releasing an
+// unknown (or already released) id is 404: release is not idempotent, so a
+// client retrying over a flaky link learns the first attempt landed.
+func (s *Server) handleReleaseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		// An expired-but-unswept session still releases cleanly: the client
+		// asked for it to be gone, and gone it is either way.
+		s.dropSessionLocked(sess)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, api.CodeSessionNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	view, status, err := s.lookupSession(r.PathValue("id"))
+	view, code, err := s.lookupSession(r.PathValue("id"))
 	if err != nil {
-		writeError(w, status, err)
+		writeError(w, code, err)
 		return
 	}
-	var req recommendRequest
+	var req api.RecommendRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	c, err := core.ParseComplaint(req.Complaint)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	state := view.cs.StateKey()
@@ -378,8 +358,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !view.engine.acquire(r.Context(), s.cfg.QueueWait) {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, api.CodeOverloaded,
 			fmt.Errorf("dataset %q is at its concurrent recommendation limit", view.engine.name))
 		return
 	}
@@ -387,12 +366,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 
 	rec, err := view.cs.Recommend(c)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, api.CodeUnprocessable, err)
 		return
 	}
 	raw, err := json.Marshal(rec)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, api.CodeInternal, err)
 		return
 	}
 	verdict := "bypass"
@@ -413,27 +392,18 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) respondRecommend(w http.ResponseWriter, state, verdict string, raw json.RawMessage) {
 	w.Header().Set("X-Reptile-Cache", verdict)
-	writeJSON(w, http.StatusOK, recommendResponse{State: state, Cache: verdict, Recommendation: raw})
-}
-
-type drillRequest struct {
-	Hierarchy string `json:"hierarchy"`
-}
-
-type drillResponse struct {
-	GroupBy []string `json:"group_by"`
-	State   string   `json:"state"`
+	writeJSON(w, http.StatusOK, api.RecommendResponse{State: state, Cache: verdict, Recommendation: raw})
 }
 
 func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
-	view, status, err := s.lookupSession(r.PathValue("id"))
+	view, code, err := s.lookupSession(r.PathValue("id"))
 	if err != nil {
-		writeError(w, status, err)
+		writeError(w, code, err)
 		return
 	}
-	var req drillRequest
+	var req api.DrillRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	// Drill the session's *current* core.Session, holding the registry lock
@@ -448,7 +418,7 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	err = cs.Drill(req.Hierarchy)
 	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	// Drilling changes the session's state key, so cached entries for the
@@ -456,41 +426,10 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		s.cache.RemovePrefix(view.id + "\x00")
 	}
-	writeJSON(w, http.StatusOK, drillResponse{
+	writeJSON(w, http.StatusOK, api.DrillResponse{
 		GroupBy: nonNil(cs.GroupBy()),
 		State:   cs.StateKey(),
 	})
-}
-
-// cubeStatus describes a dataset version's materialized rollup cube.
-type cubeStatus struct {
-	Present bool `json:"present"`
-	// Levels is the number of materialized lattice groupings, Cells the
-	// total precomputed group count across them (0 when absent).
-	Levels int `json:"levels,omitempty"`
-	Cells  int `json:"cells,omitempty"`
-}
-
-// datasetStats is one registered dataset's serving state: the snapshot
-// version currently answering queries, its row count, the sessions bound to
-// it, and whether a materialized cube backs its group-bys.
-type datasetStats struct {
-	Version  uint64     `json:"version"`
-	Rows     int        `json:"rows"`
-	Sessions int        `json:"sessions"`
-	Cube     cubeStatus `json:"cube"`
-}
-
-// statsResponse is the GET /v1/stats payload.
-type statsResponse struct {
-	Status   string                  `json:"status"`
-	Datasets map[string]datasetStats `json:"datasets"`
-	Sessions int                     `json:"sessions"`
-	Cache    struct {
-		Hits   uint64 `json:"hits"`
-		Misses uint64 `json:"misses"`
-		Size   int    `json:"size"`
-	} `json:"cache"`
 }
 
 // handleStats reports per-dataset serving counters: the live snapshot
@@ -504,33 +443,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, sess := range s.sessions {
 		perDataset[sess.engine.name]++
 	}
-	resp := statsResponse{Status: "ok", Datasets: make(map[string]datasetStats, len(s.engines)), Sessions: len(s.sessions)}
+	resp := api.StatsResponse{Status: "ok", Datasets: make(map[string]api.DatasetStats, len(s.engines)), Sessions: len(s.sessions)}
 	for name, ent := range s.engines {
 		st := ent.state.Load()
-		d := datasetStats{Version: st.snap.Version, Rows: st.snap.NumRows(), Sessions: perDataset[name]}
+		d := api.DatasetStats{Version: st.snap.Version, Rows: st.snap.NumRows(), Sessions: perDataset[name]}
 		if c := st.snap.Cube(); c != nil {
-			d.Cube = cubeStatus{Present: true, Levels: c.NumLevels(), Cells: c.NumCells()}
+			d.Cube = api.CubeStatus{Present: true, Levels: c.NumLevels(), Cells: c.NumCells()}
 		}
 		resp.Datasets[name] = d
 	}
 	s.mu.Unlock()
-	resp.Cache.Hits = s.cacheHits.Load()
-	resp.Cache.Misses = s.cacheMiss.Load()
-	if s.cache != nil {
-		resp.Cache.Size = s.cache.Len()
-	}
+	resp.Cache = s.cacheStats()
 	writeJSON(w, http.StatusOK, resp)
-}
-
-type healthResponse struct {
-	Status   string `json:"status"`
-	Datasets int    `json:"datasets"`
-	Sessions int    `json:"sessions"`
-	Cache    struct {
-		Hits   uint64 `json:"hits"`
-		Misses uint64 `json:"misses"`
-		Size   int    `json:"size"`
-	} `json:"cache"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -538,13 +462,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.sweepExpiredLocked(s.now())
 	nd, ns := len(s.engines), len(s.sessions)
 	s.mu.Unlock()
-	resp := healthResponse{Status: "ok", Datasets: nd, Sessions: ns}
-	resp.Cache.Hits = s.cacheHits.Load()
-	resp.Cache.Misses = s.cacheMiss.Load()
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status: "ok", Datasets: nd, Sessions: ns, Cache: s.cacheStats(),
+	})
+}
+
+// cacheStats snapshots the recommendation LRU's counters.
+func (s *Server) cacheStats() api.CacheStats {
+	cs := api.CacheStats{Hits: s.cacheHits.Load(), Misses: s.cacheMiss.Load()}
 	if s.cache != nil {
-		resp.Cache.Size = s.cache.Len()
+		cs.Size = s.cache.Len()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return cs
 }
 
 // nonNil maps a nil slice to an empty one so JSON renders [] instead of null.

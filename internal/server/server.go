@@ -15,16 +15,23 @@
 // their next request, and evaluations already in flight finish on the old
 // one.
 //
+// Every request and response body is a type of the public wire-protocol
+// package reptile/api, and every non-2xx response carries its structured
+// error envelope, so the native Go client (reptile/client) and any
+// third-party client share one protocol definition with the server.
+//
 // Endpoints:
 //
-//	POST /v1/datasets                   register a CSV or .rst dataset
-//	POST /v1/datasets/{name}/append     append rows, hot-swapping the engine
-//	POST /v1/sessions                   start a drill-down session
-//	POST /v1/sessions/{id}/recommend    evaluate a complaint
-//	POST /v1/sessions/{id}/drill        accept a recommendation
-//	GET  /v1/stats                      per-dataset versions, cube status,
-//	                                    session and cache counters
-//	GET  /healthz                       liveness + registry/cache statistics
+//	POST   /v1/datasets                  register a CSV or .rst dataset
+//	GET    /v1/datasets                  list registered datasets
+//	POST   /v1/datasets/{name}/append    append rows, hot-swapping the engine
+//	POST   /v1/sessions                  start a drill-down session
+//	DELETE /v1/sessions/{id}             release a session explicitly
+//	POST   /v1/sessions/{id}/recommend   evaluate a complaint
+//	POST   /v1/sessions/{id}/drill       accept a recommendation
+//	GET    /v1/stats                     per-dataset versions, cube status,
+//	                                     session and cache counters
+//	GET    /healthz                      liveness + registry/cache statistics
 package server
 
 import (
@@ -41,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/store"
+	"repro/reptile/api"
 )
 
 // Config tunes the server. The zero value selects sensible defaults.
@@ -300,8 +308,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleReleaseSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/recommend", s.handleRecommend)
 	mux.HandleFunc("POST /v1/sessions/{id}/drill", s.handleDrill)
 	return mux
@@ -318,21 +328,22 @@ type sessionView struct {
 }
 
 // lookupSession resolves a live session, renewing its TTL. Expired sessions
-// are removed (with their cache entries) and reported as 410 Gone. If the
-// dataset was hot-swapped since the session's last request, the session is
-// rebound to the current engine version, preserving its drill state; any
-// request already evaluating keeps the old version's view.
-func (s *Server) lookupSession(id string) (sessionView, int, error) {
+// are removed (with their cache entries) and reported as session_expired
+// (410 Gone). If the dataset was hot-swapped since the session's last
+// request, the session is rebound to the current engine version, preserving
+// its drill state; any request already evaluating keeps the old version's
+// view.
+func (s *Server) lookupSession(id string) (sessionView, api.ErrorCode, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if !ok {
-		return sessionView{}, http.StatusNotFound, fmt.Errorf("unknown session %q", id)
+		return sessionView{}, api.CodeSessionNotFound, fmt.Errorf("unknown session %q", id)
 	}
 	now := s.now()
 	if now.After(sess.deadline) {
 		s.dropSessionLocked(sess)
-		return sessionView{}, http.StatusGone, fmt.Errorf("session %q expired", id)
+		return sessionView{}, api.CodeSessionExpired, fmt.Errorf("session %q expired", id)
 	}
 	sess.deadline = now.Add(sess.ttl)
 	if st := sess.engine.state.Load(); st.snap.Version != sess.version {
@@ -340,13 +351,13 @@ func (s *Server) lookupSession(id string) (sessionView, int, error) {
 		if err != nil {
 			// Appends never change the schema, so the old drill state always
 			// transfers; failure here means a bug, not bad client input.
-			return sessionView{}, http.StatusInternalServerError,
+			return sessionView{}, api.CodeInternal,
 				fmt.Errorf("rebinding session %q to dataset version %d: %w", id, st.snap.Version, err)
 		}
 		sess.sess = cs
 		sess.version = st.snap.Version
 	}
-	return sessionView{id: sess.id, engine: sess.engine, cs: sess.sess, version: sess.version}, 0, nil
+	return sessionView{id: sess.id, engine: sess.engine, cs: sess.sess, version: sess.version}, "", nil
 }
 
 // dropSessionLocked removes a session and invalidates its cached

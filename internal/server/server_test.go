@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/reptile/api"
 )
 
 const testCSV = "district,village,year,severity\n" +
@@ -71,7 +72,7 @@ func get(t *testing.T, url string) (int, []byte) {
 // registerTestDataset registers the drought CSV and returns a session id.
 func registerTestDataset(t *testing.T, base string) string {
 	t.Helper()
-	code, b := post(t, base+"/v1/datasets", datasetRequest{
+	code, b := post(t, base+"/v1/datasets", api.RegisterDatasetRequest{
 		Name:         "drought",
 		CSV:          testCSV,
 		Measures:     []string{"severity"},
@@ -81,14 +82,14 @@ func registerTestDataset(t *testing.T, base string) string {
 	if code != http.StatusCreated {
 		t.Fatalf("register dataset: %d %s", code, b)
 	}
-	code, b = post(t, base+"/v1/sessions", sessionRequest{
+	code, b = post(t, base+"/v1/sessions", api.CreateSessionRequest{
 		Dataset: "drought",
 		GroupBy: []string{"district", "year"},
 	})
 	if code != http.StatusCreated {
 		t.Fatalf("create session: %d %s", code, b)
 	}
-	var sr sessionResponse
+	var sr api.Session
 	if err := json.Unmarshal(b, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestEndToEndRecommendMatchesDirect(t *testing.T) {
 	id := registerTestDataset(t, ts.URL)
 
 	code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
-		recommendRequest{Complaint: testComplaint})
+		api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusOK {
 		t.Fatalf("recommend: %d %s", code, b)
 	}
-	var rr recommendResponse
+	var rr api.RecommendResponse
 	if err := json.Unmarshal(b, &rr); err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestRecommendCacheHitAndDrillInvalidation(t *testing.T) {
 	id := registerTestDataset(t, ts.URL)
 	url := ts.URL + "/v1/sessions/" + id + "/recommend"
 
-	code, first := post(t, url, recommendRequest{Complaint: testComplaint})
+	code, first := post(t, url, api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusOK {
 		t.Fatalf("first recommend: %d %s", code, first)
 	}
-	var r1 recommendResponse
+	var r1 api.RecommendResponse
 	if err := json.Unmarshal(first, &r1); err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +170,11 @@ func TestRecommendCacheHitAndDrillInvalidation(t *testing.T) {
 	}
 
 	// The identical complaint is served from the cache, byte-identically.
-	code, second := post(t, url, recommendRequest{Complaint: testComplaint})
+	code, second := post(t, url, api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusOK {
 		t.Fatalf("second recommend: %d %s", code, second)
 	}
-	var r2 recommendResponse
+	var r2 api.RecommendResponse
 	if err := json.Unmarshal(second, &r2); err != nil {
 		t.Fatal(err)
 	}
@@ -185,12 +186,12 @@ func TestRecommendCacheHitAndDrillInvalidation(t *testing.T) {
 	}
 
 	// Equivalent complaint spelled differently (tuple order) also hits.
-	code, b := post(t, url, recommendRequest{
+	code, b := post(t, url, api.RecommendRequest{
 		Complaint: "year=1986 district=Ofla agg=mean measure=severity dir=low"})
 	if code != http.StatusOK {
 		t.Fatalf("reordered recommend: %d %s", code, b)
 	}
-	var r3 recommendResponse
+	var r3 api.RecommendResponse
 	if err := json.Unmarshal(b, &r3); err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestRecommendCacheHitAndDrillInvalidation(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("healthz: %d %s", code, b)
 	}
-	var h healthResponse
+	var h api.HealthResponse
 	if err := json.Unmarshal(b, &h); err != nil {
 		t.Fatal(err)
 	}
@@ -214,27 +215,27 @@ func TestRecommendCacheHitAndDrillInvalidation(t *testing.T) {
 	// Drilling invalidates the session's cached recommendations — and only
 	// that session's: start a shallower second session, cache one result,
 	// drill it, and check the first session's entry survives.
-	code, b = post(t, ts.URL+"/v1/sessions", sessionRequest{Dataset: "drought", GroupBy: []string{"year"}})
+	code, b = post(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{Dataset: "drought", GroupBy: []string{"year"}})
 	if code != http.StatusCreated {
 		t.Fatalf("second session: %d %s", code, b)
 	}
-	var sr2 sessionResponse
+	var sr2 api.Session
 	if err := json.Unmarshal(b, &sr2); err != nil {
 		t.Fatal(err)
 	}
 	url2 := ts.URL + "/v1/sessions/" + sr2.ID + "/recommend"
 	shallow := "agg=mean measure=severity dir=low year=1986"
-	if code, b = post(t, url2, recommendRequest{Complaint: shallow}); code != http.StatusOK {
+	if code, b = post(t, url2, api.RecommendRequest{Complaint: shallow}); code != http.StatusOK {
 		t.Fatalf("shallow recommend: %d %s", code, b)
 	}
 	if got := s.cache.Len(); got != 2 {
 		t.Fatalf("cache entries before drill = %d, want 2", got)
 	}
-	code, b = post(t, ts.URL+"/v1/sessions/"+sr2.ID+"/drill", drillRequest{Hierarchy: "geo"})
+	code, b = post(t, ts.URL+"/v1/sessions/"+sr2.ID+"/drill", api.DrillRequest{Hierarchy: "geo"})
 	if code != http.StatusOK {
 		t.Fatalf("drill: %d %s", code, b)
 	}
-	var dr drillResponse
+	var dr api.DrillResponse
 	if err := json.Unmarshal(b, &dr); err != nil {
 		t.Fatal(err)
 	}
@@ -244,11 +245,11 @@ func TestRecommendCacheHitAndDrillInvalidation(t *testing.T) {
 	if got := s.cache.Len(); got != 1 {
 		t.Errorf("cache entries after drill = %d, want 1 (other session's entry must survive)", got)
 	}
-	code, b = post(t, url2, recommendRequest{Complaint: shallow})
+	code, b = post(t, url2, api.RecommendRequest{Complaint: shallow})
 	if code != http.StatusOK {
 		t.Fatalf("post-drill recommend: %d %s", code, b)
 	}
-	var r4 recommendResponse
+	var r4 api.RecommendResponse
 	if err := json.Unmarshal(b, &r4); err != nil {
 		t.Fatal(err)
 	}
@@ -272,33 +273,33 @@ func TestHandlerErrors(t *testing.T) {
 		{"bad JSON recommend", ts.URL + "/v1/sessions/" + id + "/recommend", "{not json", http.StatusBadRequest},
 		{"bad JSON drill", ts.URL + "/v1/sessions/" + id + "/drill", "{not json", http.StatusBadRequest},
 		{"dataset without source", ts.URL + "/v1/datasets",
-			datasetRequest{Name: "x", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
+			api.RegisterDatasetRequest{Name: "x", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
 		{"dataset with two sources", ts.URL + "/v1/datasets",
-			datasetRequest{Name: "x", Path: "p", CSV: "c", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
+			api.RegisterDatasetRequest{Name: "x", Path: "p", CSV: "c", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
 		{"dataset without measures", ts.URL + "/v1/datasets",
-			datasetRequest{Name: "x", CSV: testCSV, Hierarchies: testHierarchies}, http.StatusBadRequest},
+			api.RegisterDatasetRequest{Name: "x", CSV: testCSV, Hierarchies: testHierarchies}, http.StatusBadRequest},
 		{"dataset with bad hierarchy spec", ts.URL + "/v1/datasets",
-			datasetRequest{Name: "x", CSV: testCSV, Measures: []string{"severity"}, Hierarchies: "nocolon"}, http.StatusBadRequest},
+			api.RegisterDatasetRequest{Name: "x", CSV: testCSV, Measures: []string{"severity"}, Hierarchies: "nocolon"}, http.StatusBadRequest},
 		{"dataset with non-finite measure", ts.URL + "/v1/datasets",
-			datasetRequest{Name: "x", CSV: "a,m\nv,NaN\n", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
+			api.RegisterDatasetRequest{Name: "x", CSV: "a,m\nv,NaN\n", Measures: []string{"m"}, Hierarchies: "h:a"}, http.StatusBadRequest},
 		{"duplicate dataset", ts.URL + "/v1/datasets",
-			datasetRequest{Name: "drought", CSV: testCSV, Measures: []string{"severity"}, Hierarchies: testHierarchies}, http.StatusConflict},
+			api.RegisterDatasetRequest{Name: "drought", CSV: testCSV, Measures: []string{"severity"}, Hierarchies: testHierarchies}, http.StatusConflict},
 		{"unknown dataset", ts.URL + "/v1/sessions",
-			sessionRequest{Dataset: "nope"}, http.StatusNotFound},
+			api.CreateSessionRequest{Dataset: "nope"}, http.StatusNotFound},
 		{"bad group-by", ts.URL + "/v1/sessions",
-			sessionRequest{Dataset: "drought", GroupBy: []string{"bogus"}}, http.StatusBadRequest},
+			api.CreateSessionRequest{Dataset: "drought", GroupBy: []string{"bogus"}}, http.StatusBadRequest},
 		{"unknown session recommend", ts.URL + "/v1/sessions/s_nope/recommend",
-			recommendRequest{Complaint: testComplaint}, http.StatusNotFound},
+			api.RecommendRequest{Complaint: testComplaint}, http.StatusNotFound},
 		{"unknown session drill", ts.URL + "/v1/sessions/s_nope/drill",
-			drillRequest{Hierarchy: "geo"}, http.StatusNotFound},
+			api.DrillRequest{Hierarchy: "geo"}, http.StatusNotFound},
 		{"bad complaint", ts.URL + "/v1/sessions/" + id + "/recommend",
-			recommendRequest{Complaint: "agg=mean"}, http.StatusBadRequest},
+			api.RecommendRequest{Complaint: "agg=mean"}, http.StatusBadRequest},
 		{"unknown measure", ts.URL + "/v1/sessions/" + id + "/recommend",
-			recommendRequest{Complaint: "agg=mean measure=bogus dir=low district=Ofla year=1986"}, http.StatusUnprocessableEntity},
+			api.RecommendRequest{Complaint: "agg=mean measure=bogus dir=low district=Ofla year=1986"}, http.StatusUnprocessableEntity},
 		{"no provenance", ts.URL + "/v1/sessions/" + id + "/recommend",
-			recommendRequest{Complaint: "agg=mean measure=severity dir=low district=Nowhere year=1986"}, http.StatusUnprocessableEntity},
+			api.RecommendRequest{Complaint: "agg=mean measure=severity dir=low district=Nowhere year=1986"}, http.StatusUnprocessableEntity},
 		{"unknown hierarchy drill", ts.URL + "/v1/sessions/" + id + "/drill",
-			drillRequest{Hierarchy: "nope"}, http.StatusBadRequest},
+			api.DrillRequest{Hierarchy: "nope"}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		code, b := post(t, tc.url, tc.body)
@@ -306,9 +307,13 @@ func TestHandlerErrors(t *testing.T) {
 			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.want, b)
 			continue
 		}
-		var er errorResponse
-		if err := json.Unmarshal(b, &er); err != nil || er.Error == "" {
-			t.Errorf("%s: error body %q not a JSON error", tc.name, b)
+		var er api.Error
+		if err := json.Unmarshal(b, &er); err != nil || er.Message == "" {
+			t.Errorf("%s: error body %q not a JSON error envelope", tc.name, b)
+			continue
+		}
+		if er.Code == "" || er.Code.HTTPStatus() != tc.want {
+			t.Errorf("%s: error code %q does not map to status %d", tc.name, er.Code, tc.want)
 		}
 	}
 }
@@ -323,13 +328,13 @@ func TestSessionExpiry(t *testing.T) {
 	s.mu.Unlock()
 
 	code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
-		recommendRequest{Complaint: testComplaint})
+		api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusGone {
 		t.Fatalf("expired session: %d %s, want 410", code, b)
 	}
 	// The session is reaped: a second request sees 404, and healthz counts 0.
 	code, _ = post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
-		recommendRequest{Complaint: testComplaint})
+		api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusNotFound {
 		t.Fatalf("reaped session: %d, want 404", code)
 	}
@@ -337,7 +342,7 @@ func TestSessionExpiry(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatal("healthz failed")
 	}
-	var h healthResponse
+	var h api.HealthResponse
 	if err := json.Unmarshal(hb, &h); err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +368,7 @@ func TestSessionTTLRenewedByRequests(t *testing.T) {
 		cmu.Lock()
 		clock = base.Add(time.Duration(i) * 40 * time.Second)
 		cmu.Unlock()
-		if code, b := post(t, url, recommendRequest{Complaint: testComplaint}); code != http.StatusOK {
+		if code, b := post(t, url, api.RecommendRequest{Complaint: testComplaint}); code != http.StatusOK {
 			t.Fatalf("touch %d: %d %s", i, code, b)
 		}
 	}
@@ -375,7 +380,7 @@ func TestSessionTTLClamped(t *testing.T) {
 
 	// A huge ttl_seconds must clamp instead of overflowing time.Duration
 	// into the past (which created sessions that were born expired).
-	code, b := post(t, ts.URL+"/v1/sessions", sessionRequest{
+	code, b := post(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{
 		Dataset:    "drought",
 		GroupBy:    []string{"district", "year"},
 		TTLSeconds: int(^uint(0) >> 1), // max int
@@ -383,7 +388,7 @@ func TestSessionTTLClamped(t *testing.T) {
 	if code != http.StatusCreated {
 		t.Fatalf("create session: %d %s", code, b)
 	}
-	var sr sessionResponse
+	var sr api.Session
 	if err := json.Unmarshal(b, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +420,7 @@ func TestRecommendLimiter(t *testing.T) {
 
 	for i := 0; i < 3; i++ {
 		code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
-			recommendRequest{Complaint: testComplaint})
+			api.RecommendRequest{Complaint: testComplaint})
 		if code != http.StatusTooManyRequests {
 			t.Fatalf("saturated recommend %d: %d %s, want 429", i, code, b)
 		}
@@ -425,16 +430,16 @@ func TestRecommendLimiter(t *testing.T) {
 	// the cache, re-occupy, and the repeat must still be served.
 	<-ent.slots
 	if code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
-		recommendRequest{Complaint: testComplaint}); code != http.StatusOK {
+		api.RecommendRequest{Complaint: testComplaint}); code != http.StatusOK {
 		t.Fatalf("warm-up recommend: %d %s", code, b)
 	}
 	ent.slots <- struct{}{}
 	code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend",
-		recommendRequest{Complaint: testComplaint})
+		api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusOK {
 		t.Fatalf("cached recommend under saturation: %d %s, want 200", code, b)
 	}
-	var rr recommendResponse
+	var rr api.RecommendResponse
 	if err := json.Unmarshal(b, &rr); err != nil {
 		t.Fatal(err)
 	}
@@ -452,11 +457,11 @@ func TestConcurrentRecommends(t *testing.T) {
 	url := ts.URL + "/v1/sessions/" + id + "/recommend"
 
 	// One serial request to pin the expected bytes.
-	code, b := post(t, url, recommendRequest{Complaint: testComplaint})
+	code, b := post(t, url, api.RecommendRequest{Complaint: testComplaint})
 	if code != http.StatusOK {
 		t.Fatalf("seed recommend: %d %s", code, b)
 	}
-	var seed recommendResponse
+	var seed api.RecommendResponse
 	if err := json.Unmarshal(b, &seed); err != nil {
 		t.Fatal(err)
 	}
@@ -476,12 +481,12 @@ func TestConcurrentRecommends(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				spec := complaints[(g+i)%len(complaints)]
-				code, b := postNoFatal(url, recommendRequest{Complaint: spec})
+				code, b := postNoFatal(url, api.RecommendRequest{Complaint: spec})
 				if code != http.StatusOK {
 					errs <- fmt.Errorf("goroutine %d req %d: status %d: %s", g, i, code, b)
 					continue
 				}
-				var rr recommendResponse
+				var rr api.RecommendResponse
 				if err := json.Unmarshal(b, &rr); err != nil {
 					errs <- fmt.Errorf("goroutine %d req %d: %v", g, i, err)
 					continue
@@ -531,7 +536,7 @@ func getNoFatal(url string) (int, []byte) {
 func TestRegisterDatasetValidatesEngine(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	// An FD violation inside a hierarchy must be rejected at registration.
-	code, b := post(t, ts.URL+"/v1/datasets", datasetRequest{
+	code, b := post(t, ts.URL+"/v1/datasets", api.RegisterDatasetRequest{
 		Name:        "broken",
 		CSV:         "district,village,m\nA,v1,1\nB,v1,2\n",
 		Measures:    []string{"m"},
@@ -547,16 +552,134 @@ func TestCachingDisabled(t *testing.T) {
 	id := registerTestDataset(t, ts.URL)
 	url := ts.URL + "/v1/sessions/" + id + "/recommend"
 	for i := 0; i < 2; i++ {
-		code, b := post(t, url, recommendRequest{Complaint: testComplaint})
+		code, b := post(t, url, api.RecommendRequest{Complaint: testComplaint})
 		if code != http.StatusOK {
 			t.Fatalf("recommend %d: %d %s", i, code, b)
 		}
-		var rr recommendResponse
+		var rr api.RecommendResponse
 		if err := json.Unmarshal(b, &rr); err != nil {
 			t.Fatal(err)
 		}
 		if rr.Cache != "bypass" {
 			t.Errorf("recommend %d cache = %q, want bypass", i, rr.Cache)
 		}
+	}
+}
+
+// del sends a DELETE and returns the status code and response bytes.
+func del(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestListDatasets(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Empty registry lists as [], not null.
+	code, b := get(t, ts.URL+"/v1/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d %s", code, b)
+	}
+	var lr api.ListDatasetsResponse
+	if err := json.Unmarshal(b, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Datasets == nil || len(lr.Datasets) != 0 {
+		t.Errorf("empty list = %q, want datasets: []", b)
+	}
+
+	registerTestDataset(t, ts.URL)
+	// A second dataset sorting before "drought" proves name ordering.
+	code, b = post(t, ts.URL+"/v1/datasets", api.RegisterDatasetRequest{
+		Name: "aaa", CSV: testCSV, Measures: []string{"severity"},
+		Hierarchies: testHierarchies, EMIterations: 4,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register aaa: %d %s", code, b)
+	}
+
+	code, b = get(t, ts.URL+"/v1/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d %s", code, b)
+	}
+	lr = api.ListDatasetsResponse{}
+	if err := json.Unmarshal(b, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Datasets) != 2 || lr.Datasets[0].Name != "aaa" || lr.Datasets[1].Name != "drought" {
+		t.Fatalf("list = %+v, want [aaa drought]", lr.Datasets)
+	}
+	d := lr.Datasets[1]
+	if d.Rows != 8 || d.Version != 1 {
+		t.Errorf("drought info = %+v, want 8 rows at version 1", d)
+	}
+	if len(d.Hierarchies) != 2 || d.Hierarchies[0] != "geo" || len(d.Measures) != 1 || d.Measures[0] != "severity" {
+		t.Errorf("drought schema = %+v", d)
+	}
+
+	// An append is reflected in the listed version and row count.
+	if code, b := post(t, ts.URL+"/v1/datasets/drought/append", api.AppendRequest{CSV: appendCSV}); code != http.StatusOK {
+		t.Fatalf("append: %d %s", code, b)
+	}
+	_, b = get(t, ts.URL+"/v1/datasets")
+	lr = api.ListDatasetsResponse{}
+	if err := json.Unmarshal(b, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if d := lr.Datasets[1]; d.Version != 2 || d.Rows != 10 {
+		t.Errorf("post-append drought info = %+v, want version 2 with 10 rows", d)
+	}
+}
+
+func TestReleaseSession(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := registerTestDataset(t, ts.URL)
+
+	// Warm the cache so release has entries to invalidate.
+	if code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend", api.RecommendRequest{Complaint: testComplaint}); code != http.StatusOK {
+		t.Fatalf("recommend: %d %s", code, b)
+	}
+	if n := s.cache.Len(); n != 1 {
+		t.Fatalf("cache size before release = %d, want 1", n)
+	}
+
+	code, b := del(t, ts.URL+"/v1/sessions/"+id)
+	if code != http.StatusNoContent {
+		t.Fatalf("release: %d %s, want 204", code, b)
+	}
+	if n := s.cache.Len(); n != 0 {
+		t.Errorf("cache size after release = %d, want 0", n)
+	}
+
+	// The TTL-table entry is freed: further use is 404, and so is a repeat
+	// release.
+	code, b = post(t, ts.URL+"/v1/sessions/"+id+"/recommend", api.RecommendRequest{Complaint: testComplaint})
+	if code != http.StatusNotFound {
+		t.Fatalf("recommend after release: %d %s, want 404", code, b)
+	}
+	var er api.Error
+	if err := json.Unmarshal(b, &er); err != nil || er.Code != api.CodeSessionNotFound {
+		t.Errorf("error envelope = %s, want code session_not_found", b)
+	}
+	if code, _ = del(t, ts.URL+"/v1/sessions/"+id); code != http.StatusNotFound {
+		t.Errorf("double release: %d, want 404", code)
+	}
+
+	var h api.HealthResponse
+	if _, hb := get(t, ts.URL+"/healthz"); json.Unmarshal(hb, &h) == nil && h.Sessions != 0 {
+		t.Errorf("healthz sessions after release = %d, want 0", h.Sessions)
 	}
 }

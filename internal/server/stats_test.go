@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"testing"
+
+	"repro/reptile/api"
 )
 
 // TestStatsEndpoint drives the full dataset lifecycle — register, recommend
@@ -13,13 +15,13 @@ func TestStatsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	id := registerTestDataset(t, ts.URL)
 
-	fetch := func() statsResponse {
+	fetch := func() api.StatsResponse {
 		t.Helper()
 		code, b := get(t, ts.URL+"/v1/stats")
 		if code != http.StatusOK {
 			t.Fatalf("stats: %d %s", code, b)
 		}
-		var resp statsResponse
+		var resp api.StatsResponse
 		if err := json.Unmarshal(b, &resp); err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +48,7 @@ func TestStatsEndpoint(t *testing.T) {
 	// One miss, one hit.
 	url := ts.URL + "/v1/sessions/" + id + "/recommend"
 	for i := 0; i < 2; i++ {
-		if code, b := post(t, url, recommendRequest{Complaint: testComplaint}); code != http.StatusOK {
+		if code, b := post(t, url, api.RecommendRequest{Complaint: testComplaint}); code != http.StatusOK {
 			t.Fatalf("recommend: %d %s", code, b)
 		}
 	}
@@ -56,7 +58,7 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 
 	// An append hot-swaps to version 2 and maintains the cube incrementally.
-	if code, b := post(t, ts.URL+"/v1/datasets/drought/append", appendRequest{CSV: appendCSV}); code != http.StatusOK {
+	if code, b := post(t, ts.URL+"/v1/datasets/drought/append", api.AppendRequest{CSV: appendCSV}); code != http.StatusOK {
 		t.Fatalf("append: %d %s", code, b)
 	}
 	d = fetch().Datasets["drought"]
@@ -77,14 +79,14 @@ func TestStatsCubeDisabled(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("stats: %d %s", code, b)
 	}
-	var resp statsResponse
+	var resp api.StatsResponse
 	if err := json.Unmarshal(b, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if d := resp.Datasets["drought"]; d.Cube.Present || d.Cube.Levels != 0 {
 		t.Errorf("cube status = %+v, want absent", d.Cube)
 	}
-	if code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend", recommendRequest{Complaint: testComplaint}); code != http.StatusOK {
+	if code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend", api.RecommendRequest{Complaint: testComplaint}); code != http.StatusOK {
 		t.Fatalf("recommend without cube: %d %s", code, b)
 	}
 }
@@ -98,11 +100,11 @@ func TestCubeAndScanServeIdenticalBytes(t *testing.T) {
 	for _, disable := range []bool{false, true} {
 		_, ts := newTestServer(t, Config{DisableCube: disable})
 		id := registerTestDataset(t, ts.URL)
-		code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend", recommendRequest{Complaint: testComplaint})
+		code, b := post(t, ts.URL+"/v1/sessions/"+id+"/recommend", api.RecommendRequest{Complaint: testComplaint})
 		if code != http.StatusOK {
 			t.Fatalf("recommend (disable=%v): %d %s", disable, code, b)
 		}
-		var resp recommendResponse
+		var resp api.RecommendResponse
 		if err := json.Unmarshal(b, &resp); err != nil {
 			t.Fatal(err)
 		}

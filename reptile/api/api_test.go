@@ -1,0 +1,91 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorEnvelopeJSON(t *testing.T) {
+	b, err := json.Marshal(&Error{Message: "too busy", Code: CodeOverloaded, RetryAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":"too busy","code":"overloaded","retry_after":1}`
+	if string(b) != want {
+		t.Errorf("envelope = %s, want %s", b, want)
+	}
+	// retry_after is omitted when unset.
+	b, _ = json.Marshal(&Error{Message: "nope", Code: CodeDatasetNotFound})
+	if want := `{"error":"nope","code":"dataset_not_found"}`; string(b) != want {
+		t.Errorf("envelope = %s, want %s", b, want)
+	}
+}
+
+func TestErrorInterface(t *testing.T) {
+	e := &Error{Message: "session \"s_1\" expired", Code: CodeSessionExpired}
+	if got := e.Error(); got != `session "s_1" expired (session_expired)` {
+		t.Errorf("Error() = %q", got)
+	}
+	wrapped := fmt.Errorf("recommend: %w", e)
+	if !IsCode(wrapped, CodeSessionExpired) {
+		t.Error("IsCode missed a wrapped envelope")
+	}
+	if IsCode(wrapped, CodeOverloaded) {
+		t.Error("IsCode matched the wrong code")
+	}
+	if IsCode(errors.New("plain"), CodeSessionExpired) {
+		t.Error("IsCode matched a non-envelope error")
+	}
+}
+
+func TestCodeStatusRoundTrip(t *testing.T) {
+	// Every code maps to a distinct-enough status, and CodeForStatus is its
+	// inverse up to the documented 404 collapse (session vs dataset).
+	codes := []ErrorCode{
+		CodeBadRequest, CodeDatasetNotFound, CodeDatasetExists,
+		CodeSessionNotFound, CodeSessionExpired, CodeUnprocessable,
+		CodeOverloaded, CodeInternal,
+	}
+	for _, c := range codes {
+		status := c.HTTPStatus()
+		if status < 400 || status > 599 {
+			t.Errorf("%s: status %d out of error range", c, status)
+		}
+		back := CodeForStatus(status)
+		if c == CodeSessionNotFound {
+			if back != CodeDatasetNotFound {
+				t.Errorf("%s: round-trip = %s, want the documented 404 collapse", c, back)
+			}
+			continue
+		}
+		if back != c {
+			t.Errorf("%s: round-trip through status %d = %s", c, status, back)
+		}
+	}
+	if got := ErrorCode("mystery").HTTPStatus(); got != 500 {
+		t.Errorf("unknown code status = %d, want 500", got)
+	}
+}
+
+func TestRecommendResponseDecode(t *testing.T) {
+	raw := `{"best":"geo","hierarchies":[{"hierarchy":"geo","attr":"village","current":2.5,"best_score":-1,` +
+		`"ranked":[{"group":["Ofla","Zata"],"predicted":{"mean":7.1},"repaired":6,"score":-6,"gain":1}]}]}`
+	rr := &RecommendResponse{State: "geo:1", Cache: "miss", Recommendation: json.RawMessage(raw)}
+	rec, err := rr.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rec.BestResult()
+	if best == nil || best.Attr != "village" || best.Ranked[0].Predicted["mean"] != 7.1 {
+		t.Errorf("decoded = %+v", rec)
+	}
+	if (&Recommendation{Best: "gone"}).BestResult() != nil {
+		t.Error("BestResult over missing hierarchy should be nil")
+	}
+	rr.Recommendation = json.RawMessage("{")
+	if _, err := rr.Decode(); err == nil {
+		t.Error("Decode accepted truncated JSON")
+	}
+}

@@ -1,0 +1,242 @@
+// Package client is the native Go client for the Reptile v1 HTTP protocol
+// (reptile/api) served by cmd/reptiled. It covers the full surface —
+// dataset registration, row appends, dataset listing, session lifecycle
+// (create, recommend, drill, release), and the stats/health endpoints — with
+// context support on every call and typed errors: any non-2xx response is
+// returned as an *api.Error carrying the server's machine-readable code.
+//
+//	c, err := client.New("http://127.0.0.1:8372")
+//	if err != nil { ... }
+//	info, err := c.RegisterDataset(ctx, api.RegisterDatasetRequest{
+//	        Name: "survey", Path: "survey.rst",
+//	})
+//	sess, err := c.CreateSession(ctx, api.CreateSessionRequest{
+//	        Dataset: "survey", GroupBy: []string{"district", "year"},
+//	})
+//	rr, err := sess.Recommend(ctx, `agg=std measure=severity dir=high district=Ofla year=1986`)
+//	if api.IsCode(err, api.CodeSessionExpired) { /* re-create the session */ }
+//
+// The client depends only on the standard library and reptile/api; it never
+// imports the engine, so it compiles into processes that have no business
+// linking the evaluator.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/reptile/api"
+)
+
+// Client talks the v1 protocol to one Reptile server. It is safe for
+// concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8372"). The URL must carry a scheme and host; a path
+// prefix is kept, so servers mounted behind a proxy path work.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// maxErrorBody bounds how much of a non-JSON error response is read before
+// synthesizing an envelope from the status code.
+const maxErrorBody = 1 << 20
+
+// do sends one request and decodes the response into out (skipped when out
+// is nil or the response is 204). Non-2xx responses decode into *api.Error;
+// bodies that carry no envelope (a proxy answered) get one synthesized from
+// the status code.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *api.Error.
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	var ae api.Error
+	if err := json.Unmarshal(b, &ae); err == nil && ae.Message != "" {
+		if ae.Code == "" {
+			ae.Code = api.CodeForStatus(resp.StatusCode)
+		}
+		return &ae
+	}
+	msg := strings.TrimSpace(string(b))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &api.Error{Message: msg, Code: api.CodeForStatus(resp.StatusCode)}
+}
+
+// RegisterDataset registers a dataset (POST /v1/datasets) and returns its
+// first served version.
+func (c *Client) RegisterDataset(ctx context.Context, req api.RegisterDatasetRequest) (*api.DatasetInfo, error) {
+	var out api.DatasetInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/datasets", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Datasets lists every registered dataset (GET /v1/datasets), sorted by
+// name.
+func (c *Client) Datasets(ctx context.Context) ([]api.DatasetInfo, error) {
+	var out api.ListDatasetsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Datasets, nil
+}
+
+// Append ingests CSV rows into a registered dataset
+// (POST /v1/datasets/{name}/append); the server hot-swaps the successor
+// version in and reports it.
+func (c *Client) Append(ctx context.Context, dataset, csv string) (*api.AppendResponse, error) {
+	var out api.AppendResponse
+	path := "/v1/datasets/" + url.PathEscape(dataset) + "/append"
+	if err := c.do(ctx, http.MethodPost, path, api.AppendRequest{CSV: csv}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the per-dataset serving counters (GET /v1/stats).
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches the liveness payload (GET /healthz).
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	var out api.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateSession starts a drill-down session (POST /v1/sessions) and returns
+// a handle bound to it.
+func (c *Client) CreateSession(ctx context.Context, req api.CreateSessionRequest) (*Session, error) {
+	var out api.Session
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, info: out}, nil
+}
+
+// Session rebinds a handle to an existing session id (e.g. one persisted
+// across process restarts). No request is made; the first call on the handle
+// reveals whether the session is still alive.
+func (c *Client) Session(id string) *Session {
+	return &Session{c: c, info: api.Session{ID: id}}
+}
+
+// ReleaseSession explicitly releases a session (DELETE /v1/sessions/{id}),
+// freeing its server-side TTL-table entry and cached recommendations before
+// the idle TTL would. Releasing an unknown (or already released) session
+// returns an *api.Error with CodeSessionNotFound.
+func (c *Client) ReleaseSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Session is a handle on one server-side drill-down session.
+type Session struct {
+	c    *Client
+	info api.Session
+}
+
+// ID returns the session id.
+func (s *Session) ID() string { return s.info.ID }
+
+// Info returns the session description from creation time. The drill state
+// it reports is a snapshot; Drill responses carry the current one.
+func (s *Session) Info() api.Session { return s.info }
+
+// Recommend evaluates a complaint in the compact notation
+// (POST /v1/sessions/{id}/recommend). The response's Recommendation field
+// holds the engine's deterministic JSON encoding verbatim; Decode it for a
+// typed view.
+func (s *Session) Recommend(ctx context.Context, complaint string) (*api.RecommendResponse, error) {
+	var out api.RecommendResponse
+	path := "/v1/sessions/" + url.PathEscape(s.info.ID) + "/recommend"
+	if err := s.c.do(ctx, http.MethodPost, path, api.RecommendRequest{Complaint: complaint}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Drill accepts a recommendation (POST /v1/sessions/{id}/drill), extending
+// the named hierarchy's group-by prefix by one attribute.
+func (s *Session) Drill(ctx context.Context, hierarchy string) (*api.DrillResponse, error) {
+	var out api.DrillResponse
+	path := "/v1/sessions/" + url.PathEscape(s.info.ID) + "/drill"
+	if err := s.c.do(ctx, http.MethodPost, path, api.DrillRequest{Hierarchy: hierarchy}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Release releases the session on the server; the handle is dead afterwards.
+func (s *Session) Release(ctx context.Context) error {
+	return s.c.ReleaseSession(ctx, s.info.ID)
+}

@@ -1,0 +1,410 @@
+package client_test
+
+// Round-trip tests: the native client against an httptest-hosted
+// internal/server. The load-bearing assertion is byte identity — a
+// recommendation fetched through the full client → HTTP → server → engine
+// chain must equal, byte for byte, json.Marshal of a directly-driven
+// internal/core session — plus the typed-error mapping for every failure
+// status the protocol defines. (The internal imports here are test-only:
+// the client package itself depends on nothing but stdlib and reptile/api.)
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/server"
+	"repro/reptile/api"
+	"repro/reptile/client"
+)
+
+const testCSV = "district,village,year,severity\n" +
+	"Ofla,Adishim,1986,8\nOfla,Adishim,1987,7\nOfla,Zata,1986,2\nOfla,Zata,1987,7\n" +
+	"Raya,Kukufto,1986,8\nRaya,Kukufto,1987,6\nRaya,Mehoni,1986,7\nRaya,Mehoni,1987,6\n"
+
+const testHierarchies = "geo:district,village;time:year"
+
+const testComplaint = "agg=mean measure=severity dir=low district=Ofla year=1986"
+
+// appendCSV adds reports for a brand-new village, column order shuffled.
+const appendCSV = "severity,year,village,district\n4,1986,Bala,Raya\n5,1987,Bala,Raya\n"
+
+func newClient(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// directSession builds the comparison engine straight on internal/core.
+func directSession(t *testing.T, groupBy []string) *core.Session {
+	t.Helper()
+	hs, err := data.ParseHierarchySpec(testHierarchies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := data.ReadCSV(strings.NewReader(testCSV), "drought", []string{"severity"}, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds, core.Options{EMIterations: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession(groupBy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func directJSON(t *testing.T, sess *core.Session, complaint string) []byte {
+	t.Helper()
+	c, err := core.ParseComplaint(complaint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sess.Recommend(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	_, c := newClient(t, server.Config{})
+
+	info, err := c.RegisterDataset(ctx, api.RegisterDatasetRequest{
+		Name:         "drought",
+		CSV:          testCSV,
+		Measures:     []string{"severity"},
+		Hierarchies:  testHierarchies,
+		EMIterations: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "drought" || info.Rows != 8 || info.Version != 1 {
+		t.Errorf("register info = %+v", info)
+	}
+
+	list, err := c.Datasets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "drought" || list[0].Rows != 8 {
+		t.Errorf("datasets = %+v", list)
+	}
+
+	// Start at district granularity so a drill still leaves the time
+	// hierarchy as a candidate afterwards.
+	sess, err := c.CreateSession(ctx, api.CreateSessionRequest{
+		Dataset: "drought",
+		GroupBy: []string{"district"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID() == "" || sess.Info().State != "geo:1|time:0" {
+		t.Fatalf("session = %+v", sess.Info())
+	}
+
+	// The recommendation served over the wire is byte-identical to the
+	// in-process engine's.
+	complaint := "agg=mean measure=severity dir=low district=Ofla"
+	rr, err := sess.Recommend(ctx, complaint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := directSession(t, []string{"district"})
+	if want := directJSON(t, direct, complaint); !bytes.Equal(rr.Recommendation, want) {
+		t.Errorf("served recommendation differs from direct engine:\nserved: %s\ndirect: %s",
+			rr.Recommendation, want)
+	}
+
+	// The typed decode agrees with the raw bytes.
+	rec, err := rr.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best == "" || rec.BestResult() == nil || len(rec.Hierarchies) != 2 {
+		t.Errorf("decoded recommendation = %+v", rec)
+	}
+	if len(rec.BestResult().Ranked) == 0 || rec.BestResult().Ranked[0].Group[0] != "Ofla" {
+		t.Errorf("ranked = %+v", rec.BestResult().Ranked)
+	}
+
+	// A second identical complaint is a cache hit with the same bytes.
+	rr2, err := sess.Recommend(ctx, complaint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr2.Cache != "hit" || !bytes.Equal(rr2.Recommendation, rr.Recommendation) {
+		t.Errorf("second recommend: cache %q, bytes equal %v", rr2.Cache, bytes.Equal(rr2.Recommendation, rr.Recommendation))
+	}
+
+	// Drilling through the client matches drilling the direct session.
+	dr, err := sess.Drill(ctx, "geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.State != "geo:2|time:0" {
+		t.Errorf("drill state = %q", dr.State)
+	}
+	if err := direct.Drill("geo"); err != nil {
+		t.Fatal(err)
+	}
+	deep := `agg=mean measure=severity dir=low district=Ofla village=Zata`
+	rr3, err := sess.Recommend(ctx, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directJSON(t, direct, deep); !bytes.Equal(rr3.Recommendation, want) {
+		t.Errorf("drilled recommendation differs from direct engine:\nserved: %s\ndirect: %s",
+			rr3.Recommendation, want)
+	}
+
+	// Appends hot-swap a new version, visible in the listing and stats.
+	ar, err := c.Append(ctx, "drought", appendCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Appended != 2 || ar.Version != 2 || ar.Rows != 10 {
+		t.Errorf("append = %+v", ar)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := st.Datasets["drought"]; d.Version != 2 || d.Rows != 10 || d.Sessions != 1 {
+		t.Errorf("stats = %+v", d)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Datasets != 1 || h.Sessions != 1 {
+		t.Errorf("health = %+v", h)
+	}
+
+	// Release frees the session; the handle is dead afterwards.
+	if err := sess.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Recommend(ctx, complaint); !api.IsCode(err, api.CodeSessionNotFound) {
+		t.Errorf("recommend after release = %v, want session_not_found", err)
+	}
+	if h, err := c.Health(ctx); err != nil || h.Sessions != 0 {
+		t.Errorf("health after release = %+v (%v), want 0 sessions", h, err)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	_, c := newClient(t, server.Config{})
+
+	if _, err := c.RegisterDataset(ctx, api.RegisterDatasetRequest{
+		Name: "drought", CSV: testCSV, Measures: []string{"severity"},
+		Hierarchies: testHierarchies, EMIterations: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 409: duplicate registration.
+	_, err := c.RegisterDataset(ctx, api.RegisterDatasetRequest{
+		Name: "drought", CSV: testCSV, Measures: []string{"severity"},
+		Hierarchies: testHierarchies,
+	})
+	if !api.IsCode(err, api.CodeDatasetExists) {
+		t.Errorf("duplicate register = %v, want dataset_exists", err)
+	}
+
+	// 404: unknown dataset.
+	if _, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "nope"}); !api.IsCode(err, api.CodeDatasetNotFound) {
+		t.Errorf("unknown dataset = %v, want dataset_not_found", err)
+	}
+	if _, err := c.Append(ctx, "nope", appendCSV); !api.IsCode(err, api.CodeDatasetNotFound) {
+		t.Errorf("append to unknown dataset = %v, want dataset_not_found", err)
+	}
+
+	// 404: unknown session, via every session-scoped call.
+	ghost := c.Session("s_nope")
+	if _, err := ghost.Recommend(ctx, testComplaint); !api.IsCode(err, api.CodeSessionNotFound) {
+		t.Errorf("unknown session recommend = %v, want session_not_found", err)
+	}
+	if _, err := ghost.Drill(ctx, "geo"); !api.IsCode(err, api.CodeSessionNotFound) {
+		t.Errorf("unknown session drill = %v, want session_not_found", err)
+	}
+	if err := ghost.Release(ctx); !api.IsCode(err, api.CodeSessionNotFound) {
+		t.Errorf("unknown session release = %v, want session_not_found", err)
+	}
+
+	// 400: malformed complaint.
+	sess, err := c.CreateSession(ctx, api.CreateSessionRequest{
+		Dataset: "drought", GroupBy: []string{"district", "year"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Recommend(ctx, "agg=mean"); !api.IsCode(err, api.CodeBadRequest) {
+		t.Errorf("bad complaint = %v, want bad_request", err)
+	}
+
+	// 422: well-formed but unevaluable.
+	if _, err := sess.Recommend(ctx, "agg=mean measure=bogus dir=low district=Ofla year=1986"); !api.IsCode(err, api.CodeUnprocessable) {
+		t.Errorf("unknown measure = %v, want unprocessable", err)
+	}
+
+	// The error value doubles as a plain error with code and message.
+	_, err = sess.Recommend(ctx, "agg=mean")
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeBadRequest || ae.Message == "" {
+		t.Errorf("error = %#v, want *api.Error with bad_request and a message", err)
+	}
+}
+
+// TestSessionExpiredError exercises the 410 path: a 1-second TTL session
+// outlived by the wall clock.
+func TestSessionExpiredError(t *testing.T) {
+	ctx := context.Background()
+	_, c := newClient(t, server.Config{})
+	if _, err := c.RegisterDataset(ctx, api.RegisterDatasetRequest{
+		Name: "drought", CSV: testCSV, Measures: []string{"severity"},
+		Hierarchies: testHierarchies, EMIterations: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.CreateSession(ctx, api.CreateSessionRequest{
+		Dataset: "drought", GroupBy: []string{"district", "year"}, TTLSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1100 * time.Millisecond)
+	if _, err := sess.Recommend(ctx, testComplaint); !api.IsCode(err, api.CodeSessionExpired) {
+		t.Errorf("expired session = %v, want session_expired", err)
+	}
+	// The expired session was reaped, so the next call is a plain 404.
+	if _, err := sess.Recommend(ctx, testComplaint); !api.IsCode(err, api.CodeSessionNotFound) {
+		t.Errorf("reaped session = %v, want session_not_found", err)
+	}
+}
+
+// TestOverloadedError exercises the 429 path deterministically: a repair
+// hook blocks the first recommendation mid-evaluation while it holds the
+// dataset's only limiter slot, so a concurrent request is refused with
+// retry_after populated.
+func TestOverloadedError(t *testing.T) {
+	ctx := context.Background()
+	s := server.New(server.Config{MaxInflight: 1, QueueWait: -1, CacheSize: -1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hs, err := data.ParseHierarchySpec(testHierarchies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := data.ReadCSV(strings.NewReader(testCSV), "drought", []string{"severity"}, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	err = s.RegisterDataset("drought", ds, core.Options{
+		EMIterations: 4,
+		Workers:      1,
+		Repair: func(st agg.Stats, pred map[agg.Func]float64) agg.Stats {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-release
+			return st
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := c.CreateSession(ctx, api.CreateSessionRequest{
+		Dataset: "drought", GroupBy: []string{"district", "year"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstErr error
+	go func() {
+		defer wg.Done()
+		_, firstErr = sess.Recommend(ctx, testComplaint)
+	}()
+	<-started // the first request is inside the engine, slot held
+
+	_, err = sess.Recommend(ctx, testComplaint)
+	if !api.IsCode(err, api.CodeOverloaded) {
+		t.Errorf("saturated recommend = %v, want overloaded", err)
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) && ae.RetryAfter != 1 {
+		t.Errorf("retry_after = %d, want 1", ae.RetryAfter)
+	}
+
+	close(release)
+	wg.Wait()
+	if firstErr != nil {
+		t.Errorf("first recommend: %v", firstErr)
+	}
+}
+
+// TestErrorFallback synthesizes envelopes for responses that carry none
+// (e.g. a proxy answered with plain text).
+func TestErrorFallback(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gateway says no", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Health(context.Background())
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeOverloaded || !strings.Contains(ae.Message, "gateway says no") {
+		t.Errorf("fallback error = %#v, want synthesized overloaded envelope", err)
+	}
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	if _, err := client.New("not a url"); err == nil {
+		t.Error("client.New accepted a URL without scheme/host")
+	}
+	if _, err := client.New("127.0.0.1:8372"); err == nil {
+		t.Error("client.New accepted a schemeless URL")
+	}
+}

@@ -1,0 +1,320 @@
+// Package reptile is the public SDK of this Reptile reproduction (Huang &
+// Wu, "Reptile: Aggregation-level Explanations for Hierarchical Data",
+// SIGMOD 2022): a stable facade over the engine, data, and storage layers
+// that makes the explanation engine embeddable without importing anything
+// under internal/.
+//
+// The core loop is open → session → complain → recommend:
+//
+//	eng, err := reptile.Open("survey.csv",
+//	        reptile.WithMeasures("severity"),
+//	        reptile.WithHierarchies("geo:district,village;time:year"),
+//	        reptile.WithWorkers(4))
+//	if err != nil { ... }
+//	sess, err := eng.NewSession([]string{"district", "year"})
+//	if err != nil { ... }
+//	rec, err := sess.Complain(`agg=std measure=severity dir=high district=Ofla year=1986`)
+//	if err != nil { ... }
+//	fmt.Println(rec.Best.Hierarchy, rec.Best.Attr) // the recommended drill-down
+//
+// Open loads either a CSV file (schema given by WithMeasures and
+// WithHierarchies) or a dictionary-encoded .rst snapshot (schema carried by
+// the file; see Engine.Save). In-memory datasets built with NewDataset run
+// through New. Engines are safe for concurrent use; sessions hold one
+// analyst's drill-down state.
+//
+// The same engine is served over HTTP by cmd/reptiled; reptile/api defines
+// the shared v1 wire protocol and reptile/client is the native Go client.
+// Demo datasets for the examples live in reptile/sampledata.
+package reptile
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/store"
+)
+
+// config collects everything the functional options can set.
+type config struct {
+	name        string
+	measures    []string
+	hierarchies []Hierarchy
+	buildCube   bool
+	core        core.Options
+}
+
+// Option configures Open and New.
+type Option func(*config)
+
+// WithWorkers bounds the evaluation worker pool of each Recommend call.
+// 0 (the default) selects the number of CPUs; 1 forces the sequential path.
+// Parallel evaluation is deterministic: it produces the same recommendation
+// as a single worker.
+func WithWorkers(n int) Option { return func(c *config) { c.core.Workers = n } }
+
+// WithEMIterations sets the EM iterations per model fit (default 20, the
+// paper's setting).
+func WithEMIterations(n int) Option { return func(c *config) { c.core.EMIterations = n } }
+
+// WithTopK bounds the groups reported per hierarchy (0 = all).
+func WithTopK(k int) Option { return func(c *config) { c.core.TopK = k } }
+
+// WithTrainer selects the model-training backend (default TrainerAuto).
+func WithTrainer(t Trainer) Option { return func(c *config) { c.core.Trainer = t } }
+
+// WithRandomEffects selects the random-effects design (default ZAuto).
+func WithRandomEffects(re RandomEffects) Option { return func(c *config) { c.core.RandomEffects = re } }
+
+// WithAux attaches auxiliary datasets for featurization: each aux table is
+// joined on its JoinAttr and its measure becomes a model feature.
+func WithAux(aux ...Aux) Option {
+	return func(c *config) { c.core.Aux = append(c.core.Aux, aux...) }
+}
+
+// WithGroupFeatures attaches multi-attribute (per-group) features such as
+// temporal lags (LagFeature) or multi-column aux joins (AuxGroupFeature).
+// Their presence forces the naive trainer.
+func WithGroupFeatures(gfs ...GroupFeature) Option {
+	return func(c *config) { c.core.GroupFeatures = append(c.core.GroupFeatures, gfs...) }
+}
+
+// WithExcludeFromZ names features excluded from the random-effects design.
+func WithExcludeFromZ(names ...string) Option {
+	return func(c *config) { c.core.ExcludeFromZ = append(c.core.ExcludeFromZ, names...) }
+}
+
+// WithMeasures names the CSV columns parsed as numeric measures. Required
+// when opening a CSV; must be left unset when opening a .rst snapshot, which
+// carries its own schema.
+func WithMeasures(names ...string) Option {
+	return func(c *config) { c.measures = append(c.measures, names...) }
+}
+
+// WithHierarchies declares the dataset's hierarchies in the compact notation
+// shared with the CLI and the server, e.g.
+// "geo:region,district,village;time:year" (attributes least to most
+// specific). Required when opening a CSV; must be left unset for .rst.
+func WithHierarchies(spec string) Option {
+	return func(c *config) {
+		hs, err := data.ParseHierarchySpec(spec)
+		if err != nil {
+			// Options cannot return errors; buildConfig recovers this panic
+			// and surfaces it as Open/New's error.
+			panic(err)
+		}
+		c.hierarchies = append(c.hierarchies, hs...)
+	}
+}
+
+// WithHierarchyList declares the hierarchies as structured values instead of
+// the compact spec notation.
+func WithHierarchyList(hs ...Hierarchy) Option {
+	return func(c *config) { c.hierarchies = append(c.hierarchies, hs...) }
+}
+
+// WithName sets the dataset name recorded in the engine (and in snapshots
+// written by Engine.Save). It defaults to the opened path. Only meaningful
+// when opening a CSV; .rst snapshots and in-memory datasets already carry
+// their name, and renaming them is rejected.
+func WithName(name string) Option { return func(c *config) { c.name = name } }
+
+// WithCube materializes the hierarchy-rollup cube when the dataset is
+// opened: group-bys over hierarchy prefixes are then answered from
+// precomputed cells instead of row scans. Snapshots that already carry a
+// stored cube keep it without this option.
+func WithCube() Option { return func(c *config) { c.buildCube = true } }
+
+// Engine answers complaint-based drill-down queries over one dataset. It
+// wraps the core explanation engine behind a stable API and is safe for
+// concurrent use: many sessions may Recommend against it at once.
+type Engine struct {
+	eng  *core.Engine
+	snap *store.Snapshot // non-nil when opened from a snapshot
+}
+
+// Open loads a dataset from path and builds an engine over it. A path ending
+// in .rst loads a dictionary-encoded binary snapshot (written by Engine.Save
+// or the reptile CLI's convert subcommand), which carries its own measures
+// and hierarchies; any other path is parsed as CSV using the schema given by
+// WithMeasures and WithHierarchies.
+func Open(path string, opts ...Option) (*Engine, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".rst") {
+		if len(cfg.measures) > 0 || len(cfg.hierarchies) > 0 || cfg.name != "" {
+			return nil, fmt.Errorf("reptile: a .rst snapshot carries its own name, measures and hierarchies; drop WithName/WithMeasures/WithHierarchies")
+		}
+		snap, err := store.OpenFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return fromSnapshot(snap, cfg)
+	}
+	if len(cfg.measures) == 0 {
+		return nil, fmt.Errorf("reptile: opening CSV %q needs WithMeasures", path)
+	}
+	if len(cfg.hierarchies) == 0 {
+		return nil, fmt.Errorf("reptile: opening CSV %q needs WithHierarchies", path)
+	}
+	name := cfg.name
+	if name == "" {
+		name = path
+	}
+	ds, err := data.ReadCSVFile(path, name, cfg.measures, cfg.hierarchies)
+	if err != nil {
+		return nil, err
+	}
+	// Dictionary-encode through a snapshot so the engine runs over
+	// code-backed columns (and the dataset can be saved or cubed for free).
+	return fromSnapshot(store.FromDataset(ds), cfg)
+}
+
+// New builds an engine over an in-memory dataset (see NewDataset, ReadCSV).
+// The dataset must not be mutated afterwards. WithMeasures and
+// WithHierarchies are not accepted here: the dataset already carries its
+// schema.
+func New(ds *Dataset, opts ...Option) (*Engine, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.measures) > 0 || len(cfg.hierarchies) > 0 || cfg.name != "" {
+		return nil, fmt.Errorf("reptile: the dataset already carries its name and schema; drop WithName/WithMeasures/WithHierarchies")
+	}
+	if cfg.buildCube {
+		return fromSnapshot(store.FromDataset(ds), cfg)
+	}
+	eng, err := core.NewEngine(ds, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// fromSnapshot builds the engine over a snapshot's code-backed dataset,
+// materializing the rollup cube first when requested.
+func fromSnapshot(snap *store.Snapshot, cfg *config) (*Engine, error) {
+	if cfg.buildCube {
+		if err := snap.BuildCube(); err != nil {
+			return nil, err
+		}
+	}
+	ds, err := snap.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(ds, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, snap: snap}, nil
+}
+
+// buildConfig applies the options, converting option panics (bad hierarchy
+// specs) into errors.
+func buildConfig(opts []Option) (cfg *config, err error) {
+	cfg = &config{}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				cfg, err = nil, e
+				return
+			}
+			panic(r)
+		}
+	}()
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	return cfg, nil
+}
+
+// NewSession starts a drill-down session with the given initial group-by
+// attributes (each hierarchy's attributes must form a prefix; nil starts at
+// the root). Sessions cache aggregations and factorised representations per
+// drill state, so repeated complaints are cheap.
+func (e *Engine) NewSession(groupBy []string) (*Session, error) {
+	cs, err := e.eng.NewSession(groupBy)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: cs}, nil
+}
+
+// Dataset returns the engine's dataset. Callers must treat it as immutable.
+func (e *Engine) Dataset() *Dataset { return e.eng.Dataset() }
+
+// Workers returns the resolved evaluation worker-pool size.
+func (e *Engine) Workers() int { return e.eng.Workers() }
+
+// SnapshotInfo describes a snapshot written by Engine.Save.
+type SnapshotInfo struct {
+	Rows     int
+	Dims     int
+	Measures int
+	// CubeLevels and CubeCells describe the materialized rollup cube
+	// (0/0 when the snapshot carries none).
+	CubeLevels int
+	CubeCells  int
+}
+
+// Save persists the engine's dataset as a dictionary-encoded .rst snapshot
+// at path. With WithCube() among the engine's open options (or when the
+// engine was opened from a cube-carrying snapshot), the cube is stored too,
+// so later Opens skip both CSV parsing and cube building. Loading the
+// written file yields byte-identical recommendations to this engine.
+func (e *Engine) Save(path string) (*SnapshotInfo, error) {
+	snap := e.snap
+	if snap == nil {
+		snap = store.FromDataset(e.eng.Dataset())
+	}
+	if err := snap.WriteFile(path); err != nil {
+		return nil, err
+	}
+	info := &SnapshotInfo{Rows: snap.NumRows(), Dims: len(snap.Dims), Measures: len(snap.Measures)}
+	if c := snap.Cube(); c != nil {
+		info.CubeLevels, info.CubeCells = c.NumLevels(), c.NumCells()
+	}
+	return info, nil
+}
+
+// Session holds one analyst's drill-down state over an engine. Recommend and
+// Drill are safe to call concurrently; a Recommend racing a Drill evaluates
+// at either drill state, never a torn mix.
+type Session struct {
+	s *core.Session
+}
+
+// Recommend solves the complaint-based drill-down problem: for every
+// hierarchy with a remaining attribute it drills down, estimates each
+// group's expected statistics with a multi-level model trained on the
+// parallel groups, and ranks the groups by the repaired complaint value.
+func (s *Session) Recommend(c Complaint) (*Recommendation, error) { return s.s.Recommend(c) }
+
+// Complain parses spec with ParseComplaint and evaluates it — the one-line
+// form of Recommend for the compact complaint notation.
+func (s *Session) Complain(spec string) (*Recommendation, error) {
+	c, err := core.ParseComplaint(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.s.Recommend(c)
+}
+
+// Drill accepts a recommendation: it extends the named hierarchy's group-by
+// prefix by one attribute.
+func (s *Session) Drill(hierarchy string) error { return s.s.Drill(hierarchy) }
+
+// GroupBy returns the current group-by attributes in canonical order
+// (hierarchy by hierarchy, least to most specific).
+func (s *Session) GroupBy() []string { return s.s.GroupBy() }
+
+// StateKey returns a stable encoding of the session's drill state; it
+// changes on every Drill. (StateKey, Complaint.Key) is a sound
+// recommendation cache key.
+func (s *Session) StateKey() string { return s.s.StateKey() }

@@ -1,0 +1,71 @@
+// Package sampledata ships the demo datasets the examples/ programs run on:
+// deterministic generators for the paper's evaluation data — the FIST
+// drought survey (§5.4), the COVID reporting case study (§5.3, Appendix L),
+// the 2016/2020 election data (Appendices K and N), and the North Carolina
+// absentee records (§5.1.4) — exposed through the public SDK's types so
+// embedders can try the engine without bringing their own data.
+//
+// Every generator is seeded and reproducible: the same seed yields the same
+// dataset, and therefore (the engine being deterministic) the same
+// recommendations.
+package sampledata
+
+import (
+	"repro/internal/datasets"
+	"repro/reptile"
+)
+
+type (
+	// FIST is the simulated Ethiopian drought survey of the §5.4 user
+	// study: severity reports over Region → District → Village and Year
+	// hierarchies, a satellite-rainfall auxiliary table per (village, year),
+	// and the study's scripted complaint scenarios.
+	FIST = datasets.FIST
+	// FISTStep is one drill-down step of a study scenario.
+	FISTStep = datasets.FISTStep
+	// FISTComplaint is one user-study scenario: its steps and whether the
+	// study expects Reptile to resolve it.
+	FISTComplaint = datasets.FISTComplaint
+
+	// Issue is one reproduced COVID GitHub data issue (Tables 1–2): the
+	// broken location and day, the complaint direction, and whether the
+	// paper expects Reptile to detect it.
+	Issue = datasets.Issue
+	// IssueClass is the error taxonomy of the COVID case study.
+	IssueClass = datasets.IssueClass
+
+	// Vote is the simulated 2016/2020 US county-level vote data: per-county
+	// 2020 Trump share plus an auxiliary table with the 2016 share.
+	Vote = datasets.Vote
+)
+
+// FISTSurvey generates the drought survey and its user-study script.
+func FISTSurvey(seed int64) *FIST { return datasets.GenerateFIST(seed) }
+
+// CovidUS generates the daily US state-level COVID reporting dataset
+// (day and state hierarchies, confirmed/deaths measures).
+func CovidUS(seed int64) *reptile.Dataset { return datasets.GenerateCovidUS(seed) }
+
+// CovidGlobal generates the daily global country-level COVID dataset
+// (day and region → country hierarchies).
+func CovidGlobal(seed int64) *reptile.Dataset { return datasets.GenerateCovidGlobal(seed) }
+
+// USIssues reproduces the Table 1 US data issues; apply one to a CovidUS
+// dataset with Issue.Apply.
+func USIssues() []Issue { return datasets.USIssues() }
+
+// GlobalIssues reproduces the Table 2 global data issues.
+func GlobalIssues() []Issue { return datasets.GlobalIssues() }
+
+// VoteData generates the simulated election data of Appendices K and N.
+func VoteData(seed int64) *Vote { return datasets.GenerateVote(seed) }
+
+// Absentee simulates the North Carolina 2020 absentee dataset of §5.1.4:
+// rows records over four single-attribute hierarchies (county, party, week,
+// gender) with a constant "one" measure carrying COUNT complaints. rows <= 0
+// selects the paper's 179K.
+func Absentee(seed int64, rows int) *reptile.Dataset { return datasets.GenerateAbsentee(seed, rows) }
+
+// AbsenteeDrillOrder is the §5.1.4 drill-down sequence over the absentee
+// hierarchies.
+var AbsenteeDrillOrder = datasets.AbsenteeDrillOrder

@@ -1,0 +1,46 @@
+#!/bin/sh
+# check_boundaries.sh enforces the public-API import boundary:
+#
+#   - examples/ may only use the public SDK (repro/reptile...): importing
+#     repro/internal/... anywhere under examples/ is an error.
+#   - reptile/api and reptile/client are pure protocol packages: they must
+#     not import repro/internal/... (api is stdlib-only; client is stdlib +
+#     reptile/api), so out-of-tree clients could vendor them verbatim.
+#
+# The root reptile package (and reptile/sampledata) are the sanctioned
+# bridges over internal/ — that is their whole point — so they are not
+# checked. Test files (_test.go) are exempt everywhere: the client's
+# round-trip tests deliberately host the internal server in-process.
+#
+# Run from the repository root: sh scripts/check_boundaries.sh
+set -eu
+
+fail=0
+
+check_tree() {
+    tree="$1"
+    bad="$(grep -rn '"repro/internal' --include='*.go' "$tree" 2>/dev/null | grep -v '_test\.go:' || true)"
+    if [ -n "$bad" ]; then
+        echo "boundary violation: $tree must not import repro/internal/..." >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+}
+
+check_tree examples
+check_tree reptile/api
+check_tree reptile/client
+
+# Belt and braces: the client package must not even import the facade (it
+# has to compile into processes that never link the engine).
+bad="$(grep -rn '"repro/reptile"' --include='*.go' reptile/client 2>/dev/null | grep -v '_test\.go:' || true)"
+if [ -n "$bad" ]; then
+    echo "boundary violation: reptile/client must depend only on stdlib and reptile/api" >&2
+    echo "$bad" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "API boundaries clean: examples/ and reptile/{api,client} import no repro/internal packages"
