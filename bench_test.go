@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -200,4 +201,44 @@ func BenchmarkRecommendParallel(b *testing.B) { benchmarkRecommend(b, runtime.Nu
 // instead of re-hashing strings.
 func BenchmarkRecommendCoded(b *testing.B) {
 	benchmarkRecommendOn(b, recommendBenchCodedDataset(b), 1)
+}
+
+// BenchmarkRecommendSharded measures the full sharded serving configuration
+// at 1, 2, 4 and 8 shards: the dataset partitioned on its first hierarchy
+// root, per-shard rollup cubes materialized, and the scatter-gather engine
+// fanning each aggregation across the shards on the default worker pool —
+// i.e. what `reptiled -shards N` actually runs, in contrast to the
+// single-worker cube-less scans of RecommendCoded above.
+func BenchmarkRecommendSharded(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			set, err := shard.Partition(store.FromDataset(recommendBenchDataset()), n, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := set.BuildCubes(); err != nil {
+				b.Fatal(err)
+			}
+			eng, err := set.Engine(core.Options{EMIterations: 10, Trainer: core.TrainerNaive})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := core.Complaint{
+				Agg:       agg.Sum,
+				Measure:   "sales",
+				Tuple:     data.Predicate{"region": "r1", "year": "y1", "category": "c1"},
+				Direction: core.TooLow,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess, err := eng.NewSession([]string{"region", "year", "category"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Recommend(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -10,11 +10,16 @@
 //
 //	reptile convert -data survey.csv \
 //	        -hierarchies "geo:region,district,village;time:year" \
-//	        -measures severity -out survey.rst [-cube]
+//	        -measures severity -out survey.rst [-cube] [-shards N] [-shard-key dim]
 //
 // With -cube the snapshot additionally materializes the hierarchy rollup
 // cube (internal/cube): group-bys over hierarchy prefixes are then answered
 // from precomputed cells when the snapshot is loaded, here or by reptiled.
+// With -shards N (N ≥ 2) the output is a partitioned snapshot: rows are
+// hashed on a hierarchy-root dimension (-shard-key, default: the first
+// hierarchy's root) into N per-shard column sections sharing one dictionary
+// set, and loading it — here or in reptiled — serves it through the sharded
+// scatter-gather engine.
 //
 // Usage:
 //
@@ -136,6 +141,8 @@ func runConvert(args []string) error {
 		measureList = fs.String("measures", "", "comma-separated measure columns (required)")
 		name        = fs.String("name", "", "dataset name stored in the snapshot (default: the input path)")
 		withCube    = fs.Bool("cube", false, "materialize the hierarchy rollup cube into the snapshot")
+		shards      = fs.Int("shards", 0, "write a partitioned snapshot with N shards (0 or 1 = plain snapshot)")
+		shardKey    = fs.String("shard-key", "", "partition dimension, a hierarchy root (default: the first hierarchy's root)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,8 +158,16 @@ func runConvert(args []string) error {
 	if *name != "" {
 		opts = append(opts, reptile.WithName(*name))
 	}
-	if *withCube {
+	// Partitioned snapshots do not store cubes (loaders rebuild per-shard
+	// cubes at registration), so skip the wasted build.
+	if *withCube && *shards < 2 {
 		opts = append(opts, reptile.WithCube())
+	}
+	if *shards >= 2 {
+		opts = append(opts, reptile.WithShards(*shards))
+		if *shardKey != "" {
+			opts = append(opts, reptile.WithShardKey(*shardKey))
+		}
 	}
 	eng, err := reptile.Open(*in, opts...)
 	if err != nil {
@@ -164,14 +179,20 @@ func runConvert(args []string) error {
 	}
 	cubeNote := ""
 	if *withCube {
-		if info.CubeLevels > 0 {
+		if *shards >= 2 {
+			cubeNote = ", cube: not stored in partitioned snapshots (rebuilt at load)"
+		} else if info.CubeLevels > 0 {
 			cubeNote = fmt.Sprintf(", cube: %d groupings / %d cells", info.CubeLevels, info.CubeCells)
 		} else {
 			cubeNote = ", cube: skipped (dataset not cubable)"
 		}
 	}
-	fmt.Printf("wrote %d rows (%d dimensions, %d measures%s) to %s\n",
-		info.Rows, info.Dims, info.Measures, cubeNote, *out)
+	shardNote := ""
+	if info.Shards > 0 {
+		shardNote = fmt.Sprintf(", %d shards", info.Shards)
+	}
+	fmt.Printf("wrote %d rows (%d dimensions, %d measures%s%s) to %s\n",
+		info.Rows, info.Dims, info.Measures, shardNote, cubeNote, *out)
 	return nil
 }
 

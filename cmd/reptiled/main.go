@@ -7,6 +7,7 @@
 //
 //	reptiled [-addr 127.0.0.1:8372] [-session-ttl 15m] [-cache-size 256]
 //	         [-max-inflight 0] [-queue-wait 100ms] [-no-cube]
+//	         [-shards 0] [-shard-key dim]
 //
 // The API is unauthenticated and POST /v1/datasets can name server-local CSV
 // paths, so the default bind is loopback; put a reverse proxy with
@@ -32,9 +33,16 @@
 // cube incrementally. -no-cube disables materialization (snapshots loaded
 // from .rst files that already carry a cube keep it).
 //
+// -shards N (N ≥ 2) partitions every registered dataset on a hierarchy-root
+// dimension (-shard-key, default: the first hierarchy's root) and serves it
+// through the sharded scatter-gather engine; individual registrations can
+// override both via the request's shards/shard_key fields. GET /v1/stats
+// reports each dataset's shard count and per-shard row counts.
+//
 // Registering a path ending in .rst loads a dictionary-encoded binary
 // snapshot (see internal/store and "reptile convert") instead of reparsing
-// CSV; the snapshot carries its own measures and hierarchies. Appends build
+// CSV; the snapshot carries its own measures and hierarchies, and a
+// partitioned snapshot ("reptile convert -shards") its shard topology too. Appends build
 // the successor snapshot and engine in the background and swap them in
 // atomically: the dataset's cached recommendations are invalidated, sessions
 // pick up the new version on their next request, and recommendations already
@@ -67,6 +75,8 @@ func main() {
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "how long an over-limit recommendation waits before 429")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 		noCube      = flag.Bool("no-cube", false, "skip materializing rollup cubes for registered datasets")
+		shards      = flag.Int("shards", 0, "partition registered datasets into N shards (0 or 1 = unsharded)")
+		shardKey    = flag.String("shard-key", "", "partition dimension, a hierarchy root (default: the first hierarchy's root)")
 	)
 	flag.Parse()
 
@@ -76,6 +86,8 @@ func main() {
 		MaxInflight: *maxInflight,
 		QueueWait:   *queueWait,
 		DisableCube: *noCube,
+		Shards:      *shards,
+		ShardKey:    *shardKey,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

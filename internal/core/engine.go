@@ -107,6 +107,15 @@ type Engine struct {
 	ds   *data.Dataset
 	opts Options
 
+	// shards, when non-empty, is the partitioned data plane: every
+	// aggregation scatters to the workers and gathers merged partial
+	// statistics (see shard.go). ds is then the schema dataset (the first
+	// shard's, by convention) and is consulted for hierarchies and measure
+	// names only. shardKey names the hierarchy-root dimension rows were
+	// partitioned on.
+	shards   []ShardWorker
+	shardKey string
+
 	// sources caches the per-hierarchy factorizer sources: the dataset is
 	// immutable by convention, so the distinct hierarchy paths never change
 	// across invocations (the §4.4 caching regime). Entries build once even
@@ -133,7 +142,11 @@ func NewEngine(ds *data.Dataset, opts Options) (*Engine, error) {
 	return &Engine{ds: ds, opts: opts.withDefaults(), sources: map[string]*sourceEntry{}}, nil
 }
 
-// sourceFor returns the (cached) factorizer source of a hierarchy.
+// sourceFor returns the (cached) factorizer source of a hierarchy. On a
+// sharded engine the per-shard distinct path sets are unioned first;
+// factor.NewSource sorts and deduplicates, so the source is identical to the
+// single-shard extraction (and its FD check still sees cross-shard
+// violations).
 func (e *Engine) sourceFor(h data.Hierarchy) (*factor.Source, error) {
 	e.mu.Lock()
 	ent, ok := e.sources[h.Name]
@@ -143,12 +156,27 @@ func (e *Engine) sourceFor(h data.Hierarchy) (*factor.Source, error) {
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ent.src, ent.err = factor.SourceFromDataset(e.ds, h)
+		if len(e.shards) == 0 {
+			ent.src, ent.err = factor.SourceFromDataset(e.ds, h)
+			return
+		}
+		var all [][]string
+		for i, w := range e.shards {
+			paths, err := w.HierarchyPaths(h)
+			if err != nil {
+				ent.err = fmt.Errorf("core: shard %d hierarchy paths: %w", i, err)
+				return
+			}
+			all = append(all, paths...)
+		}
+		ent.src, ent.err = factor.NewSource(h.Name, h.Attrs, all)
 	})
 	return ent.src, ent.err
 }
 
-// Dataset returns the engine's dataset.
+// Dataset returns the engine's dataset. On a sharded engine this is the
+// schema dataset (the first shard's), whose rows are that shard's partition
+// only — callers use it for schema, not data.
 func (e *Engine) Dataset() *data.Dataset { return e.ds }
 
 // Workers returns the resolved evaluation worker-pool size (Options.Workers
@@ -190,6 +218,7 @@ type evalState struct {
 type groupsEntry struct {
 	once sync.Once
 	res  *agg.Result
+	err  error
 }
 
 // fzEntry builds one drill state's factorizer exactly once.
@@ -374,7 +403,7 @@ func (s *Session) Recommend(c Complaint) (*Recommendation, error) {
 	// to the sequential path.
 	evaluated := make([]*HierarchyResult, len(cands))
 	errs := make([]error, len(cands))
-	s.forEach(len(cands), func(i int) {
+	s.eng.forEach(len(cands), func(i int) {
 		evaluated[i], errs[i] = s.evaluateHierarchy(cands[i], c, st)
 	})
 	for i, err := range errs {
@@ -395,13 +424,14 @@ func (s *Session) Recommend(c Complaint) (*Recommendation, error) {
 	return &Recommendation{Best: best, All: results}, nil
 }
 
-// forEach runs fn(0..n-1) on the session's worker budget: inline when the
+// forEach runs fn(0..n-1) on the engine's worker budget: inline when the
 // budget is one worker (or there is one unit of work), otherwise over a
-// bounded pool of min(Workers, n) goroutines. A panic inside a pool worker
-// is re-raised on the calling goroutine, so callers' recover semantics match
-// the sequential path.
-func (s *Session) forEach(n int, fn func(i int)) {
-	workers := s.eng.opts.Workers
+// bounded pool of min(Workers, n) goroutines. It backs both the Recommend
+// fan-out (candidate hierarchies, per-statistic fits) and the shard
+// scatter-gather. A panic inside a pool worker is re-raised on the calling
+// goroutine, so callers' recover semantics match the sequential path.
+func (e *Engine) forEach(n int, fn func(i int)) {
+	workers := e.opts.Workers
 	if workers > n {
 		workers = n
 	}
@@ -443,16 +473,17 @@ func (s *Session) forEach(n int, fn func(i int)) {
 }
 
 // cachedGroupBy returns the (session-cached) aggregation of the dataset at
-// the given granularity. The result is computed once per (attrs, measure)
-// drill state and shared read-only by concurrent evaluations and repeated
-// complaints. A stale snapshot (a Drill landed since it was taken) computes
-// uncached rather than inserting an unreachable entry into the fresh maps.
-func (s *Session) cachedGroupBy(attrs []string, measure string, st evalState) *agg.Result {
+// the given granularity: the engine's groupBy — a plain scan, or a shard
+// scatter-gather — computed once per (attrs, measure) drill state and shared
+// read-only by concurrent evaluations and repeated complaints. A stale
+// snapshot (a Drill landed since it was taken) computes uncached rather than
+// inserting an unreachable entry into the fresh maps.
+func (s *Session) cachedGroupBy(attrs []string, measure string, st evalState) (*agg.Result, error) {
 	key := data.EncodeKey(attrs) + "\x00" + measure
 	s.mu.Lock()
 	if s.gen != st.gen {
 		s.mu.Unlock()
-		return agg.GroupBy(s.eng.ds, attrs, measure)
+		return s.eng.groupBy(attrs, measure)
 	}
 	ent, ok := s.groups[key]
 	if !ok {
@@ -461,9 +492,9 @@ func (s *Session) cachedGroupBy(attrs []string, measure string, st evalState) *a
 	}
 	s.mu.Unlock()
 	ent.once.Do(func() {
-		ent.res = agg.GroupBy(s.eng.ds, attrs, measure)
+		ent.res, ent.err = s.eng.groupBy(attrs, measure)
 	})
-	return ent.res
+	return ent.res, ent.err
 }
 
 // cachedFactorizer returns the (session-cached) factorised representation of
@@ -520,7 +551,10 @@ func (s *Session) evaluateHierarchy(h data.Hierarchy, c Complaint, st evalState)
 	attrs := s.drillAttrs(h, st)
 
 	// Parallel groups: the whole dataset at the drilled granularity.
-	groups := s.cachedGroupBy(attrs, c.Measure, st)
+	groups, err := s.cachedGroupBy(attrs, c.Measure, st)
+	if err != nil {
+		return nil, err
+	}
 
 	// One model per required base statistic.
 	models, err := s.fitModels(h, groups, c, st)
@@ -555,7 +589,10 @@ func (s *Session) evaluateHierarchy(h data.Hierarchy, c Complaint, st evalState)
 	// tuple's provenance (e.g. a village with no reports in the complained
 	// year). Repairing their statistics to the expectation resolves
 	// missing-group errors that observed groups cannot explain.
-	emptyVals := s.emptyChildValues(h, attr, attrs, groups, children, c)
+	emptyVals, err := s.emptyChildValues(h, attr, attrs, groups, children, c)
+	if err != nil {
+		return nil, err
+	}
 
 	// Current complaint value from the children partition (G merge).
 	var total agg.Stats
@@ -628,11 +665,10 @@ func (s *Session) evaluateHierarchy(h data.Hierarchy, c Complaint, st evalState)
 
 // emptyChildValues returns the drilled attribute's values that appear under
 // the tuple's same-hierarchy ancestors somewhere in the dataset but have no
-// group in the tuple's provenance. When the dataset carries a materialized
-// cube, the candidates come from the drilled hierarchy's prefix grouping in
-// O(groups); otherwise a row scan collects them. Both paths yield the same
-// sorted value set.
-func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string, groups *agg.Result, children []int, c Complaint) []string {
+// group in the tuple's provenance. The candidate set comes from childValues —
+// per shard and unioned on a sharded engine, directly otherwise — then the
+// observed values are filtered out. Every path yields the same sorted set.
+func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string, groups *agg.Result, children []int, c Complaint) ([]string, error) {
 	anc := data.Predicate{}
 	for _, a := range h.Attrs {
 		if v, ok := c.Tuple[a]; ok {
@@ -644,8 +680,32 @@ func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string
 		v, _ := groups.Groups[gi].Value(attrs, attr)
 		observed[v] = true
 	}
-	ds := s.eng.ds
-	if out, ok := cubeChildValues(ds, h, attr, c.Measure, anc, observed); ok {
+	var all []string
+	if len(s.eng.shards) > 0 {
+		var err error
+		all, err = s.eng.shardedChildValues(h, attr, c.Measure, anc)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		all = childValues(s.eng.ds, h, attr, c.Measure, anc)
+	}
+	out := all[:0:0]
+	for _, v := range all {
+		if !observed[v] {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// childValues collects the sorted distinct values of the drilled attribute
+// among rows matching the ancestor predicate. When the dataset carries a
+// materialized cube, the candidates come from the drilled hierarchy's prefix
+// grouping in O(groups); otherwise a row scan collects them. Both paths yield
+// the same sorted value set.
+func childValues(ds *data.Dataset, h data.Hierarchy, attr, measure string, anc data.Predicate) []string {
+	if out, ok := cubeChildValues(ds, h, attr, measure, anc); ok {
 		return out
 	}
 	col := ds.Dim(attr)
@@ -653,7 +713,7 @@ func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string
 	var out []string
 	for row := 0; row < ds.NumRows(); row++ {
 		v := col[row]
-		if observed[v] || seen[v] {
+		if seen[v] {
 			continue
 		}
 		if ds.Matches(row, anc) {
@@ -665,14 +725,14 @@ func (s *Session) emptyChildValues(h data.Hierarchy, attr string, attrs []string
 	return out
 }
 
-// cubeChildValues collects the drilled attribute's unobserved values under
-// the ancestor predicate from an attached materialized cube: the hierarchy's
-// prefix grouping down to attr enumerates every (ancestors, attr) path with
-// at least one row, so filtering its groups by the predicate yields exactly
-// the value set the row scan finds. The ancestor predicate only constrains
+// cubeChildValues collects the drilled attribute's values under the ancestor
+// predicate from an attached materialized cube: the hierarchy's prefix
+// grouping down to attr enumerates every (ancestors, attr) path with at
+// least one row, so filtering its groups by the predicate yields exactly the
+// value set the row scan finds. The ancestor predicate only constrains
 // attributes of h above attr (the complaint tuple holds the session's
 // current drill prefix), so every condition is present in the grouping.
-func cubeChildValues(ds *data.Dataset, h data.Hierarchy, attr, measure string, anc data.Predicate, observed map[string]bool) ([]string, bool) {
+func cubeChildValues(ds *data.Dataset, h data.Hierarchy, attr, measure string, anc data.Predicate) ([]string, bool) {
 	m, ok := agg.MaterializedOf(ds)
 	if !ok {
 		return nil, false
@@ -697,7 +757,7 @@ func cubeChildValues(ds *data.Dataset, h data.Hierarchy, attr, measure string, a
 			continue
 		}
 		v := g.Vals[lvl]
-		if observed[v] || seen[v] {
+		if seen[v] {
 			continue
 		}
 		seen[v] = true
@@ -725,7 +785,7 @@ func (s *Session) fitModels(h data.Hierarchy, groups *agg.Result, c Complaint, s
 	stats := c.baseStats()
 	fitted := make([]*statModel, len(stats))
 	errs := make([]error, len(stats))
-	s.forEach(len(stats), func(i int) {
+	s.eng.forEach(len(stats), func(i int) {
 		fitted[i], errs[i] = s.fitModel(h, groups, stats[i], st)
 	})
 	models := make(map[agg.Func]*statModel, len(stats))
@@ -997,7 +1057,10 @@ func trainCross(fz *factor.Factorizer, groups *agg.Result, fs *feature.Set, y []
 // on its own, without complaint-driven ranking — the basis of the Outlier
 // baseline (§5.2.3).
 func (e *Engine) PredictGroupStats(attrs []string, measure string, stat agg.Func) ([]float64, *agg.Result, error) {
-	groups := agg.GroupBy(e.ds, attrs, measure)
+	groups, err := e.groupBy(attrs, measure)
+	if err != nil {
+		return nil, nil, err
+	}
 	spec := feature.Spec{
 		Target:       stat,
 		Aux:          e.opts.Aux,

@@ -111,13 +111,21 @@ type PathProvider interface {
 // paths come from its cells in O(paths) instead of a row scan; the derived
 // source is identical either way (NewSource sorts and deduplicates).
 func SourceFromDataset(d *data.Dataset, h data.Hierarchy) (*Source, error) {
+	return NewSource(h.Name, h.Attrs, DistinctPaths(d, h))
+}
+
+// DistinctPaths returns the distinct full-depth paths of hierarchy h present
+// in d, in no particular order. Sharded engines union the per-shard path sets
+// before building the source; NewSource's sort+dedup makes the union
+// identical to the whole-dataset extraction.
+func DistinctPaths(d *data.Dataset, h data.Hierarchy) [][]string {
 	if pp, ok := d.Rollup().(PathProvider); ok {
 		if paths, ok := pp.HierarchyPaths(h); ok {
-			return NewSource(h.Name, h.Attrs, paths)
+			return paths
 		}
 	}
 	if paths, ok := distinctPathsCoded(d, h); ok {
-		return NewSource(h.Name, h.Attrs, paths)
+		return paths
 	}
 	cols := make([][]string, len(h.Attrs))
 	for i, a := range h.Attrs {
@@ -135,7 +143,7 @@ func SourceFromDataset(d *data.Dataset, h data.Hierarchy) (*Source, error) {
 	for _, p := range seen {
 		paths = append(paths, p)
 	}
-	return NewSource(h.Name, h.Attrs, paths)
+	return paths
 }
 
 // distinctPathsCoded extracts the hierarchy's distinct paths over dictionary

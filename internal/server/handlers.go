@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/reptile/api"
 )
@@ -78,7 +79,19 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.CodeDatasetExists, fmt.Errorf("server: %v: %q", ErrDuplicateDataset, req.Name))
 		return
 	}
+	if req.Shards < 0 {
+		writeError(w, api.CodeBadRequest, fmt.Errorf("shards must be non-negative, got %d", req.Shards))
+		return
+	}
 	opts := core.Options{EMIterations: req.EMIterations, TopK: req.TopK, Workers: req.Workers}
+	// Per-request shard topology falls back to the server's defaults.
+	shards, shardKey := req.Shards, req.ShardKey
+	if shards == 0 {
+		shards = s.cfg.Shards
+	}
+	if shardKey == "" {
+		shardKey = s.cfg.ShardKey
+	}
 	var snap *store.Snapshot
 	if strings.HasSuffix(req.Path, ".rst") {
 		// Snapshot files carry their own schema.
@@ -87,7 +100,34 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("a .rst snapshot carries its own measures and hierarchies; leave both fields empty"))
 			return
 		}
-		var err error
+		sharded, err := store.IsShardedFile(req.Path)
+		if err != nil {
+			writeError(w, api.CodeBadRequest, err)
+			return
+		}
+		if sharded {
+			// A partitioned file carries its own shard topology too.
+			if req.Shards != 0 || req.ShardKey != "" {
+				writeError(w, api.CodeBadRequest,
+					fmt.Errorf("a partitioned .rst snapshot carries its own shard topology; leave shards and shard_key empty"))
+				return
+			}
+			set, err := shard.Open(req.Path)
+			if err != nil {
+				writeError(w, api.CodeBadRequest, err)
+				return
+			}
+			if err := s.RegisterSharded(req.Name, set, opts); err != nil {
+				code := api.CodeBadRequest
+				if errors.Is(err, ErrDuplicateDataset) {
+					code = api.CodeDatasetExists
+				}
+				writeError(w, code, err)
+				return
+			}
+			s.writeRegistered(w, req.Name)
+			return
+		}
 		snap, err = store.OpenFile(req.Path)
 		if err != nil {
 			writeError(w, api.CodeBadRequest, err)
@@ -115,7 +155,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		}
 		snap = store.FromDataset(ds)
 	}
-	if err := s.RegisterSnapshot(req.Name, snap, opts); err != nil {
+	if err := s.registerSnapshotSharded(req.Name, snap, shards, shardKey, opts); err != nil {
 		code := api.CodeBadRequest
 		if errors.Is(err, ErrDuplicateDataset) {
 			code = api.CodeDatasetExists
@@ -123,26 +163,40 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, datasetInfo(req.Name, snap))
+	s.writeRegistered(w, req.Name)
 }
 
-// datasetInfo describes one snapshot version for dataset responses.
-func datasetInfo(name string, snap *store.Snapshot) api.DatasetInfo {
-	names := make([]string, len(snap.Hierarchies))
-	for i, h := range snap.Hierarchies {
+// writeRegistered answers a successful registration with the dataset's
+// freshly inserted serving state.
+func (s *Server) writeRegistered(w http.ResponseWriter, name string) {
+	s.mu.Lock()
+	ent := s.engines[name]
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, datasetInfo(name, ent.state.Load()))
+}
+
+// datasetInfo describes one serving state for dataset responses.
+func datasetInfo(name string, st *engineState) api.DatasetInfo {
+	schema := st.schema()
+	names := make([]string, len(schema.Hierarchies))
+	for i, h := range schema.Hierarchies {
 		names[i] = h.Name
 	}
-	measures := make([]string, len(snap.Measures))
-	for i, m := range snap.Measures {
+	measures := make([]string, len(schema.Measures))
+	for i, m := range schema.Measures {
 		measures[i] = m.Name
 	}
-	return api.DatasetInfo{
+	info := api.DatasetInfo{
 		Name:        name,
-		Rows:        snap.NumRows(),
-		Version:     snap.Version,
+		Rows:        st.rows(),
+		Version:     st.version(),
 		Hierarchies: names,
 		Measures:    measures,
 	}
+	if st.set != nil {
+		info.Shards = st.set.N()
+	}
+	return info
 }
 
 // handleListDatasets reports every registered dataset's currently-served
@@ -157,7 +211,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 	resp := api.ListDatasetsResponse{Datasets: make([]api.DatasetInfo, len(entries))}
 	for i, ent := range entries {
-		resp.Datasets[i] = datasetInfo(ent.name, ent.state.Load().snap)
+		resp.Datasets[i] = datasetInfo(ent.name, ent.state.Load())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -180,7 +234,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.CodeBadRequest, fmt.Errorf("append needs csv content"))
 		return
 	}
-	rows, err := parseAppendCSV(ent.state.Load().snap, req.CSV)
+	rows, err := parseAppendCSV(ent.state.Load().schema(), req.CSV)
 	if err != nil {
 		writeError(w, api.CodeBadRequest, err)
 		return
@@ -289,7 +343,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 		ttl = time.Duration(secs) * time.Second
 	}
-	sess := &session{id: newSessionID(), engine: ent, sess: cs, version: st.snap.Version, ttl: ttl}
+	sess := &session{id: newSessionID(), engine: ent, sess: cs, version: st.version(), ttl: ttl}
 	s.mu.Lock()
 	now := s.now()
 	s.sweepExpiredLocked(now)
@@ -433,8 +487,10 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats reports per-dataset serving counters: the live snapshot
-// version, row count, bound sessions, and cube status (presence plus
-// materialized level/cell counts), alongside the recommendation-cache
+// version, row count, bound sessions, shard topology (shard count plus
+// per-shard row counts), and cube status (presence plus materialized
+// level/cell counts; on a sharded dataset, present only when every shard has
+// one, with cells summed across shards), alongside the recommendation-cache
 // hit/miss statistics that /healthz already exposes.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
@@ -446,8 +502,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := api.StatsResponse{Status: "ok", Datasets: make(map[string]api.DatasetStats, len(s.engines)), Sessions: len(s.sessions)}
 	for name, ent := range s.engines {
 		st := ent.state.Load()
-		d := api.DatasetStats{Version: st.snap.Version, Rows: st.snap.NumRows(), Sessions: perDataset[name]}
-		if c := st.snap.Cube(); c != nil {
+		d := api.DatasetStats{Version: st.version(), Rows: st.rows(), Sessions: perDataset[name]}
+		if st.set != nil {
+			d.Shards = st.set.N()
+			d.ShardRows = st.set.Rows()
+			d.Cube = shardedCubeStatus(st.set)
+		} else if c := st.snap.Cube(); c != nil {
 			d.Cube = api.CubeStatus{Present: true, Levels: c.NumLevels(), Cells: c.NumCells()}
 		}
 		resp.Datasets[name] = d
@@ -455,6 +515,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	resp.Cache = s.cacheStats()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardedCubeStatus aggregates per-shard cubes into one status: present only
+// when every shard serves from one, levels from the first shard (all shards
+// share the lattice), cells summed across shards.
+func shardedCubeStatus(set *shard.Set) api.CubeStatus {
+	status := api.CubeStatus{Present: true}
+	for _, sn := range set.Snaps {
+		c := sn.Cube()
+		if c == nil {
+			return api.CubeStatus{}
+		}
+		if status.Levels == 0 {
+			status.Levels = c.NumLevels()
+		}
+		status.Cells += c.NumCells()
+	}
+	return status
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

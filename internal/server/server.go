@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/reptile/api"
 )
@@ -74,6 +75,14 @@ type Config struct {
 	// cells; snapshots the cube subsystem declines (or .rst files without a
 	// stored cube when disabled) serve from row scans instead.
 	DisableCube bool
+	// Shards ≥ 2 partitions every registered dataset into that many shards
+	// and serves it through the sharded scatter-gather engine. Individual
+	// registrations can override it per request. 0 or 1 serves unsharded.
+	Shards int
+	// ShardKey names the default partition dimension; it must be the root
+	// attribute of one of the dataset's hierarchies. Empty selects the first
+	// hierarchy's root.
+	ShardKey string
 }
 
 func (c Config) withDefaults() Config {
@@ -96,12 +105,39 @@ var ErrDuplicateDataset = errors.New("dataset already registered")
 const maxSessionTTL = 24 * time.Hour
 
 // engineState is one immutable version of a registered dataset: the snapshot
-// it was built from and the engine serving it. Appends build a new state and
-// swap the pointer; readers that loaded the old state keep using it until
-// they finish.
+// (or partitioned shard set) it was built from and the engine serving it.
+// Exactly one of snap and set is non-nil. Appends build a new state and swap
+// the pointer; readers that loaded the old state keep using it until they
+// finish.
 type engineState struct {
 	eng  *core.Engine
-	snap *store.Snapshot
+	snap *store.Snapshot // unsharded serving
+	set  *shard.Set      // sharded serving
+}
+
+// version returns the state's snapshot version (shared by every shard).
+func (st *engineState) version() uint64 {
+	if st.set != nil {
+		return st.set.Version()
+	}
+	return st.snap.Version
+}
+
+// rows returns the total row count across all shards.
+func (st *engineState) rows() int {
+	if st.set != nil {
+		return st.set.TotalRows()
+	}
+	return st.snap.NumRows()
+}
+
+// schema returns a snapshot describing the dataset's columns and hierarchies
+// (the first shard's, by convention, when sharded).
+func (st *engineState) schema() *store.Snapshot {
+	if st.set != nil {
+		return st.set.Snaps[0]
+	}
+	return st.snap
 }
 
 // engineEntry is one registered dataset: its atomically swappable engine
@@ -208,19 +244,27 @@ func (s *Server) RegisterDataset(name string, ds *data.Dataset, opts core.Option
 // its shared engine. Unless Config.DisableCube is set, the snapshot's rollup
 // cube is materialized first (or adopted from the .rst file it was loaded
 // from), so every session over this version shares one immutable cube and
-// hierarchy-prefix group-bys never rescan rows.
+// hierarchy-prefix group-bys never rescan rows. When Config.Shards asks for
+// sharded serving, the snapshot is partitioned first.
 func (s *Server) RegisterSnapshot(name string, snap *store.Snapshot, opts core.Options) error {
-	if name == "" {
-		return fmt.Errorf("server: dataset needs a name")
+	return s.registerSnapshotSharded(name, snap, s.cfg.Shards, s.cfg.ShardKey, opts)
+}
+
+// registerSnapshotSharded registers a snapshot with an explicit shard
+// topology: n ≥ 2 partitions on key (defaulted to the first hierarchy's root
+// when empty), anything less serves unsharded.
+func (s *Server) registerSnapshotSharded(name string, snap *store.Snapshot, n int, key string, opts core.Options) error {
+	// Fail duplicate names before paying for partitioning, cube or engine
+	// construction; insertEntry rechecks under the same lock.
+	if err := s.checkName(name); err != nil {
+		return err
 	}
-	// Fail duplicate names before paying for engine construction; the insert
-	// below rechecks under the same lock, so a racing twin still gets the
-	// conflict, just after doing the work.
-	s.mu.Lock()
-	_, dup := s.engines[name]
-	s.mu.Unlock()
-	if dup {
-		return fmt.Errorf("server: %w: %q", ErrDuplicateDataset, name)
+	if n >= 2 {
+		set, err := shard.Partition(snap, n, key)
+		if err != nil {
+			return err
+		}
+		return s.RegisterSharded(name, set, opts)
 	}
 	if !s.cfg.DisableCube {
 		if err := snap.BuildCube(); err != nil {
@@ -235,14 +279,55 @@ func (s *Server) RegisterSnapshot(name string, snap *store.Snapshot, opts core.O
 	if err != nil {
 		return err
 	}
+	return s.insertEntry(name, opts, &engineState{eng: eng, snap: snap}, store.NewBuilder(snap))
+}
+
+// RegisterSharded adds a pre-partitioned dataset to the registry, building
+// one engine that scatters aggregations across the set's shards. Unless
+// Config.DisableCube is set, every shard gets its own rollup cube.
+func (s *Server) RegisterSharded(name string, set *shard.Set, opts core.Options) error {
+	if err := s.checkName(name); err != nil {
+		return err
+	}
+	if !s.cfg.DisableCube {
+		if err := set.BuildCubes(); err != nil {
+			return err
+		}
+	}
+	eng, err := set.Engine(opts)
+	if err != nil {
+		return err
+	}
+	return s.insertEntry(name, opts, &engineState{eng: eng, set: set}, nil)
+}
+
+// checkName rejects empty and already-registered dataset names.
+func (s *Server) checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("server: dataset needs a name")
+	}
+	s.mu.Lock()
+	_, dup := s.engines[name]
+	s.mu.Unlock()
+	if dup {
+		return fmt.Errorf("server: %w: %q", ErrDuplicateDataset, name)
+	}
+	return nil
+}
+
+// insertEntry wires a built engine state into the registry under name.
+// Duplicate names are rechecked under the lock, so a racing twin still gets
+// the conflict, just after doing the work. builder is nil for sharded
+// datasets — their appends route through shard.Set.Append instead.
+func (s *Server) insertEntry(name string, opts core.Options, st *engineState, builder *store.Builder) error {
 	max := s.cfg.MaxInflight
 	if max <= 0 {
 		// Default to the engine's resolved pool size, so admission matches
 		// the workers a Recommend actually fans out onto.
-		max = eng.Workers()
+		max = st.eng.Workers()
 	}
-	ent := &engineEntry{name: name, opts: opts, slots: make(chan struct{}, max), builder: store.NewBuilder(snap)}
-	ent.state.Store(&engineState{eng: eng, snap: snap})
+	ent := &engineEntry{name: name, opts: opts, slots: make(chan struct{}, max), builder: builder}
+	ent.state.Store(st)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.engines[name]; dup {
@@ -253,13 +338,15 @@ func (s *Server) RegisterSnapshot(name string, snap *store.Snapshot, opts core.O
 }
 
 // Append ingests rows into a registered dataset: it builds the successor
-// snapshot and engine off to the side (no registry or entry lock held while
-// serving traffic continues on the current version), atomically swaps the
-// new state in, and invalidates the dataset's cached recommendations.
-// Sessions rebind to the new version on their next request; a Recommend
-// already in flight finishes on the version it loaded. Concurrent Appends to
-// the same dataset serialize.
-func (s *Server) Append(name string, rows []store.Row) (*store.Snapshot, error) {
+// snapshot (or shard set) and engine off to the side (no registry or entry
+// lock held while serving traffic continues on the current version),
+// atomically swaps the new state in, and invalidates the dataset's cached
+// recommendations. On a sharded dataset, each row routes to the shard its
+// key value owns, untouched shards are shared wholesale, and per-shard cubes
+// are delta-merged rather than rebuilt. Sessions rebind to the new version
+// on their next request; a Recommend already in flight finishes on the
+// version it loaded. Concurrent Appends to the same dataset serialize.
+func (s *Server) Append(name string, rows []store.Row) (*engineState, error) {
 	s.mu.Lock()
 	ent, ok := s.engines[name]
 	s.mu.Unlock()
@@ -268,22 +355,39 @@ func (s *Server) Append(name string, rows []store.Row) (*store.Snapshot, error) 
 	}
 	ent.appendMu.Lock()
 	defer ent.appendMu.Unlock()
-	next, err := ent.builder.Append(rows)
-	if err != nil {
-		return nil, err
-	}
-	ds, err := next.Dataset()
-	if err == nil {
-		var eng *core.Engine
-		if eng, err = core.NewEngine(ds, ent.opts); err == nil {
-			ent.state.Store(&engineState{eng: eng, snap: next})
+	var swapped *engineState
+	if st := ent.state.Load(); st.set != nil {
+		// Sharded: Set.Append never mutates its receiver, so a failed build
+		// leaves the served state exactly as it was — no rewind needed.
+		nextSet, err := st.set.Append(rows)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if err != nil {
-		// The builder advanced past the served state; rewind it so the next
-		// append builds on what clients actually see.
-		ent.builder = store.NewBuilder(ent.state.Load().snap)
-		return nil, err
+		eng, err := nextSet.Engine(ent.opts)
+		if err != nil {
+			return nil, err
+		}
+		swapped = &engineState{eng: eng, set: nextSet}
+		ent.state.Store(swapped)
+	} else {
+		next, err := ent.builder.Append(rows)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := next.Dataset()
+		if err == nil {
+			var eng *core.Engine
+			if eng, err = core.NewEngine(ds, ent.opts); err == nil {
+				swapped = &engineState{eng: eng, snap: next}
+				ent.state.Store(swapped)
+			}
+		}
+		if err != nil {
+			// The builder advanced past the served state; rewind it so the
+			// next append builds on what clients actually see.
+			ent.builder = store.NewBuilder(ent.state.Load().snap)
+			return nil, err
+		}
 	}
 	// The swapped-out version's recommendations are stale: drop every cache
 	// entry belonging to this dataset's sessions. In-flight evaluations of
@@ -299,7 +403,7 @@ func (s *Server) Append(name string, rows []store.Row) (*store.Snapshot, error) 
 		}
 	}
 	s.mu.Unlock()
-	return next, nil
+	return swapped, nil
 }
 
 // Handler returns the server's HTTP routes.
@@ -346,16 +450,16 @@ func (s *Server) lookupSession(id string) (sessionView, api.ErrorCode, error) {
 		return sessionView{}, api.CodeSessionExpired, fmt.Errorf("session %q expired", id)
 	}
 	sess.deadline = now.Add(sess.ttl)
-	if st := sess.engine.state.Load(); st.snap.Version != sess.version {
+	if st := sess.engine.state.Load(); st.version() != sess.version {
 		cs, err := st.eng.NewSession(sess.sess.GroupBy())
 		if err != nil {
 			// Appends never change the schema, so the old drill state always
 			// transfers; failure here means a bug, not bad client input.
 			return sessionView{}, api.CodeInternal,
-				fmt.Errorf("rebinding session %q to dataset version %d: %w", id, st.snap.Version, err)
+				fmt.Errorf("rebinding session %q to dataset version %d: %w", id, st.version(), err)
 		}
 		sess.sess = cs
-		sess.version = st.snap.Version
+		sess.version = st.version()
 	}
 	return sessionView{id: sess.id, engine: sess.engine, cs: sess.sess, version: sess.version}, "", nil
 }

@@ -1,0 +1,355 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/reptile/api"
+)
+
+// recommendRaw drives one register → session → recommend flow and returns
+// the recommendation's raw bytes plus the registration info.
+func recommendRaw(t *testing.T, base string, reg api.RegisterDatasetRequest, groupBy []string, complaint string) ([]byte, api.DatasetInfo) {
+	t.Helper()
+	code, b := post(t, base+"/v1/datasets", reg)
+	if code != http.StatusCreated {
+		t.Fatalf("register dataset: %d %s", code, b)
+	}
+	var info api.DatasetInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatal(err)
+	}
+	code, b = post(t, base+"/v1/sessions", api.CreateSessionRequest{Dataset: reg.Name, GroupBy: groupBy})
+	if code != http.StatusCreated {
+		t.Fatalf("create session: %d %s", code, b)
+	}
+	var sess api.Session
+	if err := json.Unmarshal(b, &sess); err != nil {
+		t.Fatal(err)
+	}
+	code, b = post(t, base+"/v1/sessions/"+sess.ID+"/recommend", api.RecommendRequest{Complaint: complaint})
+	if code != http.StatusOK {
+		t.Fatalf("recommend: %d %s", code, b)
+	}
+	var rr api.RecommendResponse
+	if err := json.Unmarshal(b, &rr); err != nil {
+		t.Fatal(err)
+	}
+	return rr.Recommendation, info
+}
+
+// TestShardedServerMatchesUnsharded registers the same dataset on an
+// unsharded server and on servers sharding at 2 and 4 (via the config
+// default and via the per-request field) and asserts the recommendation
+// bytes agree everywhere.
+func TestShardedServerMatchesUnsharded(t *testing.T) {
+	reg := api.RegisterDatasetRequest{
+		Name: "drought", CSV: testCSV, Measures: []string{"severity"},
+		Hierarchies: testHierarchies, EMIterations: 4,
+	}
+	groupBy := []string{"district", "year"}
+	_, plain := newTestServer(t, Config{})
+	want, info := recommendRaw(t, plain.URL, reg, groupBy, testComplaint)
+	if info.Shards != 0 {
+		t.Fatalf("unsharded registration reports %d shards", info.Shards)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		req  api.RegisterDatasetRequest
+		want int
+	}{
+		{"config-default", Config{Shards: 2}, reg, 2},
+		{"request-override", Config{}, withShards(reg, 4, ""), 4},
+		{"request-key", Config{}, withShards(reg, 2, "district"), 2},
+		{"request-forces-unsharded", Config{Shards: 4}, withShards(reg, 1, ""), 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, tc.cfg)
+			got, info := recommendRaw(t, ts.URL, tc.req, groupBy, testComplaint)
+			if info.Shards != tc.want {
+				t.Fatalf("registration reports %d shards, want %d", info.Shards, tc.want)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("sharded recommendation differs from unsharded:\n%s\nvs\n%s", got, want)
+			}
+		})
+	}
+}
+
+func withShards(reg api.RegisterDatasetRequest, n int, key string) api.RegisterDatasetRequest {
+	reg.Shards, reg.ShardKey = n, key
+	return reg
+}
+
+func TestShardedRegisterRejectsBadTopology(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	reg := api.RegisterDatasetRequest{
+		Name: "drought", CSV: testCSV, Measures: []string{"severity"}, Hierarchies: testHierarchies,
+	}
+	for name, req := range map[string]api.RegisterDatasetRequest{
+		"negative-shards": withShards(reg, -1, ""),
+		"non-root-key":    withShards(reg, 2, "village"),
+		"unknown-key":     withShards(reg, 2, "nosuch"),
+	} {
+		if code, b := post(t, ts.URL+"/v1/datasets", req); code != http.StatusBadRequest {
+			t.Errorf("%s: got %d %s, want 400", name, code, b)
+		}
+	}
+}
+
+// TestShardedStats pins the shard topology reported by GET /v1/stats: shard
+// count, per-shard row counts summing to the total, and cube status
+// aggregated across shards.
+func TestShardedStats(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Shards: 2})
+	ds, err := data.ReadCSV(strings.NewReader(testCSV), "drought", []string{"severity"}, mustHierarchies(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterDataset("drought", ds, core.Options{EMIterations: 4}); err != nil {
+		t.Fatal(err)
+	}
+	code, b := get(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, b)
+	}
+	var stats api.StatsResponse
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := stats.Datasets["drought"]
+	if !ok {
+		t.Fatalf("stats missing dataset: %s", b)
+	}
+	if d.Shards != 2 || len(d.ShardRows) != 2 {
+		t.Fatalf("stats shards = %d, shard_rows = %v, want 2 shards", d.Shards, d.ShardRows)
+	}
+	if d.ShardRows[0]+d.ShardRows[1] != d.Rows || d.Rows != 8 {
+		t.Fatalf("shard_rows %v do not sum to rows %d", d.ShardRows, d.Rows)
+	}
+	if !d.Cube.Present || d.Cube.Cells == 0 {
+		t.Fatalf("sharded cube status = %+v, want present with cells", d.Cube)
+	}
+}
+
+// TestShardedAppend exercises the sharded append path end to end: rows route
+// to their owning shards, the version bumps, stats reflect the new per-shard
+// row counts, and recommendations after the append still match an unsharded
+// server fed the same sequence.
+func TestShardedAppend(t *testing.T) {
+	reg := api.RegisterDatasetRequest{
+		Name: "drought", CSV: testCSV, Measures: []string{"severity"},
+		Hierarchies: testHierarchies, EMIterations: 4,
+	}
+	appendCSV := "district,village,year,severity\n" +
+		"Ofla,Fala,1986,4\nRaya,Wajirat,1987,5\nKola,Kewet,1986,6\n"
+	run := func(cfg Config) ([]byte, api.AppendResponse) {
+		_, ts := newTestServer(t, cfg)
+		code, b := post(t, ts.URL+"/v1/datasets", reg)
+		if code != http.StatusCreated {
+			t.Fatalf("register: %d %s", code, b)
+		}
+		code, b = post(t, ts.URL+"/v1/datasets/drought/append", api.AppendRequest{CSV: appendCSV})
+		if code != http.StatusOK {
+			t.Fatalf("append: %d %s", code, b)
+		}
+		var ar api.AppendResponse
+		if err := json.Unmarshal(b, &ar); err != nil {
+			t.Fatal(err)
+		}
+		code, b = post(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{Dataset: "drought", GroupBy: []string{"district", "year"}})
+		if code != http.StatusCreated {
+			t.Fatalf("session: %d %s", code, b)
+		}
+		var sess api.Session
+		if err := json.Unmarshal(b, &sess); err != nil {
+			t.Fatal(err)
+		}
+		code, b = post(t, ts.URL+"/v1/sessions/"+sess.ID+"/recommend", api.RecommendRequest{Complaint: testComplaint})
+		if code != http.StatusOK {
+			t.Fatalf("recommend: %d %s", code, b)
+		}
+		var rr api.RecommendResponse
+		if err := json.Unmarshal(b, &rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr.Recommendation, ar
+	}
+	want, plainInfo := run(Config{})
+	got, shardedInfo := run(Config{Shards: 3})
+	if shardedInfo.Appended != 3 || shardedInfo.Rows != 11 || shardedInfo.Version != plainInfo.Version {
+		t.Fatalf("sharded append response = %+v, want 3 appended, 11 rows, version %d",
+			shardedInfo, plainInfo.Version)
+	}
+	if shardedInfo.Shards != 3 {
+		t.Fatalf("append response reports %d shards, want 3", shardedInfo.Shards)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-append sharded recommendation differs from unsharded:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestShardedAppendRejectsCrossShardFD forces a hierarchy FD violation whose
+// two witnesses land on different shards and expects 422.
+func TestShardedAppendRejectsCrossShardFD(t *testing.T) {
+	da := fmt.Sprintf("d%d", 0)
+	db := ""
+	for i := 1; i < 256; i++ {
+		v := fmt.Sprintf("d%d", i)
+		if shard.Owner(v, 2) != shard.Owner(da, 2) {
+			db = v
+			break
+		}
+	}
+	if db == "" {
+		t.Fatal("no owner split found")
+	}
+	csv := fmt.Sprintf("district,village,year,severity\n%s,V1,1986,1\n%s,V2,1986,2\n", da, db)
+	_, ts := newTestServer(t, Config{Shards: 2})
+	code, b := post(t, ts.URL+"/v1/datasets", api.RegisterDatasetRequest{
+		Name: "fd", CSV: csv, Measures: []string{"severity"}, Hierarchies: testHierarchies,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, b)
+	}
+	bad := fmt.Sprintf("district,village,year,severity\n%s,V1,1987,3\n", db)
+	code, b = post(t, ts.URL+"/v1/datasets/fd/append", api.AppendRequest{CSV: bad})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("cross-shard FD append: %d %s, want 422", code, b)
+	}
+	var e api.Error
+	if err := json.Unmarshal(b, &e); err != nil || e.Code != api.CodeUnprocessable {
+		t.Fatalf("error envelope = %s", b)
+	}
+}
+
+// TestRegisterPartitionedSnapshotFile registers a partitioned .rst file and
+// expects sharded serving with the file's own topology.
+func TestRegisterPartitionedSnapshotFile(t *testing.T) {
+	ds, err := data.ReadCSV(strings.NewReader(testCSV), "drought", []string{"severity"}, mustHierarchies(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := shard.Partition(store.FromDataset(ds), 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "drought.rst")
+	if err := set.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{})
+	// A partitioned file carries its own topology: overriding it is a 400.
+	code, b := post(t, ts.URL+"/v1/datasets", api.RegisterDatasetRequest{Name: "drought", Path: path, Shards: 4})
+	if code != http.StatusBadRequest {
+		t.Fatalf("topology override: %d %s, want 400", code, b)
+	}
+	code, b = post(t, ts.URL+"/v1/datasets", api.RegisterDatasetRequest{Name: "drought", Path: path, EMIterations: 4})
+	if code != http.StatusCreated {
+		t.Fatalf("register partitioned file: %d %s", code, b)
+	}
+	var info api.DatasetInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 2 || info.Rows != 8 {
+		t.Fatalf("partitioned registration = %+v, want 2 shards, 8 rows", info)
+	}
+	// And the engine behind it answers like the unsharded one.
+	_, plain := newTestServer(t, Config{})
+	want, _ := recommendRaw(t, plain.URL, api.RegisterDatasetRequest{
+		Name: "drought", CSV: testCSV, Measures: []string{"severity"},
+		Hierarchies: testHierarchies, EMIterations: 4,
+	}, []string{"district", "year"}, testComplaint)
+	code, b = post(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{Dataset: "drought", GroupBy: []string{"district", "year"}})
+	if code != http.StatusCreated {
+		t.Fatalf("session: %d %s", code, b)
+	}
+	var sess api.Session
+	if err := json.Unmarshal(b, &sess); err != nil {
+		t.Fatal(err)
+	}
+	code, b = post(t, ts.URL+"/v1/sessions/"+sess.ID+"/recommend", api.RecommendRequest{Complaint: testComplaint})
+	if code != http.StatusOK {
+		t.Fatalf("recommend: %d %s", code, b)
+	}
+	var rr api.RecommendResponse
+	if err := json.Unmarshal(b, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rr.Recommendation, want) {
+		t.Errorf("partitioned-file recommendation differs from unsharded:\n%s\nvs\n%s", rr.Recommendation, want)
+	}
+}
+
+// TestShardedConcurrentRecommendAndAppend hammers a sharded dataset with
+// concurrent recommends, drills and appends — primarily a data-race canary
+// for the scatter-gather path under -race.
+func TestShardedConcurrentRecommendAndAppend(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, CacheSize: -1})
+	code, b := post(t, ts.URL+"/v1/datasets", api.RegisterDatasetRequest{
+		Name: "drought", CSV: testCSV, Measures: []string{"severity"},
+		Hierarchies: testHierarchies, EMIterations: 2, Workers: 2,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, b)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			code, b := post(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{Dataset: "drought", GroupBy: []string{"district", "year"}})
+			if code != http.StatusCreated {
+				t.Errorf("session: %d %s", code, b)
+				return
+			}
+			var sess api.Session
+			if err := json.Unmarshal(b, &sess); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 5; i++ {
+				code, b := post(t, ts.URL+"/v1/sessions/"+sess.ID+"/recommend", api.RecommendRequest{Complaint: testComplaint})
+				// 429 is an acceptable answer under load; anything else
+				// non-200 is a bug.
+				if code != http.StatusOK && code != http.StatusTooManyRequests {
+					t.Errorf("recommend: %d %s", code, b)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			csv := fmt.Sprintf("district,village,year,severity\nOfla,Adishim,19%d,5\n", 90+i)
+			code, b := post(t, ts.URL+"/v1/datasets/drought/append", api.AppendRequest{CSV: csv})
+			if code != http.StatusOK {
+				t.Errorf("append: %d %s", code, b)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func mustHierarchies(t *testing.T) []data.Hierarchy {
+	t.Helper()
+	hs, err := data.ParseHierarchySpec(testHierarchies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hs
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -169,6 +170,9 @@ func decode(b []byte) (*Snapshot, error) {
 	var m [7]byte
 	copy(m[:], d.bytes(len(magic)))
 	if d.err == nil && m != magic {
+		if bytes.Equal(m[:], shardMagic[:len(m)]) {
+			return nil, fmt.Errorf("store: file is a partitioned snapshot; open it with OpenSharded")
+		}
 		return nil, fmt.Errorf("store: bad magic %q: not a .rst snapshot", m[:])
 	}
 	if v := d.byte(); d.err == nil && v != FormatVersion {

@@ -1,0 +1,350 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/data"
+)
+
+// The partitioned .rst binary layout, format version 1: one dataset hashed
+// into N shards on a hierarchy-root dimension, dictionaries shared across the
+// shards and written once, one column section per shard. Integers, varints
+// and strings use the same primitives as the single-snapshot format.
+//
+//	[0:8)   magic "RSTSHARD"
+//	[8]     shard format version (1)
+//	        name            string
+//	        version         uvarint   snapshot version (shared by every shard)
+//	        key             string    the partition dimension (hierarchy root)
+//	        #hierarchies    uvarint   then per hierarchy: name, #attrs, attrs
+//	        #dims           uvarint   then per dim: name, #dict, dict values
+//	                                  (the dictionaries shared by all shards)
+//	        #measures       uvarint   then per measure: name
+//	        #shards         uvarint
+//	        per shard:      rows uvarint,
+//	                        per dim rows×4 bytes of uint32 codes,
+//	                        per measure rows×8 bytes of float64 bits,
+//	                        uint32 CRC-32C of this shard's section bytes, so a
+//	                        damaged shard is identified individually
+//	[tail]  uint32 CRC-32C (Castagnoli) of every preceding byte
+//
+// Materialized cubes are not persisted: per-shard cubes are cheap to rebuild
+// at registration time and keeping the file cube-free keeps shard sections
+// self-describing.
+var shardMagic = [8]byte{'R', 'S', 'T', 'S', 'H', 'A', 'R', 'D'}
+
+// ShardFormatVersion is the current partitioned .rst format version.
+const ShardFormatVersion = 1
+
+// IsShardedFile reports whether the file at path starts with the partitioned
+// snapshot magic. Both .rst flavors share the extension; callers sniff to
+// pick Open or OpenSharded.
+func IsShardedFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false, nil // too short to be partitioned; let Open diagnose
+	}
+	return m == shardMagic, nil
+}
+
+// WriteSharded serializes the shards of one partitioned dataset, checksum
+// included. Every shard must carry the same name, version, hierarchies,
+// column schema and — shard sections hold codes only — identical
+// dictionaries; key names the dimension the rows were partitioned on.
+func WriteSharded(w io.Writer, key string, shards []*Snapshot) error {
+	if err := checkShardSet(key, shards); err != nil {
+		return err
+	}
+	first := shards[0]
+	h := crc32.New(castagnoli)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, h), 1<<16)
+	e := &encoder{w: bw}
+	e.bytes(shardMagic[:])
+	e.byte(ShardFormatVersion)
+	e.string(first.Name)
+	e.uvarint(first.Version)
+	e.string(key)
+	e.uvarint(uint64(len(first.Hierarchies)))
+	for _, hr := range first.Hierarchies {
+		e.string(hr.Name)
+		e.uvarint(uint64(len(hr.Attrs)))
+		for _, a := range hr.Attrs {
+			e.string(a)
+		}
+	}
+	e.uvarint(uint64(len(first.Dims)))
+	for _, c := range first.Dims {
+		e.string(c.Name)
+		e.uvarint(uint64(len(c.Dict)))
+		for _, v := range c.Dict {
+			e.string(v)
+		}
+	}
+	e.uvarint(uint64(len(first.Measures)))
+	for _, m := range first.Measures {
+		e.string(m.Name)
+	}
+	e.uvarint(uint64(len(shards)))
+	// Each shard section is staged in memory so its own CRC can follow it;
+	// Open reads the whole file into memory anyway, so the staging buffer
+	// does not change the peak footprint class.
+	var section bytes.Buffer
+	for _, s := range shards {
+		section.Reset()
+		sw := bufio.NewWriter(&section)
+		se := &encoder{w: sw}
+		se.uvarint(uint64(s.rows))
+		for _, c := range s.Dims {
+			se.codes(c.Codes)
+		}
+		for _, m := range s.Measures {
+			se.floats(m.Values)
+		}
+		if se.err == nil {
+			se.err = sw.Flush()
+		}
+		if se.err != nil {
+			return fmt.Errorf("store: writing shard section: %w", se.err)
+		}
+		e.bytes(section.Bytes())
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(section.Bytes(), castagnoli))
+		e.bytes(sum[:])
+	}
+	if e.err != nil {
+		return fmt.Errorf("store: writing partitioned snapshot: %w", e.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: writing partitioned snapshot: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], h.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("store: writing partitioned snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// WriteShardedFile writes the partitioned snapshot to path atomically
+// (temp file + rename).
+func WriteShardedFile(path, key string, shards []*Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteSharded(f, key, shards); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// checkShardSet verifies the writer's preconditions: a non-empty shard list
+// sharing one schema and one set of dictionary contents, partitioned on a
+// hierarchy-root dimension.
+func checkShardSet(key string, shards []*Snapshot) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("store: partitioned snapshot needs at least one shard")
+	}
+	first := shards[0]
+	if err := checkShardKey(key, first.Hierarchies); err != nil {
+		return err
+	}
+	for i, s := range shards[1:] {
+		si := i + 1
+		if s.Name != first.Name || s.Version != first.Version {
+			return fmt.Errorf("store: shard %d is %q v%d, shard 0 is %q v%d", si, s.Name, s.Version, first.Name, first.Version)
+		}
+		if len(s.Dims) != len(first.Dims) || len(s.Measures) != len(first.Measures) {
+			return fmt.Errorf("store: shard %d schema differs from shard 0", si)
+		}
+		for ci, c := range s.Dims {
+			fc := first.Dims[ci]
+			if c.Name != fc.Name {
+				return fmt.Errorf("store: shard %d dimension %d is %q, shard 0 has %q", si, ci, c.Name, fc.Name)
+			}
+			if !equalDict(c.Dict, fc.Dict) {
+				return fmt.Errorf("store: shard %d dimension %q dictionary differs from shard 0 (dictionaries must be shared)", si, c.Name)
+			}
+		}
+		for mi, m := range s.Measures {
+			if m.Name != first.Measures[mi].Name {
+				return fmt.Errorf("store: shard %d measure %d is %q, shard 0 has %q", si, mi, m.Name, first.Measures[mi].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// checkShardKey verifies the partition key is the root attribute of one of
+// the hierarchies — the invariant the byte-identity guarantee rests on.
+func checkShardKey(key string, hierarchies []data.Hierarchy) error {
+	if key == "" {
+		return fmt.Errorf("store: partitioned snapshot needs a partition key")
+	}
+	for _, h := range hierarchies {
+		if len(h.Attrs) > 0 && h.Attrs[0] == key {
+			return nil
+		}
+	}
+	return fmt.Errorf("store: partition key %q is not the root attribute of any hierarchy", key)
+}
+
+// equalDict reports whether two dictionaries hold the same values in the same
+// order. Shards produced by internal/shard share one backing array, so the
+// common case short-circuits on identity.
+func equalDict(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenSharded decodes and validates a partitioned snapshot from r: the file
+// checksum, every shard's own section checksum, each shard's structural
+// invariants and hierarchy functional dependencies. The returned snapshots
+// share one set of dictionary slices, in shard order.
+func OpenSharded(r io.Reader) (key string, shards []*Snapshot, err error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return "", nil, fmt.Errorf("store: reading partitioned snapshot: %w", err)
+	}
+	return decodeSharded(b)
+}
+
+// OpenShardedFile loads a partitioned .rst snapshot from disk.
+func OpenShardedFile(path string) (string, []*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	key, shards, err := decodeSharded(b)
+	if err != nil {
+		return "", nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return key, shards, nil
+}
+
+func decodeSharded(b []byte) (string, []*Snapshot, error) {
+	if len(b) < len(shardMagic)+1+4 {
+		return "", nil, fmt.Errorf("store: partitioned snapshot truncated (%d bytes)", len(b))
+	}
+	payload, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return "", nil, fmt.Errorf("store: partitioned snapshot checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	d := &decoder{b: payload}
+	var m [8]byte
+	copy(m[:], d.bytes(len(shardMagic)))
+	if d.err == nil && m != shardMagic {
+		if bytes.Equal(m[:len(magic)], magic[:]) {
+			return "", nil, fmt.Errorf("store: file is a single snapshot, not a partitioned one; open it with Open")
+		}
+		return "", nil, fmt.Errorf("store: bad magic %q: not a partitioned .rst snapshot", m[:])
+	}
+	if v := d.byte(); d.err == nil && v != ShardFormatVersion {
+		return "", nil, fmt.Errorf("store: unsupported partitioned format version %d (want %d)", v, ShardFormatVersion)
+	}
+	name := d.string()
+	version := d.uvarint()
+	key := d.string()
+	var hierarchies []data.Hierarchy
+	for i, nh := 0, d.count(); i < nh && d.err == nil; i++ {
+		h := data.Hierarchy{Name: d.string()}
+		for j, na := 0, d.count(); j < na && d.err == nil; j++ {
+			h.Attrs = append(h.Attrs, d.string())
+		}
+		hierarchies = append(hierarchies, h)
+	}
+	type dimSchema struct {
+		name string
+		dict []string
+	}
+	var dims []dimSchema
+	for i, nd := 0, d.count(); i < nd && d.err == nil; i++ {
+		ds := dimSchema{name: d.string()}
+		ndict := d.count()
+		ds.dict = make([]string, 0, min(ndict, 1<<16))
+		for j := 0; j < ndict && d.err == nil; j++ {
+			ds.dict = append(ds.dict, d.string())
+		}
+		dims = append(dims, ds)
+	}
+	var measureNames []string
+	for i, nm := 0, d.count(); i < nm && d.err == nil; i++ {
+		measureNames = append(measureNames, d.string())
+	}
+	nshards := d.count()
+	if d.err == nil && nshards == 0 {
+		return "", nil, fmt.Errorf("store: partitioned snapshot has no shards")
+	}
+	var shards []*Snapshot
+	for si := 0; si < nshards && d.err == nil; si++ {
+		start := d.off
+		rows := d.uvarint()
+		if rows > maxSaneCount {
+			return "", nil, fmt.Errorf("store: shard %d: implausible row count %d", si, rows)
+		}
+		s := &Snapshot{
+			Name:        name,
+			Version:     version,
+			Hierarchies: hierarchies,
+			rows:        int(rows),
+		}
+		for _, dim := range dims {
+			s.Dims = append(s.Dims, Column{Name: dim.name, Dict: dim.dict, Codes: d.codes(s.rows)})
+		}
+		for _, mn := range measureNames {
+			s.Measures = append(s.Measures, MeasureColumn{Name: mn, Values: d.floats(s.rows)})
+		}
+		sectionEnd := d.off
+		sum := d.bytes(4)
+		if d.err != nil {
+			break
+		}
+		if got, want := crc32.Checksum(payload[start:sectionEnd], castagnoli), binary.LittleEndian.Uint32(sum); got != want {
+			return "", nil, fmt.Errorf("store: shard %d section checksum mismatch (file %08x, computed %08x)", si, want, got)
+		}
+		shards = append(shards, s)
+	}
+	if d.err != nil {
+		return "", nil, fmt.Errorf("store: decoding partitioned snapshot: %w", d.err)
+	}
+	if len(d.b) != d.off {
+		return "", nil, fmt.Errorf("store: %d trailing bytes after partitioned snapshot payload", len(d.b)-d.off)
+	}
+	if err := checkShardKey(key, hierarchies); err != nil {
+		return "", nil, err
+	}
+	for si, s := range shards {
+		if err := s.validate(); err != nil {
+			return "", nil, fmt.Errorf("store: shard %d: %w", si, err)
+		}
+	}
+	return key, shards, nil
+}

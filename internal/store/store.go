@@ -78,6 +78,33 @@ func FromDataset(ds *data.Dataset) *Snapshot {
 	return s
 }
 
+// NewSnapshot assembles a snapshot from already-encoded columns and validates
+// it (column lengths, code ranges, hierarchy functional dependencies). It is
+// the constructor internal/shard uses to build per-shard snapshots that share
+// dictionaries with their siblings; the caller keeps ownership conventions —
+// columns must not be mutated afterwards.
+func NewSnapshot(name string, version uint64, hierarchies []data.Hierarchy, dims []Column, measures []MeasureColumn, rows int) (*Snapshot, error) {
+	s := &Snapshot{
+		Name:        name,
+		Version:     version,
+		Hierarchies: hierarchies,
+		Dims:        dims,
+		Measures:    measures,
+		rows:        rows,
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AttachCube installs a pre-built materialized cube on the snapshot (and on
+// the already-derived dataset, if any). The cube must aggregate exactly this
+// snapshot's rows; internal/shard uses this to carry per-shard cubes across
+// appends (delta-merge) instead of rebuilding them. Attach before handing the
+// snapshot to concurrent readers.
+func (s *Snapshot) AttachCube(c *cube.Cube) { s.attachCube(c) }
+
 // encodeColumn dictionary-encodes one dimension, reusing the dataset's own
 // encoding when it already carries one.
 func encodeColumn(ds *data.Dataset, name string) Column {

@@ -149,6 +149,15 @@ type RegisterDatasetRequest struct {
 	EMIterations int `json:"em_iterations,omitempty"`
 	TopK         int `json:"topk,omitempty"`
 	Workers      int `json:"workers,omitempty"`
+	// Shards ≥ 2 partitions the dataset and serves it through the sharded
+	// scatter-gather engine; 0 defers to the server's configured default, 1
+	// forces single-shard serving. A partitioned .rst file carries its own
+	// shard topology and rejects both fields.
+	Shards int `json:"shards,omitempty"`
+	// ShardKey names the dimension rows are partitioned on; it must be the
+	// root attribute of one of the dataset's hierarchies. Empty defaults to
+	// the first hierarchy's root.
+	ShardKey string `json:"shard_key,omitempty"`
 }
 
 // DatasetInfo describes one registered dataset's currently-served snapshot
@@ -159,6 +168,9 @@ type DatasetInfo struct {
 	Version     uint64   `json:"version"`
 	Hierarchies []string `json:"hierarchies"`
 	Measures    []string `json:"measures"`
+	// Shards is the number of partitions the dataset is served from; 0 means
+	// single-shard (unpartitioned) serving.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ListDatasetsResponse is the GET /v1/datasets payload: every registered
@@ -300,6 +312,10 @@ type DatasetStats struct {
 	Rows     int        `json:"rows"`
 	Sessions int        `json:"sessions"`
 	Cube     CubeStatus `json:"cube"`
+	// Shards is the partition count (0 when unsharded) and ShardRows the
+	// per-shard row counts, in shard order.
+	Shards    int   `json:"shards,omitempty"`
+	ShardRows []int `json:"shard_rows,omitempty"`
 }
 
 // CacheStats reports the recommendation LRU's counters.

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -43,6 +44,8 @@ type config struct {
 	measures    []string
 	hierarchies []Hierarchy
 	buildCube   bool
+	shards      int
+	shardKey    string
 	core        core.Options
 }
 
@@ -124,15 +127,32 @@ func WithName(name string) Option { return func(c *config) { c.name = name } }
 // WithCube materializes the hierarchy-rollup cube when the dataset is
 // opened: group-bys over hierarchy prefixes are then answered from
 // precomputed cells instead of row scans. Snapshots that already carry a
-// stored cube keep it without this option.
+// stored cube keep it without this option. On a sharded engine, every shard
+// gets its own cube.
 func WithCube() Option { return func(c *config) { c.buildCube = true } }
+
+// WithShards partitions the dataset into n shards (n ≥ 2) and serves it
+// through the sharded scatter-gather engine: every aggregation fans out to
+// per-shard workers and the partial statistics merge before any model fit.
+// Recommendations are byte-identical to the unsharded engine whenever every
+// evaluated grouping includes the shard key's attribute (which holds for all
+// drill-downs into the key's hierarchy) or the measures are integer-valued.
+// 0 (the default) and 1 serve unsharded. Partitioned .rst files carry their
+// own shard topology and reject this option.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithShardKey selects the dimension rows are partitioned on — it must be
+// the root attribute of one of the dataset's hierarchies, and defaults to
+// the first hierarchy's root. Requires WithShards.
+func WithShardKey(dim string) Option { return func(c *config) { c.shardKey = dim } }
 
 // Engine answers complaint-based drill-down queries over one dataset. It
 // wraps the core explanation engine behind a stable API and is safe for
 // concurrent use: many sessions may Recommend against it at once.
 type Engine struct {
 	eng  *core.Engine
-	snap *store.Snapshot // non-nil when opened from a snapshot
+	snap *store.Snapshot // non-nil when opened from an unsharded snapshot
+	set  *shard.Set      // non-nil when serving sharded
 }
 
 // Open loads a dataset from path and builds an engine over it. A path ending
@@ -148,6 +168,20 @@ func Open(path string, opts ...Option) (*Engine, error) {
 	if strings.HasSuffix(path, ".rst") {
 		if len(cfg.measures) > 0 || len(cfg.hierarchies) > 0 || cfg.name != "" {
 			return nil, fmt.Errorf("reptile: a .rst snapshot carries its own name, measures and hierarchies; drop WithName/WithMeasures/WithHierarchies")
+		}
+		sharded, err := store.IsShardedFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if sharded {
+			if cfg.shards != 0 || cfg.shardKey != "" {
+				return nil, fmt.Errorf("reptile: a partitioned .rst snapshot carries its own shard topology; drop WithShards/WithShardKey")
+			}
+			set, err := shard.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			return fromSet(set, cfg)
 		}
 		snap, err := store.OpenFile(path)
 		if err != nil {
@@ -186,7 +220,7 @@ func New(ds *Dataset, opts ...Option) (*Engine, error) {
 	if len(cfg.measures) > 0 || len(cfg.hierarchies) > 0 || cfg.name != "" {
 		return nil, fmt.Errorf("reptile: the dataset already carries its name and schema; drop WithName/WithMeasures/WithHierarchies")
 	}
-	if cfg.buildCube {
+	if cfg.buildCube || cfg.shards >= 2 {
 		return fromSnapshot(store.FromDataset(ds), cfg)
 	}
 	eng, err := core.NewEngine(ds, cfg.core)
@@ -197,8 +231,16 @@ func New(ds *Dataset, opts ...Option) (*Engine, error) {
 }
 
 // fromSnapshot builds the engine over a snapshot's code-backed dataset,
-// materializing the rollup cube first when requested.
+// partitioning it first when sharding was requested and materializing the
+// rollup cube(s) when requested.
 func fromSnapshot(snap *store.Snapshot, cfg *config) (*Engine, error) {
+	if cfg.shards >= 2 {
+		set, err := shard.Partition(snap, cfg.shards, cfg.shardKey)
+		if err != nil {
+			return nil, err
+		}
+		return fromSet(set, cfg)
+	}
 	if cfg.buildCube {
 		if err := snap.BuildCube(); err != nil {
 			return nil, err
@@ -213,6 +255,21 @@ func fromSnapshot(snap *store.Snapshot, cfg *config) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{eng: eng, snap: snap}, nil
+}
+
+// fromSet builds the sharded scatter-gather engine over a partitioned set,
+// materializing per-shard cubes when requested.
+func fromSet(set *shard.Set, cfg *config) (*Engine, error) {
+	if cfg.buildCube {
+		if err := set.BuildCubes(); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := set.Engine(cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, set: set}, nil
 }
 
 // buildConfig applies the options, converting option panics (bad hierarchy
@@ -231,6 +288,12 @@ func buildConfig(opts []Option) (cfg *config, err error) {
 	for _, opt := range opts {
 		opt(cfg)
 	}
+	if cfg.shards < 0 {
+		return nil, fmt.Errorf("reptile: WithShards needs a non-negative count, got %d", cfg.shards)
+	}
+	if cfg.shardKey != "" && cfg.shards < 2 {
+		return nil, fmt.Errorf("reptile: WithShardKey needs WithShards(n) with n >= 2")
+	}
 	return cfg, nil
 }
 
@@ -247,28 +310,69 @@ func (e *Engine) NewSession(groupBy []string) (*Session, error) {
 }
 
 // Dataset returns the engine's dataset. Callers must treat it as immutable.
+// On a sharded engine it returns the schema dataset — the first shard's, by
+// convention — whose rows are that shard's only; use sharded sessions (or
+// Save and reopen) rather than scanning it.
 func (e *Engine) Dataset() *Dataset { return e.eng.Dataset() }
 
 // Workers returns the resolved evaluation worker-pool size.
 func (e *Engine) Workers() int { return e.eng.Workers() }
+
+// Shards returns the number of partitions the engine serves from, 0 when
+// unsharded.
+func (e *Engine) Shards() int {
+	if e.set == nil {
+		return 0
+	}
+	return e.set.N()
+}
+
+// ShardKey returns the dimension the engine's shards are partitioned on,
+// "" when unsharded.
+func (e *Engine) ShardKey() string {
+	if e.set == nil {
+		return ""
+	}
+	return e.set.Key
+}
 
 // SnapshotInfo describes a snapshot written by Engine.Save.
 type SnapshotInfo struct {
 	Rows     int
 	Dims     int
 	Measures int
+	// Shards is the partition count of a partitioned snapshot (0 when the
+	// snapshot is a plain, unsharded one).
+	Shards int
 	// CubeLevels and CubeCells describe the materialized rollup cube
-	// (0/0 when the snapshot carries none).
+	// (0/0 when the snapshot carries none; cells sum across shards).
 	CubeLevels int
 	CubeCells  int
 }
 
 // Save persists the engine's dataset as a dictionary-encoded .rst snapshot
-// at path. With WithCube() among the engine's open options (or when the
-// engine was opened from a cube-carrying snapshot), the cube is stored too,
-// so later Opens skip both CSV parsing and cube building. Loading the
-// written file yields byte-identical recommendations to this engine.
+// at path. A sharded engine writes a partitioned snapshot (per-shard column
+// sections sharing one dictionary set) that Open serves sharded again; an
+// unsharded engine writes a plain snapshot. With WithCube() among the
+// engine's open options (or when the engine was opened from a cube-carrying
+// snapshot), plain snapshots store the cube too, so later Opens skip both
+// CSV parsing and cube building. Loading the written file yields
+// byte-identical recommendations to this engine.
 func (e *Engine) Save(path string) (*SnapshotInfo, error) {
+	if e.set != nil {
+		if err := e.set.WriteFile(path); err != nil {
+			return nil, err
+		}
+		schema := e.set.Snaps[0]
+		info := &SnapshotInfo{Rows: e.set.TotalRows(), Dims: len(schema.Dims), Measures: len(schema.Measures), Shards: e.set.N()}
+		for _, sn := range e.set.Snaps {
+			if c := sn.Cube(); c != nil {
+				info.CubeLevels = c.NumLevels()
+				info.CubeCells += c.NumCells()
+			}
+		}
+		return info, nil
+	}
 	snap := e.snap
 	if snap == nil {
 		snap = store.FromDataset(e.eng.Dataset())

@@ -1,0 +1,90 @@
+package reptile_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/reptile"
+)
+
+// openSharded opens the test CSV at n shards through the facade.
+func openSharded(t *testing.T, n int, extra ...reptile.Option) *reptile.Engine {
+	t.Helper()
+	opts := append([]reptile.Option{
+		reptile.WithMeasures("severity"),
+		reptile.WithHierarchies(testHierarchies),
+		reptile.WithName("drought"),
+		reptile.WithEMIterations(4),
+		reptile.WithWorkers(1),
+		reptile.WithShards(n),
+	}, extra...)
+	eng, err := reptile.Open(writeTestCSV(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestWithShardsMatchesUnsharded(t *testing.T) {
+	want := directJSON(t)
+	for _, n := range []int{2, 4} {
+		eng := openSharded(t, n)
+		if eng.Shards() != n || eng.ShardKey() != "district" {
+			t.Fatalf("Shards()=%d ShardKey()=%q, want %d/district", eng.Shards(), eng.ShardKey(), n)
+		}
+		if got := recommendJSON(t, eng); !bytes.Equal(got, want) {
+			t.Errorf("%d-shard recommendation differs from unsharded:\n%s\nvs\n%s", n, got, want)
+		}
+	}
+	// WithCube composes: per-shard cubes, same bytes.
+	if got := recommendJSON(t, openSharded(t, 2, reptile.WithCube())); !bytes.Equal(got, want) {
+		t.Errorf("cubed sharded recommendation differs:\n%s\nvs\n%s", got, want)
+	}
+	// An explicit root key is accepted.
+	if got := recommendJSON(t, openSharded(t, 2, reptile.WithShardKey("district"))); !bytes.Equal(got, want) {
+		t.Errorf("keyed sharded recommendation differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestShardedSaveAndReopen(t *testing.T) {
+	eng := openSharded(t, 2)
+	path := filepath.Join(t.TempDir(), "drought.rst")
+	info, err := eng.Save(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 2 || info.Rows != 8 {
+		t.Fatalf("save info = %+v, want 2 shards, 8 rows", info)
+	}
+	re, err := reptile.Open(path, reptile.WithEMIterations(4), reptile.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Shards() != 2 || re.ShardKey() != "district" {
+		t.Fatalf("reopened Shards()=%d ShardKey()=%q, want 2/district", re.Shards(), re.ShardKey())
+	}
+	if got, want := recommendJSON(t, re), directJSON(t); !bytes.Equal(got, want) {
+		t.Errorf("reopened partitioned snapshot diverges:\n%s\nvs\n%s", got, want)
+	}
+	// A partitioned file rejects a topology override.
+	if _, err := reptile.Open(path, reptile.WithShards(4)); err == nil ||
+		!strings.Contains(err.Error(), "shard topology") {
+		t.Errorf("WithShards on a partitioned snapshot: %v", err)
+	}
+}
+
+func TestShardOptionErrors(t *testing.T) {
+	csv := writeTestCSV(t)
+	base := []reptile.Option{reptile.WithMeasures("severity"), reptile.WithHierarchies(testHierarchies)}
+	if _, err := reptile.Open(csv, append(base, reptile.WithShards(-1))...); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := reptile.Open(csv, append(base, reptile.WithShardKey("district"))...); err == nil {
+		t.Error("WithShardKey without WithShards accepted")
+	}
+	if _, err := reptile.Open(csv, append(base, reptile.WithShards(2), reptile.WithShardKey("village"))...); err == nil {
+		t.Error("non-root shard key accepted")
+	}
+}

@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
 # Runs the storage-layer benchmarks (CSV vs .rst snapshot load, string-keyed
-# vs dictionary-coded Recommend, cube vs coded-scan GroupBy and incremental
-# cube maintenance) and writes the results to BENCH_load.json in the
-# repository root. Override the iteration count with BENCHTIME (a Go
-# -benchtime value, e.g. "3x" or "2s").
+# vs dictionary-coded vs sharded-scatter-gather Recommend, cube vs coded-scan
+# GroupBy and incremental cube maintenance) and writes the results to
+# BENCH_load.json in the repository root. Override the iteration count with
+# BENCHTIME (a Go -benchtime value, e.g. "3x" or "2s").
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,7 +15,7 @@ trap 'rm -f "$tmp"' EXIT
 # No pipelines around go test: plain sh has no pipefail, and a pipe into tee
 # would mask a benchmark failure behind tee's exit status.
 go test -run '^$' -bench 'BenchmarkLoad(CSV|Snapshot)$' -benchtime "$benchtime" -count 1 ./internal/store > "$tmp"
-go test -run '^$' -bench 'BenchmarkRecommend(Sequential|Coded)$' -benchtime "$benchtime" -count 1 . >> "$tmp"
+go test -run '^$' -bench 'BenchmarkRecommend(Sequential|Coded)$|BenchmarkRecommendSharded$' -benchtime "$benchtime" -count 1 . >> "$tmp"
 go test -run '^$' -bench 'BenchmarkGroupBy(Coded|Cube)$|BenchmarkCubeAppendMerge$' -benchtime "$benchtime" -count 1 ./internal/cube >> "$tmp"
 cat "$tmp"
 

@@ -6,6 +6,11 @@
 #   - reptile/api and reptile/client are pure protocol packages: they must
 #     not import repro/internal/... (api is stdlib-only; client is stdlib +
 #     reptile/api), so out-of-tree clients could vendor them verbatim.
+#   - internal/ must never import the repro/reptile facade or reptile/client:
+#     the dependency arrow points one way (facade wraps engine), and a
+#     back-edge would make the shard/server layers impossible to evolve under
+#     the facade. reptile/api is exempt — it is the shared wire protocol and
+#     internal/server marshals it by design.
 #
 # The root reptile package (and reptile/sampledata) are the sanctioned
 # bridges over internal/ — that is their whole point — so they are not
@@ -40,7 +45,17 @@ if [ -n "$bad" ]; then
     fail=1
 fi
 
+# The inverse arrow: nothing under internal/ may import the facade or the
+# HTTP client. (reptile/api is fine — it is the shared wire protocol, and
+# internal/server marshals it by design.)
+bad="$(grep -rn -e '"repro/reptile"' -e '"repro/reptile/client"' --include='*.go' internal 2>/dev/null | grep -v '_test\.go:' || true)"
+if [ -n "$bad" ]; then
+    echo "boundary violation: internal/ must not import repro/reptile or repro/reptile/client" >&2
+    echo "$bad" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "API boundaries clean: examples/ and reptile/{api,client} import no repro/internal packages"
+echo "API boundaries clean: examples/ and reptile/{api,client} import no repro/internal packages; internal/ imports neither the facade nor the client"
