@@ -7,7 +7,7 @@
 //
 //	reptiled [-addr 127.0.0.1:8372] [-session-ttl 15m] [-cache-size 256]
 //	         [-max-inflight 0] [-queue-wait 100ms] [-no-cube]
-//	         [-shards 0] [-shard-key dim]
+//	         [-shards 0] [-shard-key dim] [-mmap]
 //
 // The API is unauthenticated and POST /v1/datasets can name server-local CSV
 // paths, so the default bind is loopback; put a reverse proxy with
@@ -38,6 +38,15 @@
 // through the sharded scatter-gather engine; individual registrations can
 // override both via the request's shards/shard_key fields. GET /v1/stats
 // reports each dataset's shard count and per-shard row counts.
+//
+// -mmap serves registered .rst snapshots out of memory-mapped files instead
+// of decoding their columns onto the heap: residency stays
+// O(dictionaries + cube) rather than O(rows), so snapshots larger than RAM
+// serve with flat RSS, and recommendations are byte-identical to an eager
+// load. Version-1 snapshot files fall back to an eager load; CSV
+// registrations are unaffected; appends to a mapped dataset are rejected
+// (re-register without -mmap to ingest). GET /v1/stats reports each
+// dataset's open mode and resident column bytes.
 //
 // Registering a path ending in .rst loads a dictionary-encoded binary
 // snapshot (see internal/store and "reptile convert") instead of reparsing
@@ -77,6 +86,7 @@ func main() {
 		noCube      = flag.Bool("no-cube", false, "skip materializing rollup cubes for registered datasets")
 		shards      = flag.Int("shards", 0, "partition registered datasets into N shards (0 or 1 = unsharded)")
 		shardKey    = flag.String("shard-key", "", "partition dimension, a hierarchy root (default: the first hierarchy's root)")
+		mmapIO      = flag.Bool("mmap", false, "serve registered .rst snapshots memory-mapped instead of heap-decoded")
 	)
 	flag.Parse()
 
@@ -88,6 +98,7 @@ func main() {
 		DisableCube: *noCube,
 		Shards:      *shards,
 		ShardKey:    *shardKey,
+		MappedIO:    *mmapIO,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

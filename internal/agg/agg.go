@@ -279,8 +279,9 @@ func MaterializedOf(d *data.Dataset) (Materialized, bool) {
 // grouping (a hierarchy-prefix cube), the answer comes from precomputed
 // cells in O(groups); otherwise, when every attribute carries a dictionary
 // encoding (datasets loaded through internal/store), grouping runs over
-// integer codes instead of encoded string keys. All paths produce identical
-// results.
+// integer codes instead of encoded string keys — from heap slices when the
+// columns are materialized, or in one streaming pass over column cursors when
+// the dataset is memory-mapped. All paths produce identical results.
 func GroupBy(d *data.Dataset, attrs []string, measure string) *Result {
 	if m, ok := MaterializedOf(d); ok {
 		if r, ok := m.GroupBy(attrs, measure); ok {
@@ -288,6 +289,9 @@ func GroupBy(d *data.Dataset, attrs []string, measure string) *Result {
 		}
 	}
 	if r := groupByCoded(d, attrs, measure); r != nil {
+		return r
+	}
+	if r := groupByStreamed(d, attrs, measure); r != nil {
 		return r
 	}
 	cols := make([][]string, len(attrs))
@@ -314,6 +318,68 @@ func GroupBy(d *data.Dataset, attrs []string, measure string) *Result {
 		g.Stats.Count++
 		g.Stats.Sum += v
 		g.Stats.SumSq += v * v
+	}
+	return NewResult(attrs, measure, groups)
+}
+
+// groupByStreamed is the cursor variant of groupByCoded: one streaming pass
+// over the dataset's column cursors, for cursor-backed (memory-mapped)
+// datasets whose columns exist only as lazily-decoded readers. The bucketing
+// is the identical mixed-radix composite over the identical dictionaries and
+// the output converges in NewResult, so results are byte-identical to the
+// slice paths. Returns nil (fall back to the string scan) when any attribute
+// lacks a dictionary or the radix product overflows.
+func groupByStreamed(d *data.Dataset, attrs []string, measure string) *Result {
+	if len(attrs) == 0 {
+		return nil
+	}
+	dicts := make([][]string, len(attrs))
+	curs := make([]data.DimCursor, len(attrs))
+	radix := uint64(1)
+	for i, a := range attrs {
+		dict, ok := d.DimDict(a)
+		if !ok || len(dict) == 0 {
+			return nil
+		}
+		if radix > math.MaxUint64/uint64(len(dict)) {
+			return nil
+		}
+		radix *= uint64(len(dict))
+		dicts[i] = dict
+		curs[i] = d.DimCursor(a)
+	}
+	ms := d.MeasureCursor(measure)
+	cindex := make(map[uint64]int)
+	var groups []Group
+	var composite []uint64
+	for row := 0; row < d.NumRows(); row++ {
+		k := uint64(0)
+		for i := range attrs {
+			k = k*uint64(len(dicts[i])) + uint64(curs[i].Code(row))
+		}
+		gi, ok := cindex[k]
+		if !ok {
+			gi = len(groups)
+			cindex[k] = gi
+			groups = append(groups, Group{})
+			composite = append(composite, k)
+		}
+		g := &groups[gi]
+		v := ms.At(row)
+		g.Stats.Count++
+		g.Stats.Sum += v
+		g.Stats.SumSq += v * v
+	}
+	for gi := range groups {
+		k := composite[gi]
+		vals := make([]string, len(attrs))
+		for i := len(attrs) - 1; i >= 0; i-- {
+			size := uint64(len(dicts[i]))
+			vals[i] = dicts[i][k%size]
+			k /= size
+		}
+		groups[gi].Vals = vals
+		groups[gi].Key = data.EncodeKey(vals)
 	}
 	return NewResult(attrs, measure, groups)
 }

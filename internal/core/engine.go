@@ -708,11 +708,11 @@ func childValues(ds *data.Dataset, h data.Hierarchy, attr, measure string, anc d
 	if out, ok := cubeChildValues(ds, h, attr, measure, anc); ok {
 		return out
 	}
-	col := ds.Dim(attr)
+	col := ds.DimCursor(attr)
 	seen := make(map[string]bool)
 	var out []string
 	for row := 0; row < ds.NumRows(); row++ {
-		v := col[row]
+		v := col.Value(row)
 		if seen[v] {
 			continue
 		}

@@ -87,7 +87,7 @@ func skeleton(ds *data.Dataset) (*Cube, error) {
 			if _, dup := c.attrIdx[a]; dup {
 				return nil, fmt.Errorf("cube: %w: attribute %q appears in two hierarchies", ErrNotCubable, a)
 			}
-			dict, _, ok := ds.DimCodes(a)
+			dict, ok := ds.DimDict(a)
 			if !ok && ds.NumRows() > 0 {
 				return nil, fmt.Errorf("cube: %w: attribute %q has no dictionary encoding", ErrNotCubable, a)
 			}
@@ -158,14 +158,17 @@ func BuildRows(ds *data.Dataset, lo, hi int) (*Cube, error) {
 		return nil, err
 	}
 	c.rows = hi - lo
-	codes := make([][]uint32, len(c.attrs))
+	// Columns are read through cursors: heap slices on an eagerly-loaded
+	// dataset, lazily-decoded readers on a memory-mapped one. The accumulation
+	// order is identical either way, so the cells are bit-identical across
+	// open modes.
+	codes := make([]data.DimCursor, len(c.attrs))
 	for ai, a := range c.attrs {
-		_, cs, _ := ds.DimCodes(a.name)
-		codes[ai] = cs
+		codes[ai] = ds.DimCursor(a.name)
 	}
-	cols := make([][]float64, len(c.measures))
+	cols := make([]data.MeasureCursor, len(c.measures))
 	for mi, m := range c.measures {
-		cols[mi] = ds.Measure(m)
+		cols[mi] = ds.MeasureCursor(m)
 	}
 	cellIdx := make([]map[uint64]int, len(c.levels))
 	for li := range cellIdx {
@@ -182,7 +185,7 @@ func BuildRows(ds *data.Dataset, lo, hi int) (*Cube, error) {
 			k := uint64(0)
 			for d := 0; d < len(h.Attrs); d++ {
 				ai := c.firstAttr[hi] + d
-				k = k*c.attrs[ai].radix + uint64(codes[ai][row])
+				k = k*c.attrs[ai].radix + uint64(codes[ai].Code(row))
 				prefKey[hi][d] = k
 			}
 		}
@@ -208,7 +211,7 @@ func BuildRows(ds *data.Dataset, lo, hi int) (*Cube, error) {
 			}
 			lv.counts[ci]++
 			for mi, col := range cols {
-				v := col[row]
+				v := col.At(row)
 				lv.sums[mi][ci] += v
 				lv.sumsqs[mi][ci] += v * v
 			}

@@ -12,6 +12,15 @@ import (
 // ReadCSV loads a dataset from CSV. Columns named in measureNames are parsed
 // as float64 measures; all other columns become dimensions. The header row is
 // required. hierarchies may be nil and attached later.
+//
+// Rows stream through a per-column dictionary encoder: each dimension keeps
+// one interned copy of every distinct value plus a uint32 code per row, so
+// resident memory is bounded by the size of the encoded output (what a .rst
+// snapshot of the dataset would hold), not by the raw input text. The loaded
+// dataset carries its dictionary encoding (see DimCodes), giving CSV loads
+// the same coded group-by/factorization fast paths as snapshot loads.
+// Dictionaries are in first-appearance order, which store.FromDataset
+// reuses, so CSV → snapshot conversion is deterministic.
 func ReadCSV(r io.Reader, name string, measureNames []string, hierarchies []Hierarchy) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
@@ -56,9 +65,35 @@ func ReadCSV(r io.Reader, name string, measureNames []string, hierarchies []Hier
 		}
 	}
 
-	d := New(name, dimNames, msNames, hierarchies)
-	dimVals := make([]string, len(dimNames))
-	msVals := make([]float64, len(msNames))
+	// Per-dimension streaming dictionary encoders and per-measure value
+	// slices. Dimension values are interned: one string allocation per
+	// distinct value, one uint32 per row — the csv.Reader's reused record
+	// buffer never escapes into the dataset.
+	type dimEnc struct {
+		dict  []string
+		index map[string]uint32
+		codes []uint32
+	}
+	dimCols := make([]*dimEnc, len(dimNames))
+	for i := range dimCols {
+		dimCols[i] = &dimEnc{index: make(map[string]uint32)}
+	}
+	msCols := make([][]float64, len(msNames))
+
+	// Column order in the record: map header position → encoder slot.
+	dimSlot := make([]int, len(header))
+	msSlot := make([]int, len(header))
+	di, mi := 0, 0
+	for col, c := range header {
+		if isMeasure[c] {
+			dimSlot[col], msSlot[col] = -1, mi
+			mi++
+		} else {
+			dimSlot[col], msSlot[col] = di, -1
+			di++
+		}
+	}
+
 	line := 1
 	for {
 		rec, err := cr.Read()
@@ -69,9 +104,8 @@ func ReadCSV(r io.Reader, name string, measureNames []string, hierarchies []Hier
 			return nil, fmt.Errorf("data: reading CSV line %d: %w", line+1, err)
 		}
 		line++
-		di, mi := 0, 0
 		for col, c := range header {
-			if isMeasure[c] {
+			if slot := msSlot[col]; slot >= 0 {
 				v, err := strconv.ParseFloat(rec[col], 64)
 				if err != nil {
 					return nil, fmt.Errorf("data: line %d column %q: %w", line, c, err)
@@ -81,14 +115,33 @@ func ReadCSV(r io.Reader, name string, measureNames []string, hierarchies []Hier
 				if math.IsNaN(v) || math.IsInf(v, 0) {
 					return nil, fmt.Errorf("data: line %d column %q: non-finite measure value %q", line, c, rec[col])
 				}
-				msVals[mi] = v
-				mi++
-			} else {
-				dimVals[di] = rec[col]
-				di++
+				msCols[slot] = append(msCols[slot], v)
+				continue
 			}
+			e := dimCols[dimSlot[col]]
+			code, ok := e.index[rec[col]]
+			if !ok {
+				// rec aliases the reader's reused buffer; clone the value
+				// before it is retained in the dictionary.
+				v := string(append([]byte(nil), rec[col]...))
+				code = uint32(len(e.dict))
+				e.dict = append(e.dict, v)
+				e.index[v] = code
+			}
+			e.codes = append(e.codes, code)
 		}
-		d.AppendRowVals(dimVals, msVals)
+	}
+
+	d := New(name, dimNames, msNames, hierarchies)
+	for i, c := range dimNames {
+		if err := d.SetEncodedDim(c, dimCols[i].dict, dimCols[i].codes); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range msNames {
+		if err := d.SetMeasure(c, msCols[i]); err != nil {
+			return nil, err
+		}
 	}
 	// Validate hierarchy metadata at load time so hierarchies referencing
 	// columns absent from the CSV fail here, with the file context, instead
@@ -120,15 +173,16 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
+	rc := d.Rows(d.dimNames, d.measureNames)
 	rec := make([]string, len(header))
-	for row := 0; row < d.n; row++ {
+	for rc.Next() {
 		i := 0
-		for _, c := range d.dimNames {
-			rec[i] = d.dims[c][row]
+		for di := range d.dimNames {
+			rec[i] = rc.Value(di)
 			i++
 		}
-		for _, c := range d.measureNames {
-			rec[i] = strconv.FormatFloat(d.measures[c][row], 'g', -1, 64)
+		for mi := range d.measureNames {
+			rec[i] = strconv.FormatFloat(rc.Measure(mi), 'g', -1, 64)
 			i++
 		}
 		if err := cw.Write(rec); err != nil {

@@ -1,0 +1,223 @@
+package data
+
+import "fmt"
+
+// DimCursor is the column-provider seam for dimension columns: a read-only,
+// random-access view that callers iterate instead of indexing a raw
+// []string. The in-memory slice columns are one provider; internal/store's
+// mmap-backed lazily-decoded columns are another. Implementations must be
+// safe for concurrent readers.
+type DimCursor interface {
+	// Len returns the number of rows.
+	Len() int
+	// Value returns the string value at row.
+	Value(row int) string
+	// Dict returns the dictionary of distinct values when the column is
+	// dictionary-coded, or nil. The slice is shared; callers must not
+	// modify it.
+	Dict() []string
+	// Code returns the dictionary code at row. Valid only when Dict
+	// returns a non-nil dictionary.
+	Code(row int) uint32
+}
+
+// MeasureCursor is the column-provider seam for measure columns.
+// Implementations must be safe for concurrent readers.
+type MeasureCursor interface {
+	// Len returns the number of rows.
+	Len() int
+	// At returns the value at row.
+	At(row int) float64
+}
+
+// stringDimCursor adapts a materialized string column (possibly nil, for an
+// empty dataset) to the DimCursor seam.
+type stringDimCursor []string
+
+func (c stringDimCursor) Len() int             { return len(c) }
+func (c stringDimCursor) Value(row int) string { return c[row] }
+func (c stringDimCursor) Dict() []string       { return nil }
+func (c stringDimCursor) Code(row int) uint32 {
+	panic("data: Code on an uncoded dimension column")
+}
+
+// codedDimCursor adapts an in-memory dictionary encoding to the DimCursor
+// seam.
+type codedDimCursor struct {
+	dict  []string
+	codes []uint32
+}
+
+func (c *codedDimCursor) Len() int             { return len(c.codes) }
+func (c *codedDimCursor) Value(row int) string { return c.dict[c.codes[row]] }
+func (c *codedDimCursor) Dict() []string       { return c.dict }
+func (c *codedDimCursor) Code(row int) uint32  { return c.codes[row] }
+
+// sliceMeasureCursor adapts a materialized float64 column to the
+// MeasureCursor seam.
+type sliceMeasureCursor []float64
+
+func (c sliceMeasureCursor) Len() int           { return len(c) }
+func (c sliceMeasureCursor) At(row int) float64 { return c[row] }
+
+// DimCursor returns a cursor over the dimension column by name. Slice-backed
+// columns (materialized strings, or a dictionary encoding installed by
+// SetEncodedDim) are wrapped directly; columns installed by SetDimCursor are
+// returned as-is.
+func (d *Dataset) DimCursor(name string) DimCursor {
+	if dc, ok := d.codes[name]; ok {
+		return &codedDimCursor{dict: dc.dict, codes: dc.codes}
+	}
+	col, ok := d.dims[name]
+	if !ok {
+		panic(fmt.Sprintf("data: unknown dimension %q in dataset %q", name, d.Name))
+	}
+	if col == nil {
+		if c, ok := d.virt[name]; ok {
+			return c
+		}
+	}
+	return stringDimCursor(col)
+}
+
+// MeasureCursor returns a cursor over the measure column by name.
+func (d *Dataset) MeasureCursor(name string) MeasureCursor {
+	col, ok := d.measures[name]
+	if !ok {
+		panic(fmt.Sprintf("data: unknown measure %q in dataset %q", name, d.Name))
+	}
+	if col == nil {
+		if c, ok := d.vms[name]; ok {
+			return c
+		}
+	}
+	return sliceMeasureCursor(col)
+}
+
+// SetDimCursor installs a virtual dimension column backed by the given
+// cursor (e.g. a lazily-decoded mmap-backed column from internal/store).
+// The first column setter fixes the row count; later ones must match it.
+// Datasets with virtual columns reject AppendRow/AppendRowVals.
+func (d *Dataset) SetDimCursor(name string, c DimCursor) error {
+	if _, ok := d.dims[name]; !ok {
+		return fmt.Errorf("data: unknown dimension %q in dataset %q", name, d.Name)
+	}
+	if err := d.setColumnLen(name, c.Len()); err != nil {
+		return err
+	}
+	if d.virt == nil {
+		d.virt = make(map[string]DimCursor, len(d.dimNames))
+	}
+	d.virt[name] = c
+	return nil
+}
+
+// SetMeasureCursor installs a virtual measure column backed by the given
+// cursor. See SetDimCursor.
+func (d *Dataset) SetMeasureCursor(name string, c MeasureCursor) error {
+	if _, ok := d.measures[name]; !ok {
+		return fmt.Errorf("data: unknown measure %q in dataset %q", name, d.Name)
+	}
+	if err := d.setColumnLen(name, c.Len()); err != nil {
+		return err
+	}
+	if d.vms == nil {
+		d.vms = make(map[string]MeasureCursor, len(d.measureNames))
+	}
+	d.vms[name] = c
+	return nil
+}
+
+// DimDict returns the dictionary of a dimension column when one is available
+// — either from an installed slice encoding (SetEncodedDim) or from a coded
+// virtual cursor (SetDimCursor) — without materializing per-row codes. The
+// slice is shared; callers must not modify it.
+func (d *Dataset) DimDict(name string) ([]string, bool) {
+	if dc, ok := d.codes[name]; ok {
+		return dc.dict, true
+	}
+	if c, ok := d.virt[name]; ok {
+		if dict := c.Dict(); dict != nil {
+			return dict, true
+		}
+	}
+	return nil, false
+}
+
+// Virtual reports whether any column of the dataset is cursor-backed (i.e.
+// installed by SetDimCursor/SetMeasureCursor rather than materialized in
+// heap slices). Virtual datasets are strictly read-only: row appends panic.
+func (d *Dataset) Virtual() bool { return len(d.virt) > 0 || len(d.vms) > 0 }
+
+// dimValue returns one dimension value without materializing the column.
+func (d *Dataset) dimValue(name string, row int) string {
+	if dc, ok := d.codes[name]; ok {
+		return dc.dict[dc.codes[row]]
+	}
+	col, ok := d.dims[name]
+	if !ok {
+		panic(fmt.Sprintf("data: unknown dimension %q in dataset %q", name, d.Name))
+	}
+	if col == nil {
+		if c, ok := d.virt[name]; ok {
+			return c.Value(row)
+		}
+	}
+	return col[row]
+}
+
+// RowCursor streams rows over a fixed set of dimension and measure columns:
+// a single forward pass with no intermediate row materialization. Obtain one
+// with Dataset.Rows, then:
+//
+//	rc := ds.Rows([]string{"State", "County"}, []string{"Rate"})
+//	for rc.Next() {
+//		_ = rc.Value(0)   // State at the current row
+//		_ = rc.Measure(0) // Rate at the current row
+//	}
+type RowCursor struct {
+	dims []DimCursor
+	ms   []MeasureCursor
+	row  int
+	n    int
+}
+
+// Rows returns a streaming cursor over the named dimension and measure
+// columns, in the given order. Either list may be nil.
+func (d *Dataset) Rows(dims, measures []string) *RowCursor {
+	rc := &RowCursor{
+		dims: make([]DimCursor, len(dims)),
+		ms:   make([]MeasureCursor, len(measures)),
+		row:  -1,
+		n:    d.n,
+	}
+	for i, name := range dims {
+		rc.dims[i] = d.DimCursor(name)
+	}
+	for i, name := range measures {
+		rc.ms[i] = d.MeasureCursor(name)
+	}
+	return rc
+}
+
+// Next advances to the next row, returning false when exhausted.
+func (rc *RowCursor) Next() bool {
+	rc.row++
+	return rc.row < rc.n
+}
+
+// Row returns the current row index.
+func (rc *RowCursor) Row() int { return rc.row }
+
+// Value returns the i-th dimension column's value at the current row.
+func (rc *RowCursor) Value(i int) string { return rc.dims[i].Value(rc.row) }
+
+// Code returns the i-th dimension column's dictionary code at the current
+// row. Valid only when that column's cursor has a dictionary.
+func (rc *RowCursor) Code(i int) uint32 { return rc.dims[i].Code(rc.row) }
+
+// Dict returns the i-th dimension column's dictionary, or nil.
+func (rc *RowCursor) Dict(i int) []string { return rc.dims[i].Dict() }
+
+// Measure returns the j-th measure column's value at the current row.
+func (rc *RowCursor) Measure(j int) float64 { return rc.ms[j].At(rc.row) }

@@ -58,7 +58,12 @@ type Dataset struct {
 	dims         map[string][]string
 	measures     map[string][]float64
 	codes        map[string]*dimCode
-	n            int
+	// virt and vms hold cursor-backed virtual columns (SetDimCursor /
+	// SetMeasureCursor) — e.g. mmap-backed lazily-decoded snapshot columns.
+	// A column is either slice-backed or virtual, never both.
+	virt map[string]DimCursor
+	vms  map[string]MeasureCursor
+	n    int
 	// nFixed marks that a bulk column setter has pinned the row count, so a
 	// zero-length first column still constrains every later one.
 	nFixed bool
@@ -112,20 +117,50 @@ func (d *Dataset) HasMeasure(name string) bool { _, ok := d.measures[name]; retu
 
 // Dim returns the dimension column by name. The returned slice is shared;
 // callers must not modify it.
+//
+// For a cursor-backed virtual column this is a compatibility path: it
+// decodes a fresh slice on every call (no memoization — caching would
+// require locking every column lookup against concurrent readers). Hot
+// paths should use DimCursor instead.
 func (d *Dataset) Dim(name string) []string {
 	col, ok := d.dims[name]
 	if !ok {
 		panic(fmt.Sprintf("data: unknown dimension %q in dataset %q", name, d.Name))
 	}
+	if col == nil {
+		if c, ok := d.virt[name]; ok {
+			out := make([]string, c.Len())
+			if dict := c.Dict(); dict != nil {
+				for i := range out {
+					out[i] = dict[c.Code(i)]
+				}
+			} else {
+				for i := range out {
+					out[i] = c.Value(i)
+				}
+			}
+			return out
+		}
+	}
 	return col
 }
 
 // Measure returns the measure column by name. The returned slice is shared;
-// callers must not modify it.
+// callers must not modify it. For cursor-backed virtual columns it decodes a
+// fresh slice on every call; hot paths should use MeasureCursor instead.
 func (d *Dataset) Measure(name string) []float64 {
 	col, ok := d.measures[name]
 	if !ok {
 		panic(fmt.Sprintf("data: unknown measure %q in dataset %q", name, d.Name))
+	}
+	if col == nil {
+		if c, ok := d.vms[name]; ok {
+			out := make([]float64, c.Len())
+			for i := range out {
+				out[i] = c.At(i)
+			}
+			return out
+		}
 	}
 	return col
 }
@@ -207,6 +242,9 @@ func (d *Dataset) setColumnLen(name string, n int) error {
 // AppendRow adds one row. dims and measures are keyed by column name; every
 // declared column must be present.
 func (d *Dataset) AppendRow(dims map[string]string, measures map[string]float64) {
+	if d.Virtual() {
+		panic(fmt.Sprintf("data: AppendRow on cursor-backed (mapped) dataset %q; re-open it eagerly to mutate", d.Name))
+	}
 	d.codes = nil  // appended values may not be in the dictionaries
 	d.rollup = nil // precomputed aggregates no longer cover every row
 	for _, c := range d.dimNames {
@@ -233,6 +271,9 @@ func (d *Dataset) AppendRowVals(dimVals []string, measureVals []float64) {
 		panic(fmt.Sprintf("data: AppendRowVals arity mismatch: %d/%d dims, %d/%d measures",
 			len(dimVals), len(d.dimNames), len(measureVals), len(d.measureNames)))
 	}
+	if d.Virtual() {
+		panic(fmt.Sprintf("data: AppendRowVals on cursor-backed (mapped) dataset %q; re-open it eagerly to mutate", d.Name))
+	}
 	d.codes = nil  // appended values may not be in the dictionaries
 	d.rollup = nil // precomputed aggregates no longer cover every row
 	for i, c := range d.dimNames {
@@ -244,7 +285,9 @@ func (d *Dataset) AppendRowVals(dimVals []string, measureVals []float64) {
 	d.n++
 }
 
-// Clone returns a deep copy of the dataset.
+// Clone returns a deep copy of the dataset. Cursor-backed virtual columns
+// are shared, not copied: cursors are immutable read-only views, so the
+// clone observes identical values without re-materializing them.
 func (d *Dataset) Clone() *Dataset {
 	c := New(d.Name, d.dimNames, d.measureNames, d.Hierarchies)
 	for name, col := range d.dims {
@@ -259,41 +302,60 @@ func (d *Dataset) Clone() *Dataset {
 			c.codes[name] = &dimCode{dict: dc.dict, codes: append([]uint32(nil), dc.codes...)}
 		}
 	}
+	if d.virt != nil {
+		c.virt = make(map[string]DimCursor, len(d.virt))
+		for name, cur := range d.virt {
+			c.virt[name] = cur
+		}
+	}
+	if d.vms != nil {
+		c.vms = make(map[string]MeasureCursor, len(d.vms))
+		for name, cur := range d.vms {
+			c.vms[name] = cur
+		}
+	}
 	c.n = d.n
+	c.nFixed = d.nFixed
 	return c
 }
 
 // Select returns a new dataset containing the rows at the given indices, in
 // order. Indices may repeat (used by error injectors to duplicate rows).
+// The result is always slice-backed, even when d is cursor-backed: subsets
+// (provenance, shard slices) are expected to be small relative to the
+// source, so materializing them keeps downstream code simple.
 func (d *Dataset) Select(idx []int) *Dataset {
 	out := New(d.Name, d.dimNames, d.measureNames, d.Hierarchies)
 	for _, name := range d.dimNames {
-		src := d.dims[name]
+		cur := d.DimCursor(name)
 		col := make([]string, len(idx))
-		for i, r := range idx {
-			col[i] = src[r]
+		// Row selection preserves dictionaries: the subset's codes index the
+		// same dict (possibly with unused entries), so provenance subsets of
+		// coded datasets — slice- or cursor-backed — stay coded.
+		if dict := cur.Dict(); dict != nil {
+			sel := make([]uint32, len(idx))
+			for i, r := range idx {
+				sel[i] = cur.Code(r)
+				col[i] = dict[sel[i]]
+			}
+			if out.codes == nil {
+				out.codes = make(map[string]*dimCode, len(d.dimNames))
+			}
+			out.codes[name] = &dimCode{dict: dict, codes: sel}
+		} else {
+			for i, r := range idx {
+				col[i] = cur.Value(r)
+			}
 		}
 		out.dims[name] = col
 	}
 	for _, name := range d.measureNames {
-		src := d.measures[name]
+		cur := d.MeasureCursor(name)
 		col := make([]float64, len(idx))
 		for i, r := range idx {
-			col[i] = src[r]
+			col[i] = cur.At(r)
 		}
 		out.measures[name] = col
-	}
-	// Row selection preserves dictionaries: the subset's codes index the same
-	// dict (possibly with unused entries), so provenance subsets stay coded.
-	if d.codes != nil {
-		out.codes = make(map[string]*dimCode, len(d.codes))
-		for name, dc := range d.codes {
-			sel := make([]uint32, len(idx))
-			for i, r := range idx {
-				sel[i] = dc.codes[r]
-			}
-			out.codes[name] = &dimCode{dict: dc.dict, codes: sel}
-		}
 	}
 	out.n = len(idx)
 	return out
@@ -317,7 +379,7 @@ type Predicate map[string]string
 // Matches reports whether row satisfies every condition of p.
 func (d *Dataset) Matches(row int, p Predicate) bool {
 	for attr, want := range p {
-		if d.Dim(attr)[row] != want {
+		if d.dimValue(attr, row) != want {
 			return false
 		}
 	}
@@ -330,19 +392,79 @@ func (d *Dataset) Where(p Predicate) *Dataset {
 	if len(p) == 0 {
 		return d.Clone()
 	}
-	return d.Filter(func(row int) bool { return d.Matches(row, p) })
+	// Resolve each condition to a cursor once, and to a dictionary code where
+	// the column is coded, so the per-row test is an integer compare and the
+	// scan streams over cursor-backed columns without materializing them.
+	type cond struct {
+		cur   DimCursor
+		want  string
+		code  uint32
+		coded bool
+	}
+	conds := make([]cond, 0, len(p))
+	for attr, want := range p {
+		c := cond{cur: d.DimCursor(attr), want: want}
+		if dict := c.cur.Dict(); dict != nil {
+			found := false
+			for i, v := range dict {
+				if v == want {
+					c.code, c.coded, found = uint32(i), true, true
+					break
+				}
+			}
+			if !found {
+				// Value absent from the dictionary: no row can match.
+				return d.Select(nil)
+			}
+		}
+		conds = append(conds, c)
+	}
+	var idx []int
+	for row := 0; row < d.n; row++ {
+		ok := true
+		for i := range conds {
+			c := &conds[i]
+			if c.coded {
+				if c.cur.Code(row) != c.code {
+					ok = false
+					break
+				}
+			} else if c.cur.Value(row) != c.want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			idx = append(idx, row)
+		}
+	}
+	return d.Select(idx)
 }
 
 // Distinct returns the sorted distinct values of a dimension column.
 func (d *Dataset) Distinct(attr string) []string {
-	col := d.Dim(attr)
-	seen := make(map[string]struct{})
-	for _, v := range col {
-		seen[v] = struct{}{}
-	}
-	out := make([]string, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
+	cur := d.DimCursor(attr)
+	var out []string
+	if dict := cur.Dict(); dict != nil {
+		seen := make([]bool, len(dict))
+		for i, n := 0, cur.Len(); i < n; i++ {
+			seen[cur.Code(i)] = true
+		}
+		out = make([]string, 0, len(dict))
+		for c, present := range seen {
+			if present {
+				out = append(out, dict[c])
+			}
+		}
+	} else {
+		seen := make(map[string]struct{})
+		for i, n := 0, cur.Len(); i < n; i++ {
+			seen[cur.Value(i)] = struct{}{}
+		}
+		out = make([]string, 0, len(seen))
+		for v := range seen {
+			out = append(out, v)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -388,37 +510,39 @@ func (d *Dataset) Validate() error {
 }
 
 // checkFD verifies the functional dependency child → parent. When both
-// columns carry dictionary codes the check runs over small integer arrays
-// instead of a string map, which makes validating snapshot loads cheap.
+// columns carry a dictionary (slice-coded or cursor-backed) the check runs
+// over small integer arrays instead of a string map, which makes validating
+// snapshot loads cheap — one streaming pass, heap bounded by dictionary
+// size.
 func (d *Dataset) checkFD(child, parent string) error {
-	if cdc, ok := d.codes[child]; ok {
-		if pdc, ok := d.codes[parent]; ok {
-			const unset = -1
-			m := make([]int64, len(cdc.dict))
-			for i := range m {
-				m[i] = unset
-			}
-			for i, cc := range cdc.codes {
-				pc := int64(pdc.codes[i])
-				if prev := m[cc]; prev == unset {
-					m[cc] = pc
-				} else if prev != pc {
-					return fmt.Errorf("FD violation: %s=%q maps to %s=%q and %q",
-						child, cdc.dict[cc], parent, pdc.dict[prev], pdc.dict[pc])
-				}
-			}
-			return nil
+	ccur, pcur := d.DimCursor(child), d.DimCursor(parent)
+	if cdict, pdict := ccur.Dict(), pcur.Dict(); cdict != nil && pdict != nil {
+		const unset = -1
+		m := make([]int64, len(cdict))
+		for i := range m {
+			m[i] = unset
 		}
+		for i, n := 0, ccur.Len(); i < n; i++ {
+			cc := ccur.Code(i)
+			pc := int64(pcur.Code(i))
+			if prev := m[cc]; prev == unset {
+				m[cc] = pc
+			} else if prev != pc {
+				return fmt.Errorf("FD violation: %s=%q maps to %s=%q and %q",
+					child, cdict[cc], parent, pdict[prev], pdict[pc])
+			}
+		}
+		return nil
 	}
-	cc, pc := d.Dim(child), d.Dim(parent)
 	m := make(map[string]string)
-	for i := range cc {
-		if prev, ok := m[cc[i]]; ok {
-			if prev != pc[i] {
-				return fmt.Errorf("FD violation: %s=%q maps to %s=%q and %q", child, cc[i], parent, prev, pc[i])
+	for i, n := 0, ccur.Len(); i < n; i++ {
+		cv, pv := ccur.Value(i), pcur.Value(i)
+		if prev, ok := m[cv]; ok {
+			if prev != pv {
+				return fmt.Errorf("FD violation: %s=%q maps to %s=%q and %q", child, cv, parent, prev, pv)
 			}
 		} else {
-			m[cc[i]] = pc[i]
+			m[cv] = pv
 		}
 	}
 	return nil
@@ -444,7 +568,7 @@ func DecodeKey(key string) []string {
 func (d *Dataset) RowKey(row int, attrs []string) string {
 	vals := make([]string, len(attrs))
 	for i, a := range attrs {
-		vals[i] = d.Dim(a)[row]
+		vals[i] = d.dimValue(a, row)
 	}
 	return EncodeKey(vals)
 }

@@ -127,6 +127,9 @@ func DistinctPaths(d *data.Dataset, h data.Hierarchy) [][]string {
 	if paths, ok := distinctPathsCoded(d, h); ok {
 		return paths
 	}
+	if paths, ok := distinctPathsStreamed(d, h); ok {
+		return paths
+	}
 	cols := make([][]string, len(h.Attrs))
 	for i, a := range h.Attrs {
 		cols[i] = d.Dim(a)
@@ -186,6 +189,54 @@ func distinctPathsCoded(d *data.Dataset, h data.Hierarchy) ([][]string, bool) {
 		vals := make([]string, len(h.Attrs))
 		for i := range h.Attrs {
 			vals[i] = dicts[i][codes[i][row]]
+		}
+		paths = append(paths, vals)
+	}
+	return paths, true
+}
+
+// distinctPathsStreamed is the cursor variant of distinctPathsCoded: one
+// streaming pass over the dataset's column cursors, for cursor-backed
+// (memory-mapped) datasets whose columns exist only as lazily-decoded
+// readers. The dedupe key is the identical mixed-radix composite over the
+// identical dictionaries, so the extracted path set matches the slice paths
+// exactly. Reports ok=false (use the string path) when any attribute lacks a
+// dictionary or the radix product overflows uint64.
+func distinctPathsStreamed(d *data.Dataset, h data.Hierarchy) ([][]string, bool) {
+	dicts := make([][]string, len(h.Attrs))
+	curs := make([]data.DimCursor, len(h.Attrs))
+	radix := uint64(1)
+	for i, a := range h.Attrs {
+		dict, ok := d.DimDict(a)
+		if !ok || len(dict) == 0 {
+			if d.NumRows() > 0 {
+				return nil, false
+			}
+			dict = []string{}
+		}
+		if len(dict) > 0 {
+			if radix > math.MaxUint64/uint64(len(dict)) {
+				return nil, false
+			}
+			radix *= uint64(len(dict))
+			curs[i] = d.DimCursor(a)
+		}
+		dicts[i] = dict
+	}
+	seen := make(map[uint64]struct{})
+	var paths [][]string
+	for row := 0; row < d.NumRows(); row++ {
+		k := uint64(0)
+		for i := range h.Attrs {
+			k = k*uint64(len(dicts[i])) + uint64(curs[i].Code(row))
+		}
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		vals := make([]string, len(h.Attrs))
+		for i := range h.Attrs {
+			vals[i] = dicts[i][curs[i].Code(row)]
 		}
 		paths = append(paths, vals)
 	}

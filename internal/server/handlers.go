@@ -112,7 +112,11 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 					fmt.Errorf("a partitioned .rst snapshot carries its own shard topology; leave shards and shard_key empty"))
 				return
 			}
-			set, err := shard.Open(req.Path)
+			open := shard.Open
+			if s.cfg.MappedIO {
+				open = shard.OpenMapped
+			}
+			set, err := open(req.Path)
 			if err != nil {
 				writeError(w, api.CodeBadRequest, err)
 				return
@@ -128,7 +132,11 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 			s.writeRegistered(w, req.Name)
 			return
 		}
-		snap, err = store.OpenFile(req.Path)
+		openFile := store.OpenFile
+		if s.cfg.MappedIO {
+			openFile = store.OpenMappedFile
+		}
+		snap, err = openFile(req.Path)
 		if err != nil {
 			writeError(w, api.CodeBadRequest, err)
 			return
@@ -488,10 +496,11 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 
 // handleStats reports per-dataset serving counters: the live snapshot
 // version, row count, bound sessions, shard topology (shard count plus
-// per-shard row counts), and cube status (presence plus materialized
-// level/cell counts; on a sharded dataset, present only when every shard has
-// one, with cells summed across shards), alongside the recommendation-cache
-// hit/miss statistics that /healthz already exposes.
+// per-shard row counts), open mode ("eager" or "mapped") with the resident
+// column-payload bytes that mode costs, and cube status (presence plus
+// materialized level/cell counts; on a sharded dataset, present only when
+// every shard has one, with cells summed across shards), alongside the
+// recommendation-cache hit/miss statistics that /healthz already exposes.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.sweepExpiredLocked(s.now())
@@ -502,7 +511,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := api.StatsResponse{Status: "ok", Datasets: make(map[string]api.DatasetStats, len(s.engines)), Sessions: len(s.sessions)}
 	for name, ent := range s.engines {
 		st := ent.state.Load()
-		d := api.DatasetStats{Version: st.version(), Rows: st.rows(), Sessions: perDataset[name]}
+		d := api.DatasetStats{
+			Version:             st.version(),
+			Rows:                st.rows(),
+			Sessions:            perDataset[name],
+			OpenMode:            st.openMode(),
+			ResidentColumnBytes: st.residentColumnBytes(),
+		}
 		if st.set != nil {
 			d.Shards = st.set.N()
 			d.ShardRows = st.set.Rows()

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/reptile/api"
+)
+
+// writeSnapshotFiles persists the drought fixture as a plain and a 2-way
+// partitioned .rst and returns both paths.
+func writeSnapshotFiles(t *testing.T) (single, sharded string) {
+	t.Helper()
+	ds, err := data.ReadCSV(strings.NewReader(testCSV), "drought", []string{"severity"}, mustHierarchies(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	single = filepath.Join(dir, "single.rst")
+	if err := store.FromDataset(ds).WriteFile(single); err != nil {
+		t.Fatal(err)
+	}
+	set, err := shard.Partition(store.FromDataset(ds), 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded = filepath.Join(dir, "sharded.rst")
+	if err := set.WriteFile(sharded); err != nil {
+		t.Fatal(err)
+	}
+	return single, sharded
+}
+
+// TestMappedIOServing registers plain and partitioned snapshots on a
+// MappedIO server, asserting stats report the open mode and zero resident
+// column bytes, recommendations match an eager server byte for byte, and
+// appends are rejected with 422 (mapped snapshots cannot grow).
+func TestMappedIOServing(t *testing.T) {
+	single, sharded := writeSnapshotFiles(t)
+	for _, tc := range []struct {
+		name string
+		path string
+	}{{"single", single}, {"sharded", sharded}} {
+		t.Run(tc.name, func(t *testing.T) {
+			var recs []json.RawMessage
+			for _, mapped := range []bool{false, true} {
+				_, ts := newTestServer(t, Config{MappedIO: mapped})
+				code, b := post(t, ts.URL+"/v1/datasets", api.RegisterDatasetRequest{Name: "drought", Path: tc.path, EMIterations: 4})
+				if code != http.StatusCreated {
+					t.Fatalf("register (mapped=%v): %d %s", mapped, code, b)
+				}
+
+				code, b = get(t, ts.URL+"/v1/stats")
+				if code != http.StatusOK {
+					t.Fatalf("stats: %d %s", code, b)
+				}
+				var st api.StatsResponse
+				if err := json.Unmarshal(b, &st); err != nil {
+					t.Fatal(err)
+				}
+				d := st.Datasets["drought"]
+				wantMode, wantResident := "eager", d.Rows > 0
+				if mapped {
+					wantMode, wantResident = "mapped", false
+				}
+				if d.OpenMode != wantMode {
+					t.Errorf("open_mode = %q, want %q", d.OpenMode, wantMode)
+				}
+				if (d.ResidentColumnBytes > 0) != wantResident {
+					t.Errorf("resident_column_bytes = %d (mapped=%v)", d.ResidentColumnBytes, mapped)
+				}
+
+				code, b = post(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{Dataset: "drought", GroupBy: []string{"district", "year"}})
+				if code != http.StatusCreated {
+					t.Fatalf("session: %d %s", code, b)
+				}
+				var sess api.Session
+				if err := json.Unmarshal(b, &sess); err != nil {
+					t.Fatal(err)
+				}
+				code, b = post(t, ts.URL+"/v1/sessions/"+sess.ID+"/recommend", api.RecommendRequest{Complaint: testComplaint})
+				if code != http.StatusOK {
+					t.Fatalf("recommend (mapped=%v): %d %s", mapped, code, b)
+				}
+				var rr api.RecommendResponse
+				if err := json.Unmarshal(b, &rr); err != nil {
+					t.Fatal(err)
+				}
+				recs = append(recs, rr.Recommendation)
+
+				appendCSV := "district,village,year,severity\nOfla,Adishim,1988,5\n"
+				code, b = post(t, ts.URL+"/v1/datasets/drought/append", api.AppendRequest{CSV: appendCSV})
+				if mapped {
+					if code != http.StatusUnprocessableEntity {
+						t.Fatalf("append to mapped dataset: %d %s, want 422", code, b)
+					}
+					var e api.Error
+					if err := json.Unmarshal(b, &e); err != nil || !strings.Contains(e.Message, "re-open it eagerly") {
+						t.Errorf("append error envelope = %s, want re-open hint", b)
+					}
+				} else if code != http.StatusOK {
+					t.Fatalf("append to eager dataset: %d %s", code, b)
+				}
+			}
+			if !bytes.Equal(recs[0], recs[1]) {
+				t.Errorf("mapped and eager servers served different bytes:\neager:  %.300s\nmapped: %.300s", recs[0], recs[1])
+			}
+		})
+	}
+}
+
+// TestMappedIOCSVRegistrationStaysEager checks -mmap leaves CSV
+// registrations untouched: they parse into memory and report eager.
+func TestMappedIOCSVRegistrationStaysEager(t *testing.T) {
+	_, ts := newTestServer(t, Config{MappedIO: true})
+	registerTestDataset(t, ts.URL)
+	code, b := get(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, b)
+	}
+	var st api.StatsResponse
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	d := st.Datasets["drought"]
+	if d.OpenMode != "eager" || d.ResidentColumnBytes == 0 {
+		t.Errorf("CSV dataset on a MappedIO server: open_mode=%q resident=%d, want eager with resident bytes", d.OpenMode, d.ResidentColumnBytes)
+	}
+}

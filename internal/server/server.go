@@ -83,6 +83,14 @@ type Config struct {
 	// attribute of one of the dataset's hierarchies. Empty selects the first
 	// hierarchy's root.
 	ShardKey string
+	// MappedIO serves registered .rst files (partitioned or not) out of
+	// memory-mapped column payloads instead of decoding them onto the heap:
+	// per-dataset residency stays O(dictionaries + cube) rather than O(rows),
+	// so snapshots larger than RAM serve with flat RSS. Version-1 files fall
+	// back to an eager load; CSV registrations are unaffected (they are
+	// encoded in memory and have no file to map). Mapped datasets reject
+	// appends — re-register eagerly to ingest.
+	MappedIO bool
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +146,29 @@ func (st *engineState) schema() *store.Snapshot {
 		return st.set.Snaps[0]
 	}
 	return st.snap
+}
+
+// openMode reports how the state's snapshots hold their columns: "mapped"
+// (memory-mapped .rst payloads, decoded lazily) or "eager" (heap slices).
+// Sharded sets share one mapping, so the first shard speaks for all.
+func (st *engineState) openMode() string {
+	if st.schema().Mapped() {
+		return "mapped"
+	}
+	return "eager"
+}
+
+// residentColumnBytes sums the heap bytes of materialized column payloads
+// across the state's snapshots — 0 when mapped, the payloads stay on disk.
+func (st *engineState) residentColumnBytes() int64 {
+	if st.set != nil {
+		var n int64
+		for _, sn := range st.set.Snaps {
+			n += sn.ResidentColumnBytes()
+		}
+		return n
+	}
+	return st.snap.ResidentColumnBytes()
 }
 
 // engineEntry is one registered dataset: its atomically swappable engine

@@ -23,6 +23,11 @@ func (s *Set) Append(rows []store.Row) (*Set, error) {
 	if len(rows) == 0 {
 		return s, nil
 	}
+	if first.Mapped() {
+		// Extending mapped shards would materialize every column they share
+		// with the successor, defeating the open mode's purpose.
+		return nil, fmt.Errorf("shard: cannot append to memory-mapped set %q; re-open it eagerly to ingest", first.Name)
+	}
 	for i, r := range rows {
 		if len(r.Dims) != len(first.Dims) || len(r.Measures) != len(first.Measures) {
 			return nil, fmt.Errorf("shard: append row %d: arity mismatch: %d/%d dims, %d/%d measures",

@@ -55,6 +55,12 @@ func Partition(snap *store.Snapshot, n int, key string) (*Set, error) {
 	if err := validateKey(key, snap.Hierarchies); err != nil {
 		return nil, err
 	}
+	if snap.Mapped() {
+		// Routing rows would materialize every column into per-shard slices,
+		// defeating the open mode's purpose; partition eagerly, then serve the
+		// partitioned file mapped.
+		return nil, fmt.Errorf("shard: cannot partition memory-mapped snapshot %q; re-open it eagerly to partition", snap.Name)
+	}
 	keyIdx := -1
 	for i, c := range snap.Dims {
 		if c.Name == key {
@@ -117,6 +123,29 @@ func Open(path string) (*Set, error) {
 		return nil, err
 	}
 	return &Set{Key: key, Snaps: snaps}, nil
+}
+
+// OpenMapped memory-maps a partitioned .rst file into a Set: every shard
+// serves its columns from one shared file mapping (see store.
+// OpenShardedMappedFile), released when the last shard is Closed. Version-1
+// files fall back to an eager load.
+func OpenMapped(path string) (*Set, error) {
+	key, snaps, err := store.OpenShardedMappedFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{Key: key, Snaps: snaps}, nil
+}
+
+// Close releases the Set's file mapping, if any (a no-op for eager Sets).
+func (s *Set) Close() error {
+	var first error
+	for _, sn := range s.Snaps {
+		if err := sn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // WriteFile persists the Set as a partitioned .rst file (atomically).

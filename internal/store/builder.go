@@ -44,6 +44,11 @@ func (b *Builder) Append(rows []Row) (*Snapshot, error) {
 	if len(rows) == 0 {
 		return base, nil
 	}
+	if base.Mapped() {
+		// Extending a mapped snapshot would have to materialize every column
+		// it shares with the successor, defeating the open mode's purpose.
+		return nil, fmt.Errorf("store: cannot append to memory-mapped snapshot %q; re-open it eagerly to ingest", base.Name)
+	}
 	for i, r := range rows {
 		if len(r.Dims) != len(base.Dims) || len(r.Measures) != len(base.Measures) {
 			return nil, fmt.Errorf("store: append row %d: arity mismatch: %d/%d dims, %d/%d measures",

@@ -108,27 +108,17 @@ func TestOpenRejectsTruncationEverywhere(t *testing.T) {
 
 // TestOpenRejectsResealedTruncation re-seals the file checksum after each
 // truncation, so the damage reaches the section decoders instead of being
-// caught by the whole-file CRC — the hardening the length checks inside the
-// dictionary and cube sections provide. The single offset that removes
-// exactly the cube section yields a valid pre-cube file and must open (with
-// no cube); every other offset must fail cleanly.
+// caught by the whole-file CRC — the hardening the header CRC, the offset
+// directory bounds checks, and the length checks inside the dictionary and
+// cube sections provide. Unlike format v1 (where cutting exactly the cube
+// section yielded a valid pre-cube file), v2 records the cube's offset in
+// the CRC-protected header, so EVERY resealed truncation must fail cleanly.
 func TestOpenRejectsResealedTruncation(t *testing.T) {
 	good := cubeSnapshotBytes(t)
-	compat := noCubeLen(t)
 	for cut := 0; cut < len(good)-4; cut++ {
 		b := append(append([]byte(nil), good[:cut]...), 0, 0, 0, 0)
 		reseal(b)
-		snap, err := Open(bytes.NewReader(b))
-		if cut == compat {
-			if err != nil {
-				t.Fatalf("cutting exactly the cube section must yield a valid pre-cube file, got %v", err)
-			}
-			if snap.Cube() != nil {
-				t.Fatal("truncated file still has a cube")
-			}
-			continue
-		}
-		if err == nil {
+		if _, err := Open(bytes.NewReader(b)); err == nil {
 			t.Fatalf("resealed truncation at offset %d/%d opened successfully", cut, len(good))
 		}
 	}

@@ -1,0 +1,100 @@
+// Package store is Reptile's persistent storage layer: an immutable,
+// dictionary-encoded columnar snapshot of a data.Dataset, a versioned binary
+// file format (.rst) that round-trips snapshots without reparsing CSV, and an
+// append path that produces new snapshot versions for live ingestion.
+//
+// A Snapshot keeps each dimension as a dictionary of distinct strings plus
+// one uint32 code per row, and each measure as a raw []float64. Converting a
+// snapshot back to a data.Dataset installs the dictionary encoding on the
+// dataset (data.SetEncodedDim), which lets agg.GroupBy and the factorizer
+// consume precomputed codes instead of re-hashing strings on the query path.
+//
+// Snapshots open in two modes. Open/OpenFile decode every column into heap
+// slices (eager). OpenMapped/OpenMappedFile memory-map the file instead:
+// only the header — schema, dictionaries, offset directory — is parsed, and
+// columns are served through lazily-decoding readers (DimReader,
+// MeasureReader) straight out of the mapping, so residency stays
+// O(dictionaries + cube) regardless of the row count. Both modes produce
+// byte-identical query results; mapped snapshots reject mutation (appending,
+// partitioning) and must be released with Close.
+//
+// # Single-snapshot file format
+//
+// All integers are little-endian; "uv" is an unsigned varint; "str" is a
+// uv length followed by that many UTF-8 bytes; every CRC is CRC-32C
+// (Castagnoli). The whole file minus its last 4 bytes is covered by a tail
+// CRC in both versions.
+//
+// Version 2 (current writer output) separates a self-describing header from
+// fixed-width, 8-byte-aligned column payloads located by a byte-offset
+// directory, which is what makes the mapped open possible:
+//
+//	magic "RSTSNAP" | version byte = 2
+//	name str | dataset version uv | rows uv
+//	#hierarchies uv { name str | #attrs uv { attr str } }
+//	#dims uv { name str | #dict uv { value str } }
+//	#measures uv { name str }
+//	directory: one u64 absolute offset per dim, then per measure,
+//	           then cubeOff (0 = no cube section)
+//	header CRC u32 (covers everything above)
+//	zero padding to an 8-byte boundary
+//	per dim:     rows × u32 codes, zero-padded to an 8-byte boundary
+//	per measure: rows × u64 float64 bits, zero-padded likewise
+//	optional cube section at cubeOff (see below)
+//	tail CRC u32
+//
+// The decoder trusts nothing: after the header CRC verifies, every directory
+// offset must be exactly where the contiguous-packing rule puts it, every
+// alignment gap must be zero, and cubeOff must either be 0 (and the payloads
+// must end the file) or equal the payload end. A v2 file therefore has no
+// valid truncations, even re-sealed ones.
+//
+// Version 1 (legacy, still readable — eagerly even through OpenMapped)
+// interleaves dictionaries and payloads, so there is nothing to map lazily:
+//
+//	magic "RSTSNAP" | version byte = 1
+//	name str | dataset version uv | rows uv
+//	#hierarchies uv { name str | #attrs uv { attr str } }
+//	#dims uv { name str | #dict uv { value str } | rows × u32 codes }
+//	#measures uv { name str | rows × u64 float64 bits }
+//	optional cube section
+//	tail CRC u32
+//
+// The optional cube section is identical in both versions:
+//
+//	tag "CUBE" | cube format version byte | payload length uv
+//	payload (internal/cube encoding) | cube CRC u32
+//
+// # Partitioned file format
+//
+// A partitioned snapshot holds one dataset hashed into N shards on a
+// hierarchy-root dimension; dictionaries are shared across shards and
+// written once. Cubes are not persisted (they are cheap to rebuild per
+// shard at registration time).
+//
+// Version 2 mirrors the single-snapshot design — one CRC-checked header
+// with a shard-major offset directory, then aligned per-shard payloads — so
+// OpenShardedMapped serves every shard out of one refcounted file mapping:
+//
+//	magic "RSTSHARD" | version byte = 2
+//	name str | dataset version uv | partition key str
+//	#hierarchies uv { name str | #attrs uv { attr str } }
+//	#dims uv { name str | #dict uv { value str } }
+//	#measures uv { name str }
+//	#shards uv { shard rows uv }
+//	directory, shard-major: per shard, one u64 offset per dim then
+//	                        per measure
+//	header CRC u32 | zero padding to an 8-byte boundary
+//	per shard: per dim rows × u32 codes (8-aligned, zero-padded),
+//	           then per measure rows × u64 float64 bits (likewise)
+//	tail CRC u32
+//
+// Version 1 (legacy) writes inline per-shard sections, each carrying its own
+// section CRC:
+//
+//	magic "RSTSHARD" | version byte = 1
+//	name str | dataset version uv | partition key str
+//	#hierarchies uv { ... } | #dims uv { name str | dict } | #measures uv { name str }
+//	#shards uv { rows uv | per dim rows × u32 | per measure rows × u64 | section CRC u32 }
+//	tail CRC u32
+package store

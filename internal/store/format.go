@@ -14,37 +14,19 @@ import (
 	"repro/internal/data"
 )
 
-// The .rst binary layout, format version 1. All integers are little-endian;
-// varints use the unsigned encoding/binary format; strings are a uvarint
-// byte length followed by UTF-8 bytes.
-//
-//	[0:7)   magic "RSTSNAP"
-//	[7]     format version (1)
-//	        name            string
-//	        version         uvarint   snapshot version (Builder.Append bumps it)
-//	        rows            uvarint
-//	        #hierarchies    uvarint   then per hierarchy: name, #attrs, attrs
-//	        #dims           uvarint   then per dim: name, #dict, dict values,
-//	                                  rows×4 bytes of uint32 codes
-//	        #measures       uvarint   then per measure: name,
-//	                                  rows×8 bytes of float64 bits
-//	[opt]   materialized cube section (absent in files written without one):
-//	          "CUBE"        4-byte section tag
-//	          version       byte      cube section format version (1)
-//	          length        uvarint   payload byte count
-//	          payload       the cube wire format (see internal/cube)
-//	          uint32        CRC-32C of the payload alone, so the section
-//	                        validates independently of the file checksum
-//	[tail]  uint32 CRC-32C (Castagnoli) of every preceding byte
-//
-// Files without the cube section decode exactly as before the section
-// existed, and a snapshot written without a cube is byte-identical to the
-// pre-cube format — old readers and writers interoperate with new files as
-// long as no cube is materialized.
+// The .rst binary layouts are documented in doc.go. Version 2 (the current
+// writer output) separates a self-describing header — schema, dictionaries,
+// and a CRC-checked byte-offset directory — from fixed-width, 8-byte-aligned
+// column payloads, so OpenMapped can expose columns straight out of a
+// memory-mapped file without decoding them into heap slices. Version 1
+// (inline payloads) still opens via the eager path.
 var magic = [7]byte{'R', 'S', 'T', 'S', 'N', 'A', 'P'}
 
 // FormatVersion is the current .rst format version.
-const FormatVersion = 1
+const FormatVersion = 2
+
+// legacyFormatVersion is the previous inline-payload format, still readable.
+const legacyFormatVersion = 1
 
 // cubeTag introduces the optional materialized-cube section.
 var cubeTag = [4]byte{'C', 'U', 'B', 'E'}
@@ -58,13 +40,145 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // cannot trigger a huge allocation before the length checks run.
 const maxSaneCount = 1 << 31
 
-// Write serializes the snapshot in .rst format, checksum included.
+// align8 rounds n up to the next multiple of 8 — column payloads start on
+// 8-byte boundaries so a mapped reader can decode fixed-width elements at
+// aligned addresses.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// Write serializes the snapshot in .rst format version 2, checksum included.
+// Mapped snapshots write through their lazily-decoded column readers, so
+// Save works without materializing columns on the heap.
 func (s *Snapshot) Write(w io.Writer) error {
+	// Stage the header in memory: the byte-offset directory holds absolute
+	// payload offsets, so the header's size must be known before the first
+	// payload byte is placed. The header is small — schema plus
+	// dictionaries — while payloads, the part proportional to row count,
+	// stream straight to w.
+	var hb bytes.Buffer
+	hw := bufio.NewWriterSize(&hb, 1<<12)
+	e := &encoder{w: hw}
+	e.bytes(magic[:])
+	e.byte(FormatVersion)
+	e.string(s.Name)
+	e.uvarint(s.Version)
+	e.uvarint(uint64(s.rows))
+	e.uvarint(uint64(len(s.Hierarchies)))
+	for _, hr := range s.Hierarchies {
+		e.string(hr.Name)
+		e.uvarint(uint64(len(hr.Attrs)))
+		for _, a := range hr.Attrs {
+			e.string(a)
+		}
+	}
+	e.uvarint(uint64(len(s.Dims)))
+	for _, c := range s.Dims {
+		e.string(c.Name)
+		e.uvarint(uint64(len(c.Dict)))
+		for _, v := range c.Dict {
+			e.string(v)
+		}
+	}
+	e.uvarint(uint64(len(s.Measures)))
+	for _, m := range s.Measures {
+		e.string(m.Name)
+	}
+	if e.err == nil {
+		e.err = hw.Flush()
+	}
+	if e.err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", e.err)
+	}
+
+	// Directory: one u64 offset per dimension, per measure, plus the cube
+	// section offset (0 = no cube), then the header CRC.
+	headerLen := hb.Len() + 8*(len(s.Dims)+len(s.Measures)+1) + 4
+	off := align8(headerLen)
+	dimOff := make([]uint64, len(s.Dims))
+	for i := range s.Dims {
+		dimOff[i] = uint64(off)
+		off = align8(off + 4*s.rows)
+	}
+	msOff := make([]uint64, len(s.Measures))
+	for i := range s.Measures {
+		msOff[i] = uint64(off)
+		off = align8(off + 8*s.rows)
+	}
+	cubeOff := uint64(0)
+	if s.cube != nil {
+		cubeOff = uint64(off)
+	}
+	var u8 [8]byte
+	for _, o := range dimOff {
+		binary.LittleEndian.PutUint64(u8[:], o)
+		hb.Write(u8[:])
+	}
+	for _, o := range msOff {
+		binary.LittleEndian.PutUint64(u8[:], o)
+		hb.Write(u8[:])
+	}
+	binary.LittleEndian.PutUint64(u8[:], cubeOff)
+	hb.Write(u8[:])
+	binary.LittleEndian.PutUint32(u8[:4], crc32.Checksum(hb.Bytes(), castagnoli))
+	hb.Write(u8[:4])
+
+	h := crc32.New(castagnoli)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, h), 1<<16)
+	we := &encoder{w: bw}
+	we.bytes(hb.Bytes())
+	we.pad(align8(headerLen) - headerLen)
+	for i := range s.Dims {
+		c := &s.Dims[i]
+		if c.Codes != nil {
+			we.codes(c.Codes)
+		} else {
+			we.codesFrom(s.DimReader(i))
+		}
+		we.pad(align8(4*s.rows) - 4*s.rows)
+	}
+	for i := range s.Measures {
+		m := &s.Measures[i]
+		if m.Values != nil {
+			we.floats(m.Values)
+		} else {
+			we.floatsFrom(s.MeasureReader(i))
+		}
+		we.pad(align8(8*s.rows) - 8*s.rows)
+	}
+	if s.cube != nil {
+		payload := s.cube.AppendBinary(nil)
+		we.bytes(cubeTag[:])
+		we.byte(CubeFormatVersion)
+		we.uvarint(uint64(len(payload)))
+		we.bytes(payload)
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+		we.bytes(sum[:])
+	}
+	if we.err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", we.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	// The checksum covers everything flushed so far and is written to the
+	// destination only (hashing it too would make verification impossible).
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], h.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("store: writing snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// writeLegacy serializes the snapshot in format version 1 (inline payloads,
+// no offset directory). It is kept so tests can produce v1 fixtures and
+// prove old files keep opening byte-identically.
+func (s *Snapshot) writeLegacy(w io.Writer) error {
 	h := crc32.New(castagnoli)
 	bw := bufio.NewWriterSize(io.MultiWriter(w, h), 1<<16)
 	e := &encoder{w: bw}
 	e.bytes(magic[:])
-	e.byte(FormatVersion)
+	e.byte(legacyFormatVersion)
 	e.string(s.Name)
 	e.uvarint(s.Version)
 	e.uvarint(uint64(s.rows))
@@ -106,8 +220,6 @@ func (s *Snapshot) Write(w io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
-	// The checksum covers everything flushed so far and is written to the
-	// destination only (hashing it too would make verification impossible).
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], h.Sum32())
 	if _, err := w.Write(sum[:]); err != nil {
@@ -159,25 +271,49 @@ func OpenFile(path string) (*Snapshot, error) {
 }
 
 func decode(b []byte) (*Snapshot, error) {
+	d, version, err := checkEnvelope(b)
+	if err != nil {
+		return nil, err
+	}
+	switch version {
+	case legacyFormatVersion:
+		return decodeV1(d)
+	case FormatVersion:
+		return decodeV2(d)
+	default:
+		return nil, fmt.Errorf("store: unsupported format version %d (want 1–%d)", version, FormatVersion)
+	}
+}
+
+// checkEnvelope verifies the parts common to every format version — minimum
+// length, whole-file tail CRC, magic — and returns a decoder positioned after
+// the version byte.
+func checkEnvelope(b []byte) (*decoder, byte, error) {
 	if len(b) < len(magic)+1+4 {
-		return nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(b))
+		return nil, 0, fmt.Errorf("store: snapshot truncated (%d bytes)", len(b))
 	}
 	payload, tail := b[:len(b)-4], b[len(b)-4:]
 	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
-		return nil, fmt.Errorf("store: snapshot checksum mismatch (file %08x, computed %08x)", want, got)
+		return nil, 0, fmt.Errorf("store: snapshot checksum mismatch (file %08x, computed %08x)", want, got)
 	}
 	d := &decoder{b: payload}
 	var m [7]byte
 	copy(m[:], d.bytes(len(magic)))
 	if d.err == nil && m != magic {
 		if bytes.Equal(m[:], shardMagic[:len(m)]) {
-			return nil, fmt.Errorf("store: file is a partitioned snapshot; open it with OpenSharded")
+			return nil, 0, fmt.Errorf("store: file is a partitioned snapshot; open it with OpenSharded")
 		}
-		return nil, fmt.Errorf("store: bad magic %q: not a .rst snapshot", m[:])
+		return nil, 0, fmt.Errorf("store: bad magic %q: not a .rst snapshot", m[:])
 	}
-	if v := d.byte(); d.err == nil && v != FormatVersion {
-		return nil, fmt.Errorf("store: unsupported format version %d (want %d)", v, FormatVersion)
+	v := d.byte()
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("store: decoding snapshot: %w", d.err)
 	}
+	return d, v, nil
+}
+
+// decodeV1 decodes the legacy inline-payload format.
+func decodeV1(d *decoder) (*Snapshot, error) {
 	s := &Snapshot{}
 	s.Name = d.string()
 	s.Version = d.uvarint()
@@ -218,6 +354,42 @@ func decode(b []byte) (*Snapshot, error) {
 	if len(d.b) != d.off {
 		return nil, fmt.Errorf("store: %d trailing bytes after snapshot payload", len(d.b)-d.off)
 	}
+	return finishSnapshot(s, cubePayload)
+}
+
+// decodeV2 decodes the directory format eagerly: every column payload is
+// materialized into heap slices, exactly like a v1 open.
+func decodeV2(d *decoder) (*Snapshot, error) {
+	h, err := parseHeaderV2(d)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Name: h.name, Version: h.version, Hierarchies: h.hierarchies, rows: h.rows}
+	for i, dim := range h.dims {
+		d.off = h.dimOff[i]
+		s.Dims = append(s.Dims, Column{Name: dim.name, Dict: dim.dict, Codes: d.codes(h.rows)})
+	}
+	for i, name := range h.measureNames {
+		d.off = h.msOff[i]
+		s.Measures = append(s.Measures, MeasureColumn{Name: name, Values: d.floats(h.rows)})
+	}
+	var cubePayload []byte
+	if d.err == nil && h.cubeOff != 0 {
+		d.off = h.cubeOff
+		cubePayload = d.cubeSection()
+		if d.err == nil && d.off != len(d.b) {
+			return nil, fmt.Errorf("store: %d trailing bytes after snapshot payload", len(d.b)-d.off)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot: %w", d.err)
+	}
+	return finishSnapshot(s, cubePayload)
+}
+
+// finishSnapshot runs post-decode validation and cube attachment, shared by
+// both format versions.
+func finishSnapshot(s *Snapshot, cubePayload []byte) (*Snapshot, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -235,6 +407,135 @@ func decode(b []byte) (*Snapshot, error) {
 		s.attachCube(c)
 	}
 	return s, nil
+}
+
+// dimSchema is a dimension's header entry: its name and dictionary.
+type dimSchema struct {
+	name string
+	dict []string
+}
+
+// headerV2 is the parsed v2 header: schema plus the validated byte-offset
+// directory. Offsets are absolute file offsets into the payload (the file
+// minus its tail CRC).
+type headerV2 struct {
+	name         string
+	version      uint64
+	rows         int
+	hierarchies  []data.Hierarchy
+	dims         []dimSchema
+	measureNames []string
+	dimOff       []int
+	msOff        []int
+	cubeOff      int // 0 = no cube section
+	payloadEnd   int // end of the last column payload, padding included
+}
+
+// parseHeaderV2 parses and fully validates a v2 header from a decoder
+// positioned after the version byte: field structure, the header's own CRC,
+// and the offset directory (in-bounds, contiguous, 8-aligned, zero padding).
+// After it returns, every column payload's location is trusted.
+func parseHeaderV2(d *decoder) (*headerV2, error) {
+	h := &headerV2{}
+	h.name = d.string()
+	h.version = d.uvarint()
+	rows := d.uvarint()
+	if rows > maxSaneCount {
+		return nil, fmt.Errorf("store: implausible row count %d", rows)
+	}
+	h.rows = int(rows)
+	for i, nh := 0, d.count(); i < nh && d.err == nil; i++ {
+		hr := data.Hierarchy{Name: d.string()}
+		for j, na := 0, d.count(); j < na && d.err == nil; j++ {
+			hr.Attrs = append(hr.Attrs, d.string())
+		}
+		h.hierarchies = append(h.hierarchies, hr)
+	}
+	for i, nd := 0, d.count(); i < nd && d.err == nil; i++ {
+		ds := dimSchema{name: d.string()}
+		ndict := d.count()
+		ds.dict = make([]string, 0, min(ndict, 1<<16))
+		for j := 0; j < ndict && d.err == nil; j++ {
+			ds.dict = append(ds.dict, d.string())
+		}
+		h.dims = append(h.dims, ds)
+	}
+	for i, nm := 0, d.count(); i < nm && d.err == nil; i++ {
+		h.measureNames = append(h.measureNames, d.string())
+	}
+	h.dimOff = make([]int, len(h.dims))
+	for i := range h.dimOff {
+		h.dimOff[i] = d.offset()
+	}
+	h.msOff = make([]int, len(h.measureNames))
+	for i := range h.msOff {
+		h.msOff[i] = d.offset()
+	}
+	h.cubeOff = d.offset()
+	hdrEnd := d.off
+	sum := d.bytes(4)
+	if d.err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot header: %w", d.err)
+	}
+	if got, want := crc32.Checksum(d.b[:hdrEnd], castagnoli), binary.LittleEndian.Uint32(sum); got != want {
+		return nil, fmt.Errorf("store: header checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	// The directory is now CRC-trusted; verify it describes this file: the
+	// writer packs payloads contiguously on 8-byte boundaries straight after
+	// the header, padding with zero bytes.
+	expected := align8(d.off)
+	if err := checkPadding(d.b, d.off, expected); err != nil {
+		return nil, err
+	}
+	for i, off := range h.dimOff {
+		if off != expected {
+			return nil, fmt.Errorf("store: dimension %q payload offset %d, expected %d", h.dims[i].name, off, expected)
+		}
+		end := off + 4*h.rows
+		expected = align8(end)
+		if expected > len(d.b) {
+			return nil, fmt.Errorf("store: dimension %q payload exceeds file (ends %d, payload %d bytes)", h.dims[i].name, expected, len(d.b))
+		}
+		if err := checkPadding(d.b, end, expected); err != nil {
+			return nil, err
+		}
+	}
+	for i, off := range h.msOff {
+		if off != expected {
+			return nil, fmt.Errorf("store: measure %q payload offset %d, expected %d", h.measureNames[i], off, expected)
+		}
+		end := off + 8*h.rows
+		expected = align8(end)
+		if expected > len(d.b) {
+			return nil, fmt.Errorf("store: measure %q payload exceeds file (ends %d, payload %d bytes)", h.measureNames[i], expected, len(d.b))
+		}
+		if err := checkPadding(d.b, end, expected); err != nil {
+			return nil, err
+		}
+	}
+	h.payloadEnd = expected
+	switch {
+	case h.cubeOff == 0:
+		if expected != len(d.b) {
+			return nil, fmt.Errorf("store: %d trailing bytes after snapshot payload", len(d.b)-expected)
+		}
+	case h.cubeOff != expected:
+		return nil, fmt.Errorf("store: cube section offset %d, expected %d", h.cubeOff, expected)
+	}
+	return h, nil
+}
+
+// checkPadding verifies the alignment gap [from, to) holds only zero bytes.
+func checkPadding(b []byte, from, to int) error {
+	if to > len(b) {
+		return fmt.Errorf("store: snapshot truncated inside alignment padding (need %d bytes, have %d)", to, len(b))
+	}
+	for i := from; i < to; i++ {
+		if b[i] != 0 {
+			return fmt.Errorf("store: nonzero alignment padding at offset %d", i)
+		}
+	}
+	return nil
 }
 
 // cubeSection parses the optional trailing cube section and returns its
@@ -309,6 +610,31 @@ func (e *encoder) floats(vs []float64) {
 	}
 }
 
+// pad writes n zero bytes (n < 8), aligning the next payload.
+func (e *encoder) pad(n int) {
+	var z [8]byte
+	e.bytes(z[:n])
+}
+
+// codesFrom streams a dimension column through its reader — the write path
+// for mapped snapshots, which have no code slices to copy from.
+func (e *encoder) codesFrom(r data.DimCursor) {
+	var buf [4]byte
+	for i, n := 0, r.Len(); i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[:], r.Code(i))
+		e.bytes(buf[:])
+	}
+}
+
+// floatsFrom streams a measure column through its reader.
+func (e *encoder) floatsFrom(r data.MeasureCursor) {
+	var buf [8]byte
+	for i, n := 0, r.Len(); i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.At(i)))
+		e.bytes(buf[:])
+	}
+}
+
 // decoder reads the primitive field types from an in-memory payload,
 // latching the first error.
 type decoder struct {
@@ -355,6 +681,20 @@ func (d *decoder) uvarint() uint64 {
 	}
 	d.off += n
 	return v
+}
+
+// offset decodes one u64 directory entry, bounding it to the payload size.
+func (d *decoder) offset() int {
+	raw := d.bytes(8)
+	if raw == nil {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(raw)
+	if v > uint64(len(d.b)) {
+		d.fail("directory offset %d beyond payload (%d bytes)", v, len(d.b))
+		return 0
+	}
+	return int(v)
 }
 
 // count decodes an element count, bounding it to sane sizes.

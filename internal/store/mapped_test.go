@@ -1,0 +1,548 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// demoDataset7 extends the demo dataset to 7 rows so the 4-byte code
+// payloads need alignment padding (4·7 = 28 → padded to 32), reaching the
+// zero-padding checks a 6-row fixture never exercises.
+func demoDataset7() *data.Dataset {
+	ds := demoDataset()
+	ds.AppendRowVals([]string{"Raya", "Kukufto", "1987"}, []float64{5})
+	return ds
+}
+
+// writeSnapshotFile persists a snapshot to a fresh temp file.
+func writeSnapshotFile(t *testing.T, snap *Snapshot) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.rst")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenMappedRoundTrip(t *testing.T) {
+	want := demoDataset7()
+	snap := FromDataset(want)
+	if err := snap.BuildCube(); err != nil {
+		t.Fatal(err)
+	}
+	path := writeSnapshotFile(t, snap)
+	got, err := OpenMappedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Mapped() {
+		t.Fatal("snapshot did not open mapped")
+	}
+	if got.ResidentColumnBytes() != 0 {
+		t.Errorf("mapped resident column bytes = %d, want 0", got.ResidentColumnBytes())
+	}
+	if rb := snap.ResidentColumnBytes(); rb != int64(snap.NumRows())*(4*3+8) {
+		t.Errorf("eager resident column bytes = %d, want %d", rb, snap.NumRows()*(4*3+8))
+	}
+	if got.Cube() == nil {
+		t.Fatal("cube lost through the mapped open")
+	}
+	// Mapped columns expose nil heap slices but live readers.
+	for i := range got.Dims {
+		if got.Dims[i].Codes != nil {
+			t.Errorf("dimension %q materialized its codes", got.Dims[i].Name)
+		}
+		r := got.DimReader(i)
+		col := want.Dim(got.Dims[i].Name)
+		if r.Len() != len(col) {
+			t.Fatalf("dimension %q reader Len = %d, want %d", got.Dims[i].Name, r.Len(), len(col))
+		}
+		for row := range col {
+			if r.Value(row) != col[row] {
+				t.Fatalf("dimension %q row %d = %q, want %q", got.Dims[i].Name, row, r.Value(row), col[row])
+			}
+		}
+	}
+	for i := range got.Measures {
+		if got.Measures[i].Values != nil {
+			t.Errorf("measure %q materialized its values", got.Measures[i].Name)
+		}
+		r := got.MeasureReader(i)
+		col := want.Measure(got.Measures[i].Name)
+		for row := range col {
+			if r.At(row) != col[row] {
+				t.Fatalf("measure %q row %d = %v, want %v", got.Measures[i].Name, row, r.At(row), col[row])
+			}
+		}
+	}
+	// The derived dataset serves every column through the cursor seam.
+	back, err := got.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, back, want)
+	if err := got.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestOpenMappedLegacyFallsBackEager(t *testing.T) {
+	snap := FromDataset(demoDataset7())
+	var buf bytes.Buffer
+	if err := snap.writeLegacy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "v1.rst")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenMappedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mapped() {
+		t.Fatal("v1 file claims to be mapped")
+	}
+	back, err := got.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, back, demoDataset7())
+	if err := got.Close(); err != nil {
+		t.Fatalf("Close on the eager fallback: %v", err)
+	}
+}
+
+// TestLegacyFormatStillOpens pins v1 compatibility: files written by the
+// previous inline-payload encoder (with and without a cube section) must
+// decode to the same dataset the v2 path produces.
+func TestLegacyFormatStillOpens(t *testing.T) {
+	for _, withCube := range []bool{false, true} {
+		name := "plain"
+		if withCube {
+			name = "cube"
+		}
+		t.Run(name, func(t *testing.T) {
+			snap := FromDataset(demoDataset7())
+			if withCube {
+				if err := snap.BuildCube(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := snap.writeLegacy(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if v := buf.Bytes()[len(magic)]; v != legacyFormatVersion {
+				t.Fatalf("legacy writer emitted version %d", v)
+			}
+			got, err := Open(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (got.Cube() != nil) != withCube {
+				t.Fatalf("cube presence = %v, want %v", got.Cube() != nil, withCube)
+			}
+			back, err := got.Dataset()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertDatasetsEqual(t, back, demoDataset7())
+		})
+	}
+}
+
+// TestOpenMappedRejectsTruncationEverywhere is the mapped twin of the eager
+// sweep: every byte-level truncation must fail cleanly through the mmap path
+// too (and must not leak the mapping — the -race/leak canary is that no cut
+// ever opens).
+func TestOpenMappedRejectsTruncationEverywhere(t *testing.T) {
+	good := cubeSnapshotBytes(t)
+	path := filepath.Join(t.TempDir(), "cut.rst")
+	for cut := 0; cut < len(good); cut++ {
+		if err := os.WriteFile(path, good[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if s, err := OpenMappedFile(path); err == nil {
+			s.Close()
+			t.Fatalf("truncation at offset %d/%d mapped successfully", cut, len(good))
+		}
+	}
+}
+
+// headerCRCAt locates the v2 header checksum by scanning for the offset
+// whose stored word matches the CRC of everything before it (the header
+// length is not recorded explicitly). payload excludes the tail CRC.
+func headerCRCAt(t *testing.T, payload []byte) int {
+	t.Helper()
+	for end := len(magic) + 1; end+4 <= len(payload); end++ {
+		if crcOf(payload[:end]) == binary.LittleEndian.Uint32(payload[end:]) {
+			return end
+		}
+	}
+	t.Fatal("v2 header checksum not found")
+	return 0
+}
+
+// resealHeader recomputes the v2 header checksum after a deliberate edit.
+func resealHeader(b []byte, hdrEnd int) {
+	binary.LittleEndian.PutUint32(b[hdrEnd:], crcOf(b[:hdrEnd]))
+}
+
+// TestOpenRejectsDirectoryTampering damages the v2 offset directory and its
+// surroundings with every checksum re-sealed, so the structural validation —
+// offset contiguity, cube-offset consistency, zero padding — is what rejects
+// the file, identically through the eager and mapped paths.
+func TestOpenRejectsDirectoryTampering(t *testing.T) {
+	snap := FromDataset(demoDataset7())
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	hdrEnd := headerCRCAt(t, good[:len(good)-4])
+	entries := len(snap.Dims) + len(snap.Measures) + 1 // offsets + cubeOff
+	dirStart := hdrEnd - 8*entries
+	dimOff0 := int(binary.LittleEndian.Uint64(good[dirStart:]))
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		want   string
+	}{
+		{"shifted dimension offset", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[dirStart:], uint64(dimOff0+8))
+			resealHeader(b, hdrEnd)
+		}, "payload offset"},
+		{"bogus cube offset", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[hdrEnd-8:], 16)
+			resealHeader(b, hdrEnd)
+		}, "cube section offset"},
+		{"header bit flip", func(b []byte) {
+			b[len(magic)+2] ^= 0x20
+		}, "header checksum mismatch"},
+		{"nonzero payload padding", func(b []byte) {
+			// 7 rows × 4 bytes = 28: the first code payload ends 4 bytes
+			// short of its 8-byte boundary.
+			b[dimOff0+4*snap.NumRows()] = 0xFF
+		}, "nonzero alignment padding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := append([]byte(nil), good...)
+			tc.mutate(b)
+			reseal(b)
+			if _, err := Open(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("eager err = %v, want %q", err, tc.want)
+			}
+			path := filepath.Join(t.TempDir(), "tampered.rst")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if s, err := OpenMappedFile(path); err == nil || !strings.Contains(err.Error(), tc.want) {
+				if err == nil {
+					s.Close()
+				}
+				t.Fatalf("mapped err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestOpenErrorsIncludePath asserts every file-opening variant wraps decode
+// failures with the offending path, so multi-dataset logs identify the bad
+// file.
+func TestOpenErrorsIncludePath(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := FromDataset(demoDataset()).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	single := buf.Bytes()
+	buf.Reset()
+	if err := WriteSharded(&buf, "district", splitShards(t, demoDataset7(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	sharded := buf.Bytes()
+
+	corrupt := func(name string, b []byte) string {
+		bad := append([]byte(nil), b...)
+		bad[len(bad)/2] ^= 0x40
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	singlePath := corrupt("single.rst", single)
+	shardedPath := corrupt("sharded.rst", sharded)
+
+	if _, err := OpenFile(singlePath); err == nil || !strings.Contains(err.Error(), singlePath) {
+		t.Errorf("OpenFile err = %v, want it to name %s", err, singlePath)
+	}
+	if _, err := OpenMappedFile(singlePath); err == nil || !strings.Contains(err.Error(), singlePath) {
+		t.Errorf("OpenMappedFile err = %v, want it to name %s", err, singlePath)
+	}
+	if _, _, err := OpenShardedFile(shardedPath); err == nil || !strings.Contains(err.Error(), shardedPath) {
+		t.Errorf("OpenShardedFile err = %v, want it to name %s", err, shardedPath)
+	}
+	if _, _, err := OpenShardedMappedFile(shardedPath); err == nil || !strings.Contains(err.Error(), shardedPath) {
+		t.Errorf("OpenShardedMappedFile err = %v, want it to name %s", err, shardedPath)
+	}
+}
+
+func TestBuilderAppendRejectsMappedSnapshot(t *testing.T) {
+	path := writeSnapshotFile(t, FromDataset(demoDataset()))
+	snap, err := OpenMappedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	b := NewBuilder(snap)
+	_, err = b.Append([]Row{{Dims: []string{"Ofla", "Zata", "1986"}, Measures: []float64{1}}})
+	if err == nil || !strings.Contains(err.Error(), "re-open it eagerly") {
+		t.Fatalf("append to mapped snapshot: err = %v, want re-open hint", err)
+	}
+}
+
+// splitShards splits a dataset's rows round-robin into n shards sharing one
+// dictionary set — a store-level stand-in for internal/shard output (the
+// format validates key rootness and per-shard invariants, not routing, which
+// is an engine concern).
+func splitShards(t *testing.T, ds *data.Dataset, n int) []*Snapshot {
+	t.Helper()
+	src := FromDataset(ds)
+	shards := make([]*Snapshot, n)
+	for si := 0; si < n; si++ {
+		var rows []int
+		for r := si; r < src.NumRows(); r += n {
+			rows = append(rows, r)
+		}
+		dims := make([]Column, len(src.Dims))
+		for ci, c := range src.Dims {
+			codes := make([]uint32, len(rows))
+			for i, r := range rows {
+				codes[i] = c.Codes[r]
+			}
+			dims[ci] = Column{Name: c.Name, Dict: c.Dict, Codes: codes}
+		}
+		ms := make([]MeasureColumn, len(src.Measures))
+		for mi, m := range src.Measures {
+			vals := make([]float64, len(rows))
+			for i, r := range rows {
+				vals[i] = m.Values[r]
+			}
+			ms[mi] = MeasureColumn{Name: m.Name, Values: vals}
+		}
+		sn, err := NewSnapshot(src.Name, src.Version, src.Hierarchies, dims, ms, len(rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[si] = sn
+	}
+	return shards
+}
+
+func TestOpenShardedMappedRoundTrip(t *testing.T) {
+	want := demoDataset7()
+	shards := splitShards(t, want, 3)
+	path := filepath.Join(t.TempDir(), "sharded.rst")
+	if err := WriteShardedFile(path, "district", shards); err != nil {
+		t.Fatal(err)
+	}
+	key, eager, err := OpenShardedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkey, mapped, err := OpenShardedMappedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "district" || mkey != key || len(mapped) != len(eager) || len(mapped) != 3 {
+		t.Fatalf("keys (%q, %q), shards (%d eager, %d mapped)", key, mkey, len(eager), len(mapped))
+	}
+	for si := range mapped {
+		if !mapped[si].Mapped() {
+			t.Fatalf("shard %d did not open mapped", si)
+		}
+		eds, err := eager[si].Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mds, err := mapped[si].Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertDatasetsEqual(t, mds, eds)
+	}
+	// All shards share one refcounted mapping: closing one keeps the others
+	// readable; the last Close releases the pages.
+	m := mapped[0].m
+	for si := 1; si < len(mapped); si++ {
+		if mapped[si].m != m {
+			t.Fatal("shards do not share one mapping")
+		}
+	}
+	if err := mapped[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.data == nil {
+		t.Fatal("mapping released while shards still reference it")
+	}
+	if got := mapped[1].DimReader(0).Value(0); got == "" {
+		t.Fatal("surviving shard unreadable after sibling Close")
+	}
+	if err := mapped[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.data != nil {
+		t.Fatal("mapping still live after the last shard closed")
+	}
+}
+
+// TestLegacyShardedFormatStillOpens pins v1 partitioned compatibility,
+// through both the eager decoder and the OpenShardedMapped eager fallback.
+func TestLegacyShardedFormatStillOpens(t *testing.T) {
+	want := demoDataset7()
+	shards := splitShards(t, want, 2)
+	var buf bytes.Buffer
+	if err := writeShardedLegacy(&buf, "district", shards); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[len(shardMagic)]; v != legacyShardFormatVersion {
+		t.Fatalf("legacy sharded writer emitted version %d", v)
+	}
+	path := filepath.Join(t.TempDir(), "v1-sharded.rst")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key, eager, err := OpenShardedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkey, fallback, err := OpenShardedMappedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "district" || mkey != key || len(eager) != 2 || len(fallback) != 2 {
+		t.Fatalf("keys (%q, %q), shards (%d, %d)", key, mkey, len(eager), len(fallback))
+	}
+	for si := range eager {
+		if fallback[si].Mapped() {
+			t.Fatalf("v1 shard %d claims to be mapped", si)
+		}
+		for _, sn := range []*Snapshot{eager[si], fallback[si]} {
+			got, err := sn.Dataset()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eds, err := shards[si].Dataset()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertDatasetsEqual(t, got, eds)
+		}
+	}
+}
+
+// TestOpenShardedRejectsTruncationEverywhere cuts a v2 partitioned file at
+// every byte offset — plain and with the tail CRC re-sealed — and asserts
+// both the eager and mapped decoders fail cleanly on each.
+func TestOpenShardedRejectsTruncationEverywhere(t *testing.T) {
+	shards := splitShards(t, demoDataset7(), 2)
+	var buf bytes.Buffer
+	if err := WriteSharded(&buf, "district", shards); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	path := filepath.Join(t.TempDir(), "cut.rst")
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := OpenSharded(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at offset %d/%d opened successfully", cut, len(good))
+		}
+		if err := os.WriteFile(path, good[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ss, err := OpenShardedMappedFile(path); err == nil {
+			for _, s := range ss {
+				s.Close()
+			}
+			t.Fatalf("truncation at offset %d/%d mapped successfully", cut, len(good))
+		}
+	}
+	for cut := 0; cut < len(good)-4; cut++ {
+		b := append(append([]byte(nil), good[:cut]...), 0, 0, 0, 0)
+		reseal(b)
+		if _, _, err := OpenSharded(bytes.NewReader(b)); err == nil {
+			t.Fatalf("resealed truncation at offset %d/%d opened successfully", cut, len(good))
+		}
+	}
+}
+
+// TestOpenShardedRejectsDirectoryTampering is the partitioned twin of the
+// directory-tampering suite: every checksum is re-sealed so the shard-major
+// offset directory's own validation rejects the file.
+func TestOpenShardedRejectsDirectoryTampering(t *testing.T) {
+	snap := FromDataset(demoDataset7())
+	shards := splitShards(t, demoDataset7(), 3)
+	var buf bytes.Buffer
+	if err := WriteSharded(&buf, "district", shards); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	hdrEnd := headerCRCAt(t, good[:len(good)-4])
+	entries := 3 * (len(snap.Dims) + len(snap.Measures))
+	dirStart := hdrEnd - 8*entries
+	dimOff0 := int(binary.LittleEndian.Uint64(good[dirStart:]))
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		want   string
+	}{
+		{"shifted shard offset", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[dirStart:], uint64(dimOff0+8))
+			resealHeader(b, hdrEnd)
+		}, "payload offset"},
+		{"header bit flip", func(b []byte) {
+			b[len(shardMagic)+2] ^= 0x10
+		}, "header checksum mismatch"},
+		{"nonzero payload padding", func(b []byte) {
+			// Shard 0 holds 3 of the 7 rows: its 12-byte code payload ends
+			// 4 bytes short of the 8-byte boundary.
+			b[dimOff0+4*shards[0].NumRows()] = 0xFF
+		}, "nonzero alignment padding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := append([]byte(nil), good...)
+			tc.mutate(b)
+			reseal(b)
+			if _, _, err := OpenSharded(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("eager err = %v, want %q", err, tc.want)
+			}
+			path := filepath.Join(t.TempDir(), "tampered.rst")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ss, err := OpenShardedMappedFile(path); err == nil || !strings.Contains(err.Error(), tc.want) {
+				for _, s := range ss {
+					s.Close()
+				}
+				t.Fatalf("mapped err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -12,35 +12,22 @@ import (
 	"repro/internal/data"
 )
 
-// The partitioned .rst binary layout, format version 1: one dataset hashed
-// into N shards on a hierarchy-root dimension, dictionaries shared across the
-// shards and written once, one column section per shard. Integers, varints
-// and strings use the same primitives as the single-snapshot format.
-//
-//	[0:8)   magic "RSTSHARD"
-//	[8]     shard format version (1)
-//	        name            string
-//	        version         uvarint   snapshot version (shared by every shard)
-//	        key             string    the partition dimension (hierarchy root)
-//	        #hierarchies    uvarint   then per hierarchy: name, #attrs, attrs
-//	        #dims           uvarint   then per dim: name, #dict, dict values
-//	                                  (the dictionaries shared by all shards)
-//	        #measures       uvarint   then per measure: name
-//	        #shards         uvarint
-//	        per shard:      rows uvarint,
-//	                        per dim rows×4 bytes of uint32 codes,
-//	                        per measure rows×8 bytes of float64 bits,
-//	                        uint32 CRC-32C of this shard's section bytes, so a
-//	                        damaged shard is identified individually
-//	[tail]  uint32 CRC-32C (Castagnoli) of every preceding byte
-//
-// Materialized cubes are not persisted: per-shard cubes are cheap to rebuild
-// at registration time and keeping the file cube-free keeps shard sections
-// self-describing.
+// The partitioned .rst binary layouts are documented in doc.go: one dataset
+// hashed into N shards on a hierarchy-root dimension, dictionaries shared
+// across the shards and written once. Version 2 (the current writer output)
+// keeps a CRC-checked byte-offset directory in the header and 8-byte-aligned
+// per-shard column payloads, so OpenShardedMapped can serve every shard out
+// of one file mapping; version 1 (inline shard sections, each with its own
+// CRC) still opens via the eager path. Materialized cubes are not persisted:
+// per-shard cubes are cheap to rebuild at registration time.
 var shardMagic = [8]byte{'R', 'S', 'T', 'S', 'H', 'A', 'R', 'D'}
 
 // ShardFormatVersion is the current partitioned .rst format version.
-const ShardFormatVersion = 1
+const ShardFormatVersion = 2
+
+// legacyShardFormatVersion is the previous inline-section format, still
+// readable.
+const legacyShardFormatVersion = 1
 
 // IsShardedFile reports whether the file at path starts with the partitioned
 // snapshot magic. Both .rst flavors share the extension; callers sniff to
@@ -58,18 +45,23 @@ func IsShardedFile(path string) (bool, error) {
 	return m == shardMagic, nil
 }
 
-// WriteSharded serializes the shards of one partitioned dataset, checksum
-// included. Every shard must carry the same name, version, hierarchies,
-// column schema and — shard sections hold codes only — identical
-// dictionaries; key names the dimension the rows were partitioned on.
+// WriteSharded serializes the shards of one partitioned dataset in format
+// version 2 (offset directory + aligned payloads), checksum included. Every
+// shard must carry the same name, version, hierarchies, column schema and —
+// payloads hold codes only — identical dictionaries; key names the dimension
+// the rows were partitioned on. Mapped shards write through their
+// lazily-decoded column readers.
 func WriteSharded(w io.Writer, key string, shards []*Snapshot) error {
 	if err := checkShardSet(key, shards); err != nil {
 		return err
 	}
 	first := shards[0]
-	h := crc32.New(castagnoli)
-	bw := bufio.NewWriterSize(io.MultiWriter(w, h), 1<<16)
-	e := &encoder{w: bw}
+	// Stage the header in memory — see Snapshot.Write: the directory holds
+	// absolute payload offsets, so the header's size must be known before the
+	// first payload byte is placed.
+	var hb bytes.Buffer
+	hw := bufio.NewWriterSize(&hb, 1<<12)
+	e := &encoder{w: hw}
 	e.bytes(shardMagic[:])
 	e.byte(ShardFormatVersion)
 	e.string(first.Name)
@@ -96,9 +88,115 @@ func WriteSharded(w io.Writer, key string, shards []*Snapshot) error {
 		e.string(m.Name)
 	}
 	e.uvarint(uint64(len(shards)))
-	// Each shard section is staged in memory so its own CRC can follow it;
-	// Open reads the whole file into memory anyway, so the staging buffer
-	// does not change the peak footprint class.
+	for _, s := range shards {
+		e.uvarint(uint64(s.rows))
+	}
+	if e.err == nil {
+		e.err = hw.Flush()
+	}
+	if e.err != nil {
+		return fmt.Errorf("store: writing partitioned snapshot: %w", e.err)
+	}
+
+	// Directory: per shard, one u64 offset per dimension then per measure,
+	// followed by the header CRC.
+	perShard := len(first.Dims) + len(first.Measures)
+	headerLen := hb.Len() + 8*len(shards)*perShard + 4
+	off := align8(headerLen)
+	offs := make([]uint64, 0, len(shards)*perShard)
+	for _, s := range shards {
+		for range s.Dims {
+			offs = append(offs, uint64(off))
+			off = align8(off + 4*s.rows)
+		}
+		for range s.Measures {
+			offs = append(offs, uint64(off))
+			off = align8(off + 8*s.rows)
+		}
+	}
+	var u8 [8]byte
+	for _, o := range offs {
+		binary.LittleEndian.PutUint64(u8[:], o)
+		hb.Write(u8[:])
+	}
+	binary.LittleEndian.PutUint32(u8[:4], crc32.Checksum(hb.Bytes(), castagnoli))
+	hb.Write(u8[:4])
+
+	h := crc32.New(castagnoli)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, h), 1<<16)
+	we := &encoder{w: bw}
+	we.bytes(hb.Bytes())
+	we.pad(align8(headerLen) - headerLen)
+	for _, s := range shards {
+		for i := range s.Dims {
+			if c := &s.Dims[i]; c.Codes != nil {
+				we.codes(c.Codes)
+			} else {
+				we.codesFrom(s.DimReader(i))
+			}
+			we.pad(align8(4*s.rows) - 4*s.rows)
+		}
+		for i := range s.Measures {
+			if m := &s.Measures[i]; m.Values != nil {
+				we.floats(m.Values)
+			} else {
+				we.floatsFrom(s.MeasureReader(i))
+			}
+			we.pad(align8(8*s.rows) - 8*s.rows)
+		}
+	}
+	if we.err != nil {
+		return fmt.Errorf("store: writing partitioned snapshot: %w", we.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: writing partitioned snapshot: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], h.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("store: writing partitioned snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// writeShardedLegacy serializes the shards in format version 1 (inline shard
+// sections, each with its own CRC). It is kept so tests can produce v1
+// fixtures and prove old partitioned files keep opening byte-identically.
+func writeShardedLegacy(w io.Writer, key string, shards []*Snapshot) error {
+	if err := checkShardSet(key, shards); err != nil {
+		return err
+	}
+	first := shards[0]
+	h := crc32.New(castagnoli)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, h), 1<<16)
+	e := &encoder{w: bw}
+	e.bytes(shardMagic[:])
+	e.byte(legacyShardFormatVersion)
+	e.string(first.Name)
+	e.uvarint(first.Version)
+	e.string(key)
+	e.uvarint(uint64(len(first.Hierarchies)))
+	for _, hr := range first.Hierarchies {
+		e.string(hr.Name)
+		e.uvarint(uint64(len(hr.Attrs)))
+		for _, a := range hr.Attrs {
+			e.string(a)
+		}
+	}
+	e.uvarint(uint64(len(first.Dims)))
+	for _, c := range first.Dims {
+		e.string(c.Name)
+		e.uvarint(uint64(len(c.Dict)))
+		for _, v := range c.Dict {
+			e.string(v)
+		}
+	}
+	e.uvarint(uint64(len(first.Measures)))
+	for _, m := range first.Measures {
+		e.string(m.Name)
+	}
+	e.uvarint(uint64(len(shards)))
+	// Each shard section is staged in memory so its own CRC can follow it.
 	var section bytes.Buffer
 	for _, s := range shards {
 		section.Reset()
@@ -226,9 +324,10 @@ func equalDict(a, b []string) bool {
 }
 
 // OpenSharded decodes and validates a partitioned snapshot from r: the file
-// checksum, every shard's own section checksum, each shard's structural
-// invariants and hierarchy functional dependencies. The returned snapshots
-// share one set of dictionary slices, in shard order.
+// checksum, the header or per-section checksums of the format version at
+// hand, each shard's structural invariants and hierarchy functional
+// dependencies. The returned snapshots share one set of dictionary slices,
+// in shard order.
 func OpenSharded(r io.Reader) (key string, shards []*Snapshot, err error) {
 	b, err := io.ReadAll(r)
 	if err != nil {
@@ -251,25 +350,49 @@ func OpenShardedFile(path string) (string, []*Snapshot, error) {
 }
 
 func decodeSharded(b []byte) (string, []*Snapshot, error) {
+	d, version, err := checkShardEnvelope(b)
+	if err != nil {
+		return "", nil, err
+	}
+	switch version {
+	case legacyShardFormatVersion:
+		return decodeShardedV1(d)
+	case ShardFormatVersion:
+		return decodeShardedV2(d)
+	default:
+		return "", nil, fmt.Errorf("store: unsupported partitioned format version %d (want 1–%d)", version, ShardFormatVersion)
+	}
+}
+
+// checkShardEnvelope verifies the parts common to every partitioned format
+// version — minimum length, whole-file tail CRC, magic — and returns a
+// decoder positioned after the version byte.
+func checkShardEnvelope(b []byte) (*decoder, byte, error) {
 	if len(b) < len(shardMagic)+1+4 {
-		return "", nil, fmt.Errorf("store: partitioned snapshot truncated (%d bytes)", len(b))
+		return nil, 0, fmt.Errorf("store: partitioned snapshot truncated (%d bytes)", len(b))
 	}
 	payload, tail := b[:len(b)-4], b[len(b)-4:]
 	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
-		return "", nil, fmt.Errorf("store: partitioned snapshot checksum mismatch (file %08x, computed %08x)", want, got)
+		return nil, 0, fmt.Errorf("store: partitioned snapshot checksum mismatch (file %08x, computed %08x)", want, got)
 	}
 	d := &decoder{b: payload}
 	var m [8]byte
 	copy(m[:], d.bytes(len(shardMagic)))
 	if d.err == nil && m != shardMagic {
 		if bytes.Equal(m[:len(magic)], magic[:]) {
-			return "", nil, fmt.Errorf("store: file is a single snapshot, not a partitioned one; open it with Open")
+			return nil, 0, fmt.Errorf("store: file is a single snapshot, not a partitioned one; open it with Open")
 		}
-		return "", nil, fmt.Errorf("store: bad magic %q: not a partitioned .rst snapshot", m[:])
+		return nil, 0, fmt.Errorf("store: bad magic %q: not a partitioned .rst snapshot", m[:])
 	}
-	if v := d.byte(); d.err == nil && v != ShardFormatVersion {
-		return "", nil, fmt.Errorf("store: unsupported partitioned format version %d (want %d)", v, ShardFormatVersion)
+	v := d.byte()
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("store: decoding partitioned snapshot: %w", d.err)
 	}
+	return d, v, nil
+}
+
+// decodeShardedV1 decodes the legacy inline-section format.
+func decodeShardedV1(d *decoder) (string, []*Snapshot, error) {
 	name := d.string()
 	version := d.uvarint()
 	key := d.string()
@@ -280,10 +403,6 @@ func decodeSharded(b []byte) (string, []*Snapshot, error) {
 			h.Attrs = append(h.Attrs, d.string())
 		}
 		hierarchies = append(hierarchies, h)
-	}
-	type dimSchema struct {
-		name string
-		dict []string
 	}
 	var dims []dimSchema
 	for i, nd := 0, d.count(); i < nd && d.err == nil; i++ {
@@ -327,7 +446,7 @@ func decodeSharded(b []byte) (string, []*Snapshot, error) {
 		if d.err != nil {
 			break
 		}
-		if got, want := crc32.Checksum(payload[start:sectionEnd], castagnoli), binary.LittleEndian.Uint32(sum); got != want {
+		if got, want := crc32.Checksum(d.b[start:sectionEnd], castagnoli), binary.LittleEndian.Uint32(sum); got != want {
 			return "", nil, fmt.Errorf("store: shard %d section checksum mismatch (file %08x, computed %08x)", si, want, got)
 		}
 		shards = append(shards, s)
@@ -338,6 +457,43 @@ func decodeSharded(b []byte) (string, []*Snapshot, error) {
 	if len(d.b) != d.off {
 		return "", nil, fmt.Errorf("store: %d trailing bytes after partitioned snapshot payload", len(d.b)-d.off)
 	}
+	return finishShards(key, hierarchies, shards)
+}
+
+// decodeShardedV2 decodes the directory format eagerly: every shard's column
+// payloads are materialized into heap slices, exactly like a v1 open.
+func decodeShardedV2(d *decoder) (string, []*Snapshot, error) {
+	h, err := parseShardHeaderV2(d)
+	if err != nil {
+		return "", nil, err
+	}
+	var shards []*Snapshot
+	for si, rows := range h.shardRows {
+		s := &Snapshot{
+			Name:        h.name,
+			Version:     h.version,
+			Hierarchies: h.hierarchies,
+			rows:        rows,
+		}
+		for ci, dim := range h.dims {
+			d.off = h.dimOff[si][ci]
+			s.Dims = append(s.Dims, Column{Name: dim.name, Dict: dim.dict, Codes: d.codes(rows)})
+		}
+		for mi, mn := range h.measureNames {
+			d.off = h.msOff[si][mi]
+			s.Measures = append(s.Measures, MeasureColumn{Name: mn, Values: d.floats(rows)})
+		}
+		if d.err != nil {
+			return "", nil, fmt.Errorf("store: decoding partitioned snapshot: %w", d.err)
+		}
+		shards = append(shards, s)
+	}
+	return finishShards(h.key, h.hierarchies, shards)
+}
+
+// finishShards runs the post-decode validation shared by both format
+// versions: the partition key and every shard's structural invariants.
+func finishShards(key string, hierarchies []data.Hierarchy, shards []*Snapshot) (string, []*Snapshot, error) {
 	if err := checkShardKey(key, hierarchies); err != nil {
 		return "", nil, err
 	}
@@ -347,4 +503,210 @@ func decodeSharded(b []byte) (string, []*Snapshot, error) {
 		}
 	}
 	return key, shards, nil
+}
+
+// shardHeaderV2 is the parsed v2 partitioned header: shared schema plus the
+// validated per-shard byte-offset directory.
+type shardHeaderV2 struct {
+	name         string
+	version      uint64
+	key          string
+	hierarchies  []data.Hierarchy
+	dims         []dimSchema
+	measureNames []string
+	shardRows    []int
+	dimOff       [][]int // [shard][dim] absolute payload offsets
+	msOff        [][]int // [shard][measure]
+}
+
+// parseShardHeaderV2 parses and fully validates a v2 partitioned header from
+// a decoder positioned after the version byte: field structure, the header's
+// own CRC, and the offset directory (in-bounds, contiguous, 8-aligned, zero
+// padding, ending exactly at the file's tail CRC). After it returns, every
+// shard payload's location is trusted.
+func parseShardHeaderV2(d *decoder) (*shardHeaderV2, error) {
+	h := &shardHeaderV2{}
+	h.name = d.string()
+	h.version = d.uvarint()
+	h.key = d.string()
+	for i, nh := 0, d.count(); i < nh && d.err == nil; i++ {
+		hr := data.Hierarchy{Name: d.string()}
+		for j, na := 0, d.count(); j < na && d.err == nil; j++ {
+			hr.Attrs = append(hr.Attrs, d.string())
+		}
+		h.hierarchies = append(h.hierarchies, hr)
+	}
+	for i, nd := 0, d.count(); i < nd && d.err == nil; i++ {
+		ds := dimSchema{name: d.string()}
+		ndict := d.count()
+		ds.dict = make([]string, 0, min(ndict, 1<<16))
+		for j := 0; j < ndict && d.err == nil; j++ {
+			ds.dict = append(ds.dict, d.string())
+		}
+		h.dims = append(h.dims, ds)
+	}
+	for i, nm := 0, d.count(); i < nm && d.err == nil; i++ {
+		h.measureNames = append(h.measureNames, d.string())
+	}
+	nshards := d.count()
+	if d.err == nil && nshards == 0 {
+		return nil, fmt.Errorf("store: partitioned snapshot has no shards")
+	}
+	for si := 0; si < nshards && d.err == nil; si++ {
+		rows := d.uvarint()
+		if rows > maxSaneCount {
+			return nil, fmt.Errorf("store: shard %d: implausible row count %d", si, rows)
+		}
+		h.shardRows = append(h.shardRows, int(rows))
+	}
+	for range h.shardRows {
+		dimOff := make([]int, len(h.dims))
+		for i := range dimOff {
+			dimOff[i] = d.offset()
+		}
+		msOff := make([]int, len(h.measureNames))
+		for i := range msOff {
+			msOff[i] = d.offset()
+		}
+		h.dimOff = append(h.dimOff, dimOff)
+		h.msOff = append(h.msOff, msOff)
+	}
+	hdrEnd := d.off
+	sum := d.bytes(4)
+	if d.err != nil {
+		return nil, fmt.Errorf("store: decoding partitioned snapshot header: %w", d.err)
+	}
+	if got, want := crc32.Checksum(d.b[:hdrEnd], castagnoli), binary.LittleEndian.Uint32(sum); got != want {
+		return nil, fmt.Errorf("store: header checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	// The directory is CRC-trusted; verify it describes this file — shard
+	// payloads packed contiguously on 8-byte boundaries, zero padding, no
+	// trailing bytes (partitioned files carry no cube section).
+	expected := align8(d.off)
+	if err := checkPadding(d.b, d.off, expected); err != nil {
+		return nil, err
+	}
+	for si, rows := range h.shardRows {
+		for ci, off := range h.dimOff[si] {
+			if off != expected {
+				return nil, fmt.Errorf("store: shard %d dimension %q payload offset %d, expected %d", si, h.dims[ci].name, off, expected)
+			}
+			end := off + 4*rows
+			expected = align8(end)
+			if expected > len(d.b) {
+				return nil, fmt.Errorf("store: shard %d dimension %q payload exceeds file (ends %d, payload %d bytes)", si, h.dims[ci].name, expected, len(d.b))
+			}
+			if err := checkPadding(d.b, end, expected); err != nil {
+				return nil, err
+			}
+		}
+		for mi, off := range h.msOff[si] {
+			if off != expected {
+				return nil, fmt.Errorf("store: shard %d measure %q payload offset %d, expected %d", si, h.measureNames[mi], off, expected)
+			}
+			end := off + 8*rows
+			expected = align8(end)
+			if expected > len(d.b) {
+				return nil, fmt.Errorf("store: shard %d measure %q payload exceeds file (ends %d, payload %d bytes)", si, h.measureNames[mi], expected, len(d.b))
+			}
+			if err := checkPadding(d.b, end, expected); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if expected != len(d.b) {
+		return nil, fmt.Errorf("store: %d trailing bytes after partitioned snapshot payload", len(d.b)-expected)
+	}
+	return h, nil
+}
+
+// OpenShardedMappedFile memory-maps a partitioned .rst snapshot: the header
+// (schema, shared dictionaries, offset directory) is parsed and CRC-checked,
+// and every shard's columns are exposed as lazily-decoded readers over one
+// shared file mapping. The mapping is released when the last shard is Closed.
+//
+// Version-1 files carry inline sections that cannot be mapped; they fall back
+// to the eager path (the shards answer Mapped() == false).
+func OpenShardedMappedFile(path string) (string, []*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	key, shards, err := OpenShardedMapped(f)
+	if err != nil {
+		return "", nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return key, shards, nil
+}
+
+// OpenShardedMapped maps the already-open file f (the descriptor may be
+// closed afterwards; the mapping persists) and opens it like
+// OpenShardedMappedFile. Errors carry no file path; OpenShardedMappedFile
+// adds it.
+func OpenShardedMapped(f *os.File) (string, []*Snapshot, error) {
+	m, err := openMapping(f)
+	if err != nil {
+		return "", nil, err
+	}
+	key, shards, err := openShardedMapped(m)
+	if err != nil {
+		m.close()
+		return "", nil, err
+	}
+	if len(shards) > 0 && !shards[0].Mapped() {
+		// Version-1 fallback: the shards were decoded eagerly and do not
+		// reference the mapping.
+		m.close()
+	}
+	return key, shards, nil
+}
+
+// openShardedMapped builds mapped shard snapshots over m. Errors are returned
+// without path context; callers wrap.
+func openShardedMapped(m *mapping) (string, []*Snapshot, error) {
+	d, version, err := checkShardEnvelope(m.data)
+	if err != nil {
+		return "", nil, err
+	}
+	if version == legacyShardFormatVersion {
+		// v1 interleaves shard sections; nothing to map lazily. Decode eagerly
+		// (the decoder copies everything out of the mapping, so the caller
+		// releasing it afterwards is safe).
+		return decodeShardedV1(d)
+	}
+	if version != ShardFormatVersion {
+		return "", nil, fmt.Errorf("store: unsupported partitioned format version %d (want 1–%d)", version, ShardFormatVersion)
+	}
+	h, err := parseShardHeaderV2(d)
+	if err != nil {
+		return "", nil, err
+	}
+	var shards []*Snapshot
+	for si, rows := range h.shardRows {
+		s := &Snapshot{
+			Name:        h.name,
+			Version:     h.version,
+			Hierarchies: h.hierarchies,
+			rows:        rows,
+			m:           m,
+			dimOff:      h.dimOff[si],
+			msOff:       h.msOff[si],
+		}
+		for _, dim := range h.dims {
+			s.Dims = append(s.Dims, Column{Name: dim.name, Dict: dim.dict})
+		}
+		for _, mn := range h.measureNames {
+			s.Measures = append(s.Measures, MeasureColumn{Name: mn})
+		}
+		shards = append(shards, s)
+	}
+	if _, _, err := finishShards(h.key, h.hierarchies, shards); err != nil {
+		return "", nil, err
+	}
+	// Every shard co-owns the mapping: it is released when the last one
+	// closes. Set the count only now — on the error paths above the caller
+	// holds the single opening reference and closes it itself.
+	m.refs.Store(int32(len(shards)))
+	return h.key, shards, nil
 }

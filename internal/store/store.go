@@ -1,13 +1,5 @@
-// Package store is Reptile's persistent storage layer: an immutable,
-// dictionary-encoded columnar snapshot of a data.Dataset, a versioned binary
-// file format (.rst) that round-trips snapshots without reparsing CSV, and an
-// append path that produces new snapshot versions for live ingestion.
-//
-// A Snapshot keeps each dimension as a dictionary of distinct strings plus
-// one uint32 code per row, and each measure as a raw []float64. Converting a
-// snapshot back to a data.Dataset installs the dictionary encoding on the
-// dataset (data.SetEncodedDim), which lets agg.GroupBy and the factorizer
-// consume precomputed codes instead of re-hashing strings on the query path.
+// The package documentation, including the .rst binary layouts for both
+// format versions, lives in doc.go.
 package store
 
 import (
@@ -43,6 +35,14 @@ type Snapshot struct {
 	Measures    []MeasureColumn
 
 	rows int
+	// m is the backing file mapping when the snapshot was opened with
+	// OpenMapped: column payloads then live in the mapped file (Codes and
+	// Values stay nil) and are decoded lazily through DimReader /
+	// MeasureReader. dimOff/msOff are the payload byte offsets from the
+	// file's directory.
+	m      *mapping
+	dimOff []int
+	msOff  []int
 	// ds memoizes Dataset(): snapshots are immutable, so the derived dataset
 	// is built once and shared by every caller.
 	ds *data.Dataset
@@ -130,6 +130,11 @@ func encodeColumn(ds *data.Dataset, name string) Column {
 // Dataset materializes the snapshot as a code-backed data.Dataset. The
 // result is memoized and shared: callers must treat it as immutable, like
 // every engine-owned dataset.
+//
+// An eager snapshot installs its dictionary encodings as slice columns
+// (data.SetEncodedDim); a mapped one installs lazily-decoded column readers
+// (data.SetDimCursor / SetMeasureCursor), so the dataset's row data stays in
+// the file and consumers stream over the cursor seam.
 func (s *Snapshot) Dataset() (*data.Dataset, error) {
 	if s.ds != nil {
 		return s.ds, nil
@@ -143,7 +148,13 @@ func (s *Snapshot) Dataset() (*data.Dataset, error) {
 		msNames[i] = m.Name
 	}
 	ds := data.New(s.Name, dimNames, msNames, append([]data.Hierarchy(nil), s.Hierarchies...))
-	for _, c := range s.Dims {
+	for i, c := range s.Dims {
+		if c.Codes == nil && s.m != nil {
+			if err := ds.SetDimCursor(c.Name, s.DimReader(i)); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if len(c.Codes) != s.rows {
 			return nil, fmt.Errorf("store: dimension %q has %d rows, snapshot has %d", c.Name, len(c.Codes), s.rows)
 		}
@@ -151,7 +162,13 @@ func (s *Snapshot) Dataset() (*data.Dataset, error) {
 			return nil, err
 		}
 	}
-	for _, m := range s.Measures {
+	for i, m := range s.Measures {
+		if m.Values == nil && s.m != nil {
+			if err := ds.SetMeasureCursor(m.Name, s.MeasureReader(i)); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if len(m.Values) != s.rows {
 			return nil, fmt.Errorf("store: measure %q has %d rows, snapshot has %d", m.Name, len(m.Values), s.rows)
 		}
@@ -218,8 +235,10 @@ func (s *Snapshot) dim(name string) *Column {
 // ranges, hierarchy attributes) and, via the derived dataset, the hierarchy
 // functional dependencies. It is run on every Open and Append.
 func (s *Snapshot) validate() error {
-	for _, c := range s.Dims {
-		if len(c.Codes) != s.rows {
+	for ci := range s.Dims {
+		c := &s.Dims[ci]
+		mapped := c.Codes == nil && s.m != nil
+		if !mapped && len(c.Codes) != s.rows {
 			return fmt.Errorf("store: dimension %q has %d rows, snapshot has %d", c.Name, len(c.Codes), s.rows)
 		}
 		// Dictionary values must be distinct: duplicates would make the coded
@@ -232,6 +251,19 @@ func (s *Snapshot) validate() error {
 			}
 			seen[v] = struct{}{}
 		}
+		if mapped {
+			// One streaming pass over the mapped payload: O(rows) time,
+			// O(1) heap — mapped open keeps the same corruption guarantees
+			// as eager open.
+			r := s.DimReader(ci)
+			for i := 0; i < s.rows; i++ {
+				if code := r.Code(i); int(code) >= len(c.Dict) {
+					return fmt.Errorf("store: dimension %q row %d: code %d out of range (dictionary size %d)",
+						c.Name, i, code, len(c.Dict))
+				}
+			}
+			continue
+		}
 		for i, code := range c.Codes {
 			if int(code) >= len(c.Dict) {
 				return fmt.Errorf("store: dimension %q row %d: code %d out of range (dictionary size %d)",
@@ -239,7 +271,11 @@ func (s *Snapshot) validate() error {
 			}
 		}
 	}
-	for _, m := range s.Measures {
+	for mi := range s.Measures {
+		m := &s.Measures[mi]
+		if m.Values == nil && s.m != nil {
+			continue // payload length is fixed by the offset directory
+		}
 		if len(m.Values) != s.rows {
 			return fmt.Errorf("store: measure %q has %d rows, snapshot has %d", m.Name, len(m.Values), s.rows)
 		}

@@ -316,6 +316,13 @@ type DatasetStats struct {
 	// per-shard row counts, in shard order.
 	Shards    int   `json:"shards,omitempty"`
 	ShardRows []int `json:"shard_rows,omitempty"`
+	// OpenMode reports how the serving snapshot holds its columns: "eager"
+	// (heap slices) or "mapped" (memory-mapped .rst file, columns decoded
+	// lazily). ResidentColumnBytes is the heap footprint of materialized
+	// column payloads — 0 for a mapped dataset, whose payloads stay in the
+	// page cache.
+	OpenMode            string `json:"open_mode"`
+	ResidentColumnBytes int64  `json:"resident_column_bytes"`
 }
 
 // CacheStats reports the recommendation LRU's counters.

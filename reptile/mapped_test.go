@@ -1,0 +1,180 @@
+package reptile_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/reptile"
+)
+
+// saveSnapshot opens the drought CSV and persists it as a .rst, optionally
+// sharded, returning the snapshot path.
+func saveSnapshot(t *testing.T, shards int) string {
+	t.Helper()
+	opts := []reptile.Option{
+		reptile.WithMeasures("severity"),
+		reptile.WithHierarchies(testHierarchies),
+		reptile.WithEMIterations(4),
+	}
+	if shards >= 2 {
+		opts = append(opts, reptile.WithShards(shards))
+	}
+	eng, err := reptile.Open(writeTestCSV(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "drought.rst")
+	if _, err := eng.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestWithMappedIOMatchesEager reopens saved snapshots — plain and
+// partitioned — with and without WithMappedIO and asserts byte-identical
+// recommendations through the public SDK.
+func TestWithMappedIOMatchesEager(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			path := saveSnapshot(t, shards)
+			eager, err := reptile.Open(path, reptile.WithEMIterations(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eager.Close()
+			mapped, err := reptile.Open(path, reptile.WithEMIterations(4), reptile.WithMappedIO())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mapped.Close()
+			if mapped.Shards() != eager.Shards() {
+				t.Fatalf("mapped engine has %d shards, eager %d", mapped.Shards(), eager.Shards())
+			}
+			want := recommendJSON(t, eager)
+			got := recommendJSON(t, mapped)
+			if !bytes.Equal(got, want) {
+				t.Errorf("mapped recommendation differs from eager:\nmapped: %.400s\neager:  %.400s", got, want)
+			}
+			if err := mapped.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWithMappedIOOptionErrors pins the surfaces that cannot serve mapped:
+// CSV paths and in-memory datasets.
+func TestWithMappedIOOptionErrors(t *testing.T) {
+	if _, err := reptile.Open(writeTestCSV(t),
+		reptile.WithMeasures("severity"),
+		reptile.WithHierarchies(testHierarchies),
+		reptile.WithMappedIO(),
+	); err == nil || !strings.Contains(err.Error(), "WithMappedIO") {
+		t.Errorf("CSV + WithMappedIO: err = %v, want a WithMappedIO error", err)
+	}
+	ds := reptile.NewDataset("d", []string{"a"}, []string{"m"}, nil)
+	ds.AppendRowVals([]string{"x"}, []float64{1})
+	if _, err := reptile.New(ds, reptile.WithMappedIO()); err == nil || !strings.Contains(err.Error(), "WithMappedIO") {
+		t.Errorf("New + WithMappedIO: err = %v, want a WithMappedIO error", err)
+	}
+}
+
+// TestMappedServesLargerThanHeapBudget is the flat-residency end-to-end
+// test: persist a dataset whose eager column payloads dominate its heap
+// cost, then show the mapped open plus a full Recommend stays an order of
+// magnitude under the eager open's heap growth while answering byte-
+// identically. runtime.ReadMemStats deltas stand in for RSS: mapped columns
+// live in the page cache, so live-heap growth is the SDK's own footprint.
+func TestMappedServesLargerThanHeapBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory-budget e2e is not short")
+	}
+	const rows = 200_000
+	ds := datasets.GenerateAbsentee(1, rows)
+	path := filepath.Join(t.TempDir(), "absentee.rst")
+	{
+		eng, err := reptile.New(ds, reptile.WithEMIterations(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds = nil
+
+	heapDelta := func(f func()) int64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		f()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		return int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	}
+
+	var eagerJSON, mappedJSON []byte
+	run := func(opts ...reptile.Option) (*reptile.Engine, []byte) {
+		opts = append(opts, reptile.WithEMIterations(2), reptile.WithWorkers(1))
+		eng, err := reptile.Open(path, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := eng.NewSession(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := sess.Complain("agg=count measure=one dir=high")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, b
+	}
+
+	var eagerEng, mappedEng *reptile.Engine
+	eagerBudget := heapDelta(func() { eagerEng, eagerJSON = run() })
+	mappedCost := heapDelta(func() { mappedEng, mappedJSON = run(reptile.WithMappedIO()) })
+	defer eagerEng.Close()
+	defer mappedEng.Close()
+
+	if !bytes.Equal(mappedJSON, eagerJSON) {
+		t.Errorf("mapped recommendation differs from eager:\nmapped: %.300s\neager:  %.300s", mappedJSON, eagerJSON)
+	}
+	// The absentee schema holds 4 dims + 1 measure: eager columns alone cost
+	// rows × (4·4 + 8) = 24 bytes/row. Anything near that scale on the
+	// mapped side means a column was materialized.
+	columnBytes := int64(rows) * 24
+	if eagerBudget < columnBytes/2 {
+		t.Fatalf("eager heap budget %d implausibly small for %d column bytes; fixture broken", eagerBudget, columnBytes)
+	}
+	if mappedCost > eagerBudget/10 {
+		t.Errorf("mapped open+recommend grew the heap by %d bytes, want ≤ eager budget %d / 10", mappedCost, eagerBudget)
+	}
+
+	// Flat growth under repeated queries: more recommendations over the
+	// mapped engine must not accrete per-row state.
+	sess, err := mappedEng.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := heapDelta(func() {
+		for i := 0; i < 3; i++ {
+			if _, err := sess.Complain("agg=count measure=one dir=high"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if steady > columnBytes/10 {
+		t.Errorf("steady-state recommendations grew the heap by %d bytes, want ≪ %d column bytes", steady, columnBytes)
+	}
+}

@@ -46,6 +46,7 @@ type config struct {
 	buildCube   bool
 	shards      int
 	shardKey    string
+	mappedIO    bool
 	core        core.Options
 }
 
@@ -146,6 +147,16 @@ func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 // the first hierarchy's root. Requires WithShards.
 func WithShardKey(dim string) Option { return func(c *config) { c.shardKey = dim } }
 
+// WithMappedIO serves the opened .rst snapshot (partitioned or not) out of a
+// memory-mapped file instead of decoding its columns onto the heap: residency
+// stays O(dictionaries + cube) rather than O(rows), so snapshots larger than
+// RAM serve with flat RSS, at the price of page-cache reads on cold columns.
+// Recommendations are byte-identical to an eager open. Version-1 snapshot
+// files fall back to an eager load. Only .rst paths accept the option — CSVs
+// are parsed into memory and have no column payloads to map. Call
+// Engine.Close to release the mapping.
+func WithMappedIO() Option { return func(c *config) { c.mappedIO = true } }
+
 // Engine answers complaint-based drill-down queries over one dataset. It
 // wraps the core explanation engine behind a stable API and is safe for
 // concurrent use: many sessions may Recommend against it at once.
@@ -177,17 +188,28 @@ func Open(path string, opts ...Option) (*Engine, error) {
 			if cfg.shards != 0 || cfg.shardKey != "" {
 				return nil, fmt.Errorf("reptile: a partitioned .rst snapshot carries its own shard topology; drop WithShards/WithShardKey")
 			}
-			set, err := shard.Open(path)
+			open := shard.Open
+			if cfg.mappedIO {
+				open = shard.OpenMapped
+			}
+			set, err := open(path)
 			if err != nil {
 				return nil, err
 			}
 			return fromSet(set, cfg)
 		}
-		snap, err := store.OpenFile(path)
+		openFile := store.OpenFile
+		if cfg.mappedIO {
+			openFile = store.OpenMappedFile
+		}
+		snap, err := openFile(path)
 		if err != nil {
 			return nil, err
 		}
 		return fromSnapshot(snap, cfg)
+	}
+	if cfg.mappedIO {
+		return nil, fmt.Errorf("reptile: WithMappedIO needs a .rst snapshot path; %q is parsed as CSV into memory", path)
 	}
 	if len(cfg.measures) == 0 {
 		return nil, fmt.Errorf("reptile: opening CSV %q needs WithMeasures", path)
@@ -219,6 +241,9 @@ func New(ds *Dataset, opts ...Option) (*Engine, error) {
 	}
 	if len(cfg.measures) > 0 || len(cfg.hierarchies) > 0 || cfg.name != "" {
 		return nil, fmt.Errorf("reptile: the dataset already carries its name and schema; drop WithName/WithMeasures/WithHierarchies")
+	}
+	if cfg.mappedIO {
+		return nil, fmt.Errorf("reptile: WithMappedIO needs a .rst snapshot path; the dataset is already in memory")
 	}
 	if cfg.buildCube || cfg.shards >= 2 {
 		return fromSnapshot(store.FromDataset(ds), cfg)
@@ -334,6 +359,20 @@ func (e *Engine) ShardKey() string {
 		return ""
 	}
 	return e.set.Key
+}
+
+// Close releases the memory mapping of an engine opened with WithMappedIO.
+// It is a no-op on eagerly loaded engines and safe to call on every Engine,
+// so `defer eng.Close()` is always correct. After Close, sessions over a
+// mapped engine must not be used.
+func (e *Engine) Close() error {
+	if e.set != nil {
+		return e.set.Close()
+	}
+	if e.snap != nil {
+		return e.snap.Close()
+	}
+	return nil
 }
 
 // SnapshotInfo describes a snapshot written by Engine.Save.

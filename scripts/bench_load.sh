@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
-# Runs the storage-layer benchmarks (CSV vs .rst snapshot load, string-keyed
-# vs dictionary-coded vs sharded-scatter-gather Recommend, cube vs coded-scan
-# GroupBy and incremental cube maintenance) and writes the results to
-# BENCH_load.json in the repository root. Override the iteration count with
-# BENCHTIME (a Go -benchtime value, e.g. "3x" or "2s").
+# Runs the storage-layer benchmarks (CSV vs .rst snapshot load, eager vs
+# memory-mapped open, string-keyed vs dictionary-coded vs sharded
+# scatter-gather Recommend, cube vs coded-scan vs streamed GroupBy and
+# incremental cube maintenance) and writes the results to BENCH_load.json in
+# the repository root. Every run records allocation columns (-benchmem):
+# bytes_per_op and allocs_per_op are the figures of merit for the mapped
+# open, whose residency must stay flat in the row count. Override the
+# iteration count with BENCHTIME (a Go -benchtime value, e.g. "3x" or "2s").
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,9 +17,9 @@ trap 'rm -f "$tmp"' EXIT
 
 # No pipelines around go test: plain sh has no pipefail, and a pipe into tee
 # would mask a benchmark failure behind tee's exit status.
-go test -run '^$' -bench 'BenchmarkLoad(CSV|Snapshot)$' -benchtime "$benchtime" -count 1 ./internal/store > "$tmp"
-go test -run '^$' -bench 'BenchmarkRecommend(Sequential|Coded)$|BenchmarkRecommendSharded$' -benchtime "$benchtime" -count 1 . >> "$tmp"
-go test -run '^$' -bench 'BenchmarkGroupBy(Coded|Cube)$|BenchmarkCubeAppendMerge$' -benchtime "$benchtime" -count 1 ./internal/cube >> "$tmp"
+go test -run '^$' -bench 'BenchmarkLoad(CSV|Snapshot)$|BenchmarkOpenMapped$|BenchmarkGroupByStreamed$' -benchtime "$benchtime" -benchmem -count 1 ./internal/store > "$tmp"
+go test -run '^$' -bench 'BenchmarkRecommend(Sequential|Coded)$|BenchmarkRecommendSharded$' -benchtime "$benchtime" -benchmem -count 1 . >> "$tmp"
+go test -run '^$' -bench 'BenchmarkGroupBy(Coded|Cube)$|BenchmarkCubeAppendMerge$' -benchtime "$benchtime" -benchmem -count 1 ./internal/cube >> "$tmp"
 cat "$tmp"
 
 awk '
@@ -25,8 +28,13 @@ BEGIN { n = 0 }
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
+    bytes = 0; allocs = 0
+    for (i = 2; i <= NF; i++) {
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
     if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, bytes, allocs
 }
 END { if (n == 0) exit 1 }
 ' "$tmp" > "$out.body"
