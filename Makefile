@@ -10,7 +10,7 @@ test: build
 	go test ./...
 
 race:
-	go test -race ./internal/core/... ./internal/shard/... ./internal/server/... ./internal/store/... ./internal/cube/... ./reptile/...
+	go test -race ./internal/core/... ./internal/shard/... ./internal/server/... ./internal/store/... ./internal/cube/... ./internal/wal/... ./reptile/...
 
 # lint checks formatting, vets every package, and enforces the public-API
 # import boundary (examples/ and reptile/{api,client} never reach into

@@ -8,6 +8,9 @@
 //	reptiled [-addr 127.0.0.1:8372] [-session-ttl 15m] [-cache-size 256]
 //	         [-max-inflight 0] [-queue-wait 100ms] [-no-cube]
 //	         [-shards 0] [-shard-key dim] [-mmap]
+//	         [-wal] [-wal-dir .] [-flush-rows 256] [-flush-bytes 1048576]
+//	         [-flush-interval 200ms] [-checkpoint-bytes 8388608]
+//	         [-retention 0] [-retention-dim dim]
 //
 // The API is unauthenticated and POST /v1/datasets can name server-local CSV
 // paths, so the default bind is loopback; put a reverse proxy with
@@ -57,8 +60,26 @@
 // pick up the new version on their next request, and recommendations already
 // in flight finish on the old version.
 //
+// -wal turns appends into durable micro-batched ingestion: every append
+// commits its rows to <wal-dir>/<dataset>.wal (fsynced before the request is
+// acknowledged, with the log position returned as wal_seq) and a per-dataset
+// flusher coalesces pending rows — up to -flush-rows rows or -flush-bytes
+// bytes, at most -flush-interval after arrival — into a single snapshot
+// rebuild and hot swap. Once a log outgrows -checkpoint-bytes, the serving
+// state checkpoints to <dataset>.ckpt.<seq>.rst and the log truncates.
+// Re-registering a dataset after a restart recovers the checkpoint and
+// replays the log, so every acknowledged row survives a crash.
+//
+// -retention WINDOW -retention-dim DIM bound every dataset's history: rows
+// whose event time on DIM falls more than WINDOW behind the dataset's newest
+// event are dropped at the next flush (windows use Go duration notation, so
+// two years is 17520h). Individual registrations can override both via the
+// request's retention/retention_dim fields. GET /v1/stats reports each
+// dataset's WAL depth, flush statistics and retention horizon.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// requests and then flushing every dataset's pending micro-batch (with a
+// final log fsync) before exiting.
 package main
 
 import (
@@ -87,18 +108,34 @@ func main() {
 		shards      = flag.Int("shards", 0, "partition registered datasets into N shards (0 or 1 = unsharded)")
 		shardKey    = flag.String("shard-key", "", "partition dimension, a hierarchy root (default: the first hierarchy's root)")
 		mmapIO      = flag.Bool("mmap", false, "serve registered .rst snapshots memory-mapped instead of heap-decoded")
+		useWAL      = flag.Bool("wal", false, "write-ahead-log appends and micro-batch them into the serving state")
+		walDir      = flag.String("wal-dir", ".", "directory for write-ahead logs and checkpoints")
+		flushRows   = flag.Int("flush-rows", 256, "micro-batch flush threshold in rows")
+		flushBytes  = flag.Int("flush-bytes", 1<<20, "micro-batch flush threshold in bytes")
+		flushEvery  = flag.Duration("flush-interval", 200*time.Millisecond, "maximum time a logged row waits before flushing")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 8<<20, "checkpoint and truncate a WAL once it outgrows this size (negative disables)")
+		retention   = flag.Duration("retention", 0, "drop rows this far behind the newest event time (0 keeps everything; e.g. 17520h = 2 years)")
+		retDim      = flag.String("retention-dim", "", "time dimension retention is measured on (required with -retention)")
 	)
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		SessionTTL:  *sessionTTL,
-		CacheSize:   *cacheSize,
-		MaxInflight: *maxInflight,
-		QueueWait:   *queueWait,
-		DisableCube: *noCube,
-		Shards:      *shards,
-		ShardKey:    *shardKey,
-		MappedIO:    *mmapIO,
+		SessionTTL:      *sessionTTL,
+		CacheSize:       *cacheSize,
+		MaxInflight:     *maxInflight,
+		QueueWait:       *queueWait,
+		DisableCube:     *noCube,
+		Shards:          *shards,
+		ShardKey:        *shardKey,
+		MappedIO:        *mmapIO,
+		WAL:             *useWAL,
+		WALDir:          *walDir,
+		FlushRows:       *flushRows,
+		FlushBytes:      *flushBytes,
+		FlushInterval:   *flushEvery,
+		CheckpointBytes: *ckptBytes,
+		Retention:       *retention,
+		RetentionDim:    *retDim,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -119,6 +156,9 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			log.Printf("ingestion shutdown: %v", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/store"
+)
+
+// appendBenchBaseRows sizes the registered dataset the appends rebuild on:
+// large enough that the per-rebuild cost (snapshot, cube merge, engine) is
+// what coalescing amortizes.
+const appendBenchBaseRows = 20_000
+
+// appendBenchRows generates n single-row append payloads over the absentee
+// schema, deterministic and FD-clean (every hierarchy is single-attribute).
+func appendBenchRows(n int) []store.Row {
+	rows := make([]store.Row, n)
+	for i := range rows {
+		rows[i] = store.Row{
+			Dims: []string{
+				fmt.Sprintf("county%03d", i%100),
+				[]string{"DEM", "REP", "UNA"}[i%3],
+				fmt.Sprintf("w%02d", i%53),
+				[]string{"F", "M"}[i%2],
+			},
+			Measures: []float64{1},
+		}
+	}
+	return rows
+}
+
+// BenchmarkAppendMicroBatch compares the two ingestion paths one appended row
+// at a time: the synchronous path rebuilds the snapshot, cube and engine on
+// every call, while the WAL-backed path commits each row to the log (fsync)
+// and lets the flusher coalesce 100 rows per rebuild. Custom metrics report
+// ingest throughput (rows/s) and amortization (rebuilds/krow); the coalesced
+// variant's drain is inside the timed region, so its throughput includes
+// folding every row into the serving state, not just logging it.
+func BenchmarkAppendMicroBatch(b *testing.B) {
+	base := datasets.GenerateAbsentee(1, appendBenchBaseRows)
+
+	b.Run("per-row-rebuild", func(b *testing.B) {
+		s := New(Config{})
+		if err := s.RegisterDataset("absentee", base, core.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		rows := appendBenchRows(b.N)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Append("absentee", rows[i:i+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "rows/s")
+		b.ReportMetric(1000, "rebuilds/krow")
+	})
+
+	b.Run("coalesced-batch100", func(b *testing.B) {
+		s := New(Config{
+			WAL: true, WALDir: b.TempDir(),
+			FlushRows: 100, FlushBytes: 1 << 30, FlushInterval: time.Hour,
+			CheckpointBytes: -1,
+		})
+		if err := s.RegisterDataset("absentee", base, core.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		s.mu.Lock()
+		ing := s.engines["absentee"].ing
+		s.mu.Unlock()
+		rows := appendBenchRows(b.N)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Append("absentee", rows[i:i+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Drain the tail batch so every appended row is folded before the
+		// clock stops.
+		if err := ing.close(true); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		ing.mu.Lock()
+		flushes := ing.flushes
+		ing.mu.Unlock()
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "rows/s")
+		b.ReportMetric(float64(flushes)*1000/float64(b.N), "rebuilds/krow")
+	})
+}

@@ -83,14 +83,24 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.CodeBadRequest, fmt.Errorf("shards must be non-negative, got %d", req.Shards))
 		return
 	}
-	opts := core.Options{EMIterations: req.EMIterations, TopK: req.TopK, Workers: req.Workers}
-	// Per-request shard topology falls back to the server's defaults.
-	shards, shardKey := req.Shards, req.ShardKey
-	if shards == 0 {
-		shards = s.cfg.Shards
+	// Per-request tuning falls back to the server's defaults.
+	rc := s.regDefaults(core.Options{EMIterations: req.EMIterations, TopK: req.TopK, Workers: req.Workers})
+	if req.Shards != 0 {
+		rc.shards = req.Shards
 	}
-	if shardKey == "" {
-		shardKey = s.cfg.ShardKey
+	if req.ShardKey != "" {
+		rc.shardKey = req.ShardKey
+	}
+	if req.Retention != "" {
+		window, err := time.ParseDuration(req.Retention)
+		if err != nil || window <= 0 {
+			writeError(w, api.CodeBadRequest, fmt.Errorf("retention must be a positive Go duration (e.g. %q), got %q", "17520h", req.Retention))
+			return
+		}
+		rc.retention = window
+	}
+	if req.RetentionDim != "" {
+		rc.retDim = req.RetentionDim
 	}
 	var snap *store.Snapshot
 	if strings.HasSuffix(req.Path, ".rst") {
@@ -121,7 +131,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 				writeError(w, api.CodeBadRequest, err)
 				return
 			}
-			if err := s.RegisterSharded(req.Name, set, opts); err != nil {
+			if err := s.registerShardedRC(req.Name, set, rc); err != nil {
 				code := api.CodeBadRequest
 				if errors.Is(err, ErrDuplicateDataset) {
 					code = api.CodeDatasetExists
@@ -163,7 +173,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		}
 		snap = store.FromDataset(ds)
 	}
-	if err := s.registerSnapshotSharded(req.Name, snap, shards, shardKey, opts); err != nil {
+	if err := s.registerSnapshot(req.Name, snap, rc); err != nil {
 		code := api.CodeBadRequest
 		if errors.Is(err, ErrDuplicateDataset) {
 			code = api.CodeDatasetExists
@@ -247,15 +257,27 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.CodeBadRequest, err)
 		return
 	}
-	next, err := s.Append(name, rows)
-	if err != nil {
-		writeError(w, api.CodeUnprocessable, err)
-		return
+	resp := api.AppendResponse{Appended: len(rows)}
+	if ent.ing != nil {
+		// WAL-backed: the rows are durable once logged; the flusher folds
+		// them into the serving state asynchronously. The response reports
+		// the version still serving plus the client's replay position.
+		seq, pending, err := ent.ing.enqueue(rows)
+		if err != nil {
+			writeError(w, api.CodeUnprocessable, err)
+			return
+		}
+		resp.WALSeq, resp.PendingRows = seq, pending
+		resp.DatasetInfo = datasetInfo(name, ent.state.Load())
+	} else {
+		next, err := s.applySync(ent, rows)
+		if err != nil {
+			writeError(w, api.CodeUnprocessable, err)
+			return
+		}
+		resp.DatasetInfo = datasetInfo(name, next)
 	}
-	writeJSON(w, http.StatusOK, api.AppendResponse{
-		DatasetInfo: datasetInfo(name, next),
-		Appended:    len(rows),
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // parseAppendCSV decodes appended rows against the snapshot's schema. The
@@ -293,30 +315,34 @@ func parseAppendCSV(snap *store.Snapshot, content string) ([]store.Row, error) {
 		return nil, fmt.Errorf("append CSV has %d columns, dataset has %d", len(col), len(snap.Dims)+len(snap.Measures))
 	}
 	var rows []store.Row
-	for line := 2; ; line++ {
+	// row is 1-based over data rows; the header is CSV line 1, so data row r
+	// sits on line r+1 — errors cite both so they are findable in either
+	// numbering.
+	for row := 1; ; row++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("reading append CSV line %d: %w", line, err)
+			return nil, fmt.Errorf("reading append CSV row %d (line %d): %w", row, row+1, err)
 		}
-		row := store.Row{Dims: make([]string, len(dimIdx)), Measures: make([]float64, len(msIdx))}
+		r := store.Row{Dims: make([]string, len(dimIdx)), Measures: make([]float64, len(msIdx))}
 		for i, j := range dimIdx {
-			row.Dims[i] = rec[j]
+			r.Dims[i] = rec[j]
 		}
 		for i, j := range msIdx {
 			v, err := strconv.ParseFloat(rec[j], 64)
 			if err != nil {
-				return nil, fmt.Errorf("append CSV line %d column %q: %w", line, snap.Measures[i].Name, err)
+				return nil, fmt.Errorf("append CSV row %d (line %d) column %q: %w",
+					row, row+1, snap.Measures[i].Name, err)
 			}
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("append CSV line %d column %q: non-finite measure value %q",
-					line, snap.Measures[i].Name, rec[j])
+				return nil, fmt.Errorf("append CSV row %d (line %d) column %q: non-finite measure value %q",
+					row, row+1, snap.Measures[i].Name, rec[j])
 			}
-			row.Measures[i] = v
+			r.Measures[i] = v
 		}
-		rows = append(rows, row)
+		rows = append(rows, r)
 	}
 	return rows, nil
 }
@@ -525,6 +551,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		} else if c := st.snap.Cube(); c != nil {
 			d.Cube = api.CubeStatus{Present: true, Levels: c.NumLevels(), Cells: c.NumCells()}
 		}
+		if ent.ing != nil {
+			d.WAL = ent.ing.status()
+		}
+		d.Retention = ent.retentionStatus()
 		resp.Datasets[name] = d
 	}
 	s.mu.Unlock()

@@ -91,6 +91,39 @@ type Config struct {
 	// encoded in memory and have no file to map). Mapped datasets reject
 	// appends — re-register eagerly to ingest.
 	MappedIO bool
+	// WAL enables per-dataset write-ahead logging with micro-batched ingestion:
+	// every append commits its rows to <WALDir>/<dataset>.wal (fsynced before
+	// the request is acknowledged) and returns immediately; a background
+	// flusher coalesces pending rows into one snapshot rebuild per micro-batch.
+	// On restart, re-registering a dataset under the same name replays the log
+	// (on top of the newest checkpoint, when one exists), so every acknowledged
+	// row survives a crash. Mapped datasets, which reject appends, are served
+	// without a log.
+	WAL bool
+	// WALDir is the directory holding logs and checkpoint snapshots.
+	// Default ".".
+	WALDir string
+	// FlushRows, FlushBytes and FlushInterval bound a micro-batch: the flusher
+	// folds pending rows into the serving state as soon as either size
+	// threshold is crossed, and no later than FlushInterval after they were
+	// logged. Defaults: 256 rows, 1 MiB, 200ms.
+	FlushRows     int
+	FlushBytes    int
+	FlushInterval time.Duration
+	// CheckpointBytes triggers a checkpoint once a dataset's log outgrows this
+	// many bytes: the serving state is serialized to <dataset>.ckpt.<seq>.rst
+	// (the filename carries the last folded sequence number, so one rename
+	// commits data and position together) and the log is truncated. Default
+	// 8 MiB; negative disables checkpointing, the log then grows unbounded.
+	CheckpointBytes int64
+	// Retention bounds every registered dataset's history: rows whose event
+	// time on RetentionDim falls more than the window behind the dataset's
+	// newest event are dropped at the next flush, producing a new snapshot
+	// version. Individual registrations can override both fields. 0 keeps
+	// all rows. The horizon is event-time based, never wall-clock, so a
+	// paused feed loses nothing.
+	Retention    time.Duration
+	RetentionDim string
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +135,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueWait == 0 {
 		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.WALDir == "" {
+		c.WALDir = "."
+	}
+	if c.FlushRows <= 0 {
+		c.FlushRows = 256
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 1 << 20
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Millisecond
+	}
+	if c.CheckpointBytes == 0 {
+		c.CheckpointBytes = 8 << 20
 	}
 	return c
 }
@@ -188,6 +236,17 @@ type engineEntry struct {
 	// release after. Capacity is Config.MaxInflight (default: the engine's
 	// worker count).
 	slots chan struct{}
+	// ing is the dataset's WAL-backed ingestion pipeline (log + micro-batch
+	// flusher); nil when the dataset takes synchronous appends.
+	ing *ingester
+	// retWindow and retDim configure time-window retention, fixed at
+	// registration (0 window = keep everything). retMu guards the running
+	// enforcement counters below, which appends update and stats read.
+	retWindow  time.Duration
+	retDim     string
+	retMu      sync.Mutex
+	retDropped uint64
+	retHorizon time.Time
 }
 
 // acquire claims a recommendation slot, waiting up to wait. It returns false
@@ -263,6 +322,28 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// regConfig is one registration's effective tuning: shard topology, engine
+// options and retention window, each defaulted from the server Config and
+// overridable per request.
+type regConfig struct {
+	shards    int
+	shardKey  string
+	retention time.Duration
+	retDim    string
+	opts      core.Options
+}
+
+// regDefaults seeds a registration's tuning from the server configuration.
+func (s *Server) regDefaults(opts core.Options) regConfig {
+	return regConfig{
+		shards:    s.cfg.Shards,
+		shardKey:  s.cfg.ShardKey,
+		retention: s.cfg.Retention,
+		retDim:    s.cfg.RetentionDim,
+		opts:      opts,
+	}
+}
+
 // RegisterDataset adds a named dataset to the registry. The dataset is
 // dictionary-encoded into a store.Snapshot first, so the shared engine runs
 // over code-backed columns and the dataset can later take appends. It is the
@@ -278,58 +359,96 @@ func (s *Server) RegisterDataset(name string, ds *data.Dataset, opts core.Option
 // hierarchy-prefix group-bys never rescan rows. When Config.Shards asks for
 // sharded serving, the snapshot is partitioned first.
 func (s *Server) RegisterSnapshot(name string, snap *store.Snapshot, opts core.Options) error {
-	return s.registerSnapshotSharded(name, snap, s.cfg.Shards, s.cfg.ShardKey, opts)
+	return s.registerSnapshot(name, snap, s.regDefaults(opts))
 }
 
-// registerSnapshotSharded registers a snapshot with an explicit shard
-// topology: n ≥ 2 partitions on key (defaulted to the first hierarchy's root
-// when empty), anything less serves unsharded.
-func (s *Server) registerSnapshotSharded(name string, snap *store.Snapshot, n int, key string, opts core.Options) error {
-	// Fail duplicate names before paying for partitioning, cube or engine
-	// construction; insertEntry rechecks under the same lock.
+// registerSnapshot registers a snapshot under rc's topology: shards ≥ 2
+// partitions on shardKey (defaulted to the first hierarchy's root when
+// empty), anything less serves unsharded. With Config.WAL set, the dataset's
+// durable state recovers first — the newest checkpoint supersedes snap, the
+// log's surviving batches fold in — so a re-registration after a crash
+// serves every acknowledged row.
+func (s *Server) registerSnapshot(name string, snap *store.Snapshot, rc regConfig) error {
+	// Fail duplicate names before paying for recovery, partitioning, cube or
+	// engine construction; finishRegister rechecks under the same lock.
 	if err := s.checkName(name); err != nil {
 		return err
 	}
-	if n >= 2 {
-		set, err := shard.Partition(snap, n, key)
+	var ing *ingester
+	if s.cfg.WAL && !snap.Mapped() {
+		var set *shard.Set
+		var err error
+		ing, snap, set, err = s.recoverDataset(name, snap)
 		if err != nil {
 			return err
 		}
-		return s.RegisterSharded(name, set, opts)
+		if set != nil {
+			// The checkpoint was written by a sharded serving state; its
+			// topology wins over the requested one.
+			return s.registerSet(name, set, rc, ing)
+		}
+	}
+	if rc.shards >= 2 {
+		set, err := shard.Partition(snap, rc.shards, rc.shardKey)
+		if err != nil {
+			return abandonIngest(ing, err)
+		}
+		return s.registerSet(name, set, rc, ing)
 	}
 	if !s.cfg.DisableCube {
 		if err := snap.BuildCube(); err != nil {
-			return err
+			return abandonIngest(ing, err)
 		}
 	}
 	ds, err := snap.Dataset()
 	if err != nil {
-		return err
+		return abandonIngest(ing, err)
 	}
-	eng, err := core.NewEngine(ds, opts)
+	eng, err := core.NewEngine(ds, rc.opts)
 	if err != nil {
-		return err
+		return abandonIngest(ing, err)
 	}
-	return s.insertEntry(name, opts, &engineState{eng: eng, snap: snap}, store.NewBuilder(snap))
+	return s.finishRegister(name, rc, &engineState{eng: eng, snap: snap}, store.NewBuilder(snap), ing)
 }
 
 // RegisterSharded adds a pre-partitioned dataset to the registry, building
 // one engine that scatters aggregations across the set's shards. Unless
-// Config.DisableCube is set, every shard gets its own rollup cube.
+// Config.DisableCube is set, every shard gets its own rollup cube. With
+// Config.WAL set, durable state recovers first, exactly as for unsharded
+// registrations.
 func (s *Server) RegisterSharded(name string, set *shard.Set, opts core.Options) error {
+	return s.registerShardedRC(name, set, s.regDefaults(opts))
+}
+
+// registerShardedRC is RegisterSharded with explicit per-registration tuning.
+func (s *Server) registerShardedRC(name string, set *shard.Set, rc regConfig) error {
 	if err := s.checkName(name); err != nil {
 		return err
 	}
-	if !s.cfg.DisableCube {
-		if err := set.BuildCubes(); err != nil {
+	var ing *ingester
+	if s.cfg.WAL && !set.Snaps[0].Mapped() {
+		var err error
+		ing, set, err = s.recoverSet(name, set)
+		if err != nil {
 			return err
 		}
 	}
-	eng, err := set.Engine(opts)
-	if err != nil {
-		return err
+	return s.registerSet(name, set, rc, ing)
+}
+
+// registerSet builds the scatter-gather engine over a recovered (or fresh)
+// shard set and inserts it.
+func (s *Server) registerSet(name string, set *shard.Set, rc regConfig, ing *ingester) error {
+	if !s.cfg.DisableCube {
+		if err := set.BuildCubes(); err != nil {
+			return abandonIngest(ing, err)
+		}
 	}
-	return s.insertEntry(name, opts, &engineState{eng: eng, set: set}, nil)
+	eng, err := set.Engine(rc.opts)
+	if err != nil {
+		return abandonIngest(ing, err)
+	}
+	return s.finishRegister(name, rc, &engineState{eng: eng, set: set}, nil, ing)
 }
 
 // checkName rejects empty and already-registered dataset names.
@@ -346,26 +465,49 @@ func (s *Server) checkName(name string) error {
 	return nil
 }
 
-// insertEntry wires a built engine state into the registry under name.
-// Duplicate names are rechecked under the lock, so a racing twin still gets
-// the conflict, just after doing the work. builder is nil for sharded
-// datasets — their appends route through shard.Set.Append instead.
-func (s *Server) insertEntry(name string, opts core.Options, st *engineState, builder *store.Builder) error {
+// finishRegister validates retention against the built state, wires it into
+// the registry under name, attaches the ingestion pipeline, and runs the
+// first retention pass. Duplicate names are rechecked under the lock, so a
+// racing twin still gets the conflict, just after doing the work. builder is
+// nil for sharded datasets — their appends route through shard.Set.Append
+// instead.
+func (s *Server) finishRegister(name string, rc regConfig, st *engineState, builder *store.Builder, ing *ingester) error {
+	if rc.retention > 0 {
+		if rc.retDim == "" {
+			return abandonIngest(ing, fmt.Errorf("server: dataset %q: a retention window needs a retention dimension", name))
+		}
+		if _, _, err := store.MaxEventTime(st.schema(), rc.retDim); err != nil {
+			return abandonIngest(ing, err)
+		}
+	}
 	max := s.cfg.MaxInflight
 	if max <= 0 {
 		// Default to the engine's resolved pool size, so admission matches
 		// the workers a Recommend actually fans out onto.
 		max = st.eng.Workers()
 	}
-	ent := &engineEntry{name: name, opts: opts, slots: make(chan struct{}, max), builder: builder}
+	ent := &engineEntry{
+		name: name, opts: rc.opts, slots: make(chan struct{}, max), builder: builder,
+		ing: ing, retWindow: rc.retention, retDim: rc.retDim,
+	}
 	ent.state.Store(st)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.engines[name]; dup {
-		return fmt.Errorf("server: %w: %q", ErrDuplicateDataset, name)
+		s.mu.Unlock()
+		return abandonIngest(ing, fmt.Errorf("server: %w: %q", ErrDuplicateDataset, name))
 	}
 	s.engines[name] = ent
-	return nil
+	s.mu.Unlock()
+	if ing != nil {
+		ing.start(ent)
+	}
+	// Enforce retention on the freshly registered (possibly just-recovered)
+	// state, so a window configured while the server was down applies before
+	// the first query, not after the first append.
+	ent.appendMu.Lock()
+	err := s.retainLocked(ent)
+	ent.appendMu.Unlock()
+	return err
 }
 
 // Append ingests rows into a registered dataset: it builds the successor
@@ -377,6 +519,9 @@ func (s *Server) insertEntry(name string, opts core.Options, st *engineState, bu
 // are delta-merged rather than rebuilt. Sessions rebind to the new version
 // on their next request; a Recommend already in flight finishes on the
 // version it loaded. Concurrent Appends to the same dataset serialize.
+// When the dataset is WAL-backed, Append instead commits the rows to the log
+// and returns the state still serving — the flusher folds them in moments
+// later (use the HTTP layer's wal_seq/pending_rows to observe the lag).
 func (s *Server) Append(name string, rows []store.Row) (*engineState, error) {
 	s.mu.Lock()
 	ent, ok := s.engines[name]
@@ -384,8 +529,41 @@ func (s *Server) Append(name string, rows []store.Row) (*engineState, error) {
 	if !ok {
 		return nil, fmt.Errorf("server: unknown dataset %q", name)
 	}
+	if ent.ing != nil {
+		if _, _, err := ent.ing.enqueue(rows); err != nil {
+			return nil, err
+		}
+		return ent.state.Load(), nil
+	}
+	return s.applySync(ent, rows)
+}
+
+// applySync folds rows into ent's serving state synchronously: append,
+// retention pass, atomic swap, cache invalidation. It is the terminal apply
+// path for both synchronous appends and the micro-batch flusher. Concurrent
+// applies to the same dataset serialize on appendMu.
+func (s *Server) applySync(ent *engineEntry, rows []store.Row) (*engineState, error) {
 	ent.appendMu.Lock()
 	defer ent.appendMu.Unlock()
+	if _, err := s.applyRowsLocked(ent, rows); err != nil {
+		return nil, err
+	}
+	if err := s.retainLocked(ent); err != nil {
+		// The rows landed; a failing retention pass (validated away at
+		// registration, so effectively a bug) must not fail the append.
+		ent.recordRetainError(err)
+	}
+	s.invalidateDataset(ent)
+	return ent.state.Load(), nil
+}
+
+// applyRowsLocked builds the successor state from rows and swaps it in.
+// Callers hold ent.appendMu. Zero rows is a no-op returning the current
+// state.
+func (s *Server) applyRowsLocked(ent *engineEntry, rows []store.Row) (*engineState, error) {
+	if len(rows) == 0 {
+		return ent.state.Load(), nil
+	}
 	var swapped *engineState
 	if st := ent.state.Load(); st.set != nil {
 		// Sharded: Set.Append never mutates its receiver, so a failed build
@@ -420,11 +598,15 @@ func (s *Server) Append(name string, rows []store.Row) (*engineState, error) {
 			return nil, err
 		}
 	}
-	// The swapped-out version's recommendations are stale: drop every cache
-	// entry belonging to this dataset's sessions. In-flight evaluations of
-	// the old version guard their own inserts with a state re-check, and a
-	// rebound session's state key rests on the new engine, so nothing stale
-	// can be re-inserted under a live key.
+	return swapped, nil
+}
+
+// invalidateDataset drops every cached recommendation belonging to the
+// dataset's sessions after a hot swap. In-flight evaluations of the old
+// version guard their own inserts with a state re-check, and a rebound
+// session's state key rests on the new engine, so nothing stale can be
+// re-inserted under a live key.
+func (s *Server) invalidateDataset(ent *engineEntry) {
 	s.mu.Lock()
 	if s.cache != nil {
 		for _, sess := range s.sessions {
@@ -434,7 +616,6 @@ func (s *Server) Append(name string, rows []store.Row) (*engineState, error) {
 		}
 	}
 	s.mu.Unlock()
-	return swapped, nil
 }
 
 // Handler returns the server's HTTP routes.

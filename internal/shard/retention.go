@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Retain enforces a time-windowed retention across the whole set: the
+// horizon is the newest parseable event time on dim over ALL shards minus
+// window, so every shard drops against the same cut-off regardless of where
+// the newest rows landed. Shards that lose rows are filtered (cube rebuilt),
+// untouched shards are re-stamped to the successor version sharing their
+// columns and cube, and the receiver is never mutated — callers that fail
+// mid-swap keep serving the old Set. When no shard drops a row, the receiver
+// itself is returned with dropped 0.
+func (s *Set) Retain(dim string, window time.Duration) (*Set, int, time.Time, error) {
+	var max time.Time
+	var ok bool
+	for _, sn := range s.Snaps {
+		m, mok, err := store.MaxEventTime(sn, dim)
+		if err != nil {
+			return nil, 0, time.Time{}, fmt.Errorf("shard: %w", err)
+		}
+		if mok && (!ok || m.After(max)) {
+			max, ok = m, true
+		}
+	}
+	if !ok {
+		return s, 0, time.Time{}, nil
+	}
+	horizon := max.Add(-window)
+
+	version := s.Version() + 1
+	next := &Set{Key: s.Key, Snaps: make([]*store.Snapshot, len(s.Snaps))}
+	total := 0
+	for si, sn := range s.Snaps {
+		filtered, dropped, err := store.RetainAfter(sn, dim, horizon)
+		if err != nil {
+			return nil, 0, time.Time{}, fmt.Errorf("shard: shard %d: %w", si, err)
+		}
+		total += dropped
+		if dropped == 0 {
+			// Unchanged rows, but the version must move with the siblings.
+			next.Snaps[si] = store.WithVersion(sn, version)
+			continue
+		}
+		next.Snaps[si] = filtered // RetainAfter already stamped Version+1
+	}
+	if total == 0 {
+		return s, 0, horizon, nil
+	}
+	return next, total, horizon, nil
+}

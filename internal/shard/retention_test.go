@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/store"
+)
+
+func TestSetRetainGlobalHorizon(t *testing.T) {
+	// Partition by region so years are spread across every shard; the horizon
+	// must still be global (anchored on the newest year anywhere).
+	set := mustPartition(t, testDataset(), 3, "region")
+	if err := set.BuildCubes(); err != nil {
+		t.Fatal(err)
+	}
+	before := set.TotalRows()
+	baseVersion := set.Version()
+
+	// A wide window keeps everything and returns the receiver.
+	same, dropped, _, err := set.Retain("year", 10*365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || same != set {
+		t.Fatalf("wide window: dropped=%d same=%v", dropped, same == set)
+	}
+
+	// Keep 2020 and 2021, drop 2019 (one row per city).
+	next, dropped, horizon, err := set.Retain("year", 500*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDropped := before / 3 // one year of three, uniformly populated
+	if dropped != wantDropped {
+		t.Fatalf("dropped = %d, want %d", dropped, wantDropped)
+	}
+	if next.TotalRows() != before-wantDropped {
+		t.Errorf("rows = %d, want %d", next.TotalRows(), before-wantDropped)
+	}
+	if want, _ := store.ParseEventTime("2021"); !horizon.Before(want) {
+		t.Errorf("horizon = %v", horizon)
+	}
+	// Every shard — touched or not — moved to the same successor version.
+	if next.Version() != baseVersion+1 {
+		t.Errorf("version = %d, want %d", next.Version(), baseVersion+1)
+	}
+	for si, sn := range next.Snaps {
+		if sn.Version != baseVersion+1 {
+			t.Errorf("shard %d version = %d, want %d", si, sn.Version, baseVersion+1)
+		}
+		if sn.Cube() == nil {
+			t.Errorf("shard %d lost its cube", si)
+		}
+		dsView, err := sn.Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, y := range dsView.Dim("year") {
+			if y == "2019" {
+				t.Errorf("shard %d still serves a 2019 row", si)
+			}
+		}
+	}
+	// The receiver is untouched.
+	if set.TotalRows() != before || set.Version() != baseVersion {
+		t.Errorf("receiver mutated: rows=%d version=%d", set.TotalRows(), set.Version())
+	}
+}
+
+func TestSetRetainUnevenShards(t *testing.T) {
+	// Shard by region; only one region carries the newest year, so the other
+	// shards anchor on a horizon they never observed locally.
+	h := []data.Hierarchy{
+		{Name: "geo", Attrs: []string{"region"}},
+		{Name: "time", Attrs: []string{"year"}},
+	}
+	ds := data.New("skewed", []string{"region", "year"}, []string{"v"}, h)
+	ds.AppendRowVals([]string{"north", "2018"}, []float64{1})
+	ds.AppendRowVals([]string{"north", "2019"}, []float64{2})
+	ds.AppendRowVals([]string{"south", "2024"}, []float64{3})
+	set := mustPartition(t, ds, 2, "region")
+
+	next, dropped, _, err := set.Retain("year", 400*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizon anchors on 2024: both north rows fall behind it even though the
+	// north shard's local maximum is 2019.
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if next.TotalRows() != 1 {
+		t.Errorf("rows = %d, want 1", next.TotalRows())
+	}
+}

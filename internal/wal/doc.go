@@ -1,0 +1,52 @@
+// Package wal implements the per-dataset write-ahead log that gives row
+// ingestion durability between snapshot versions. A server acknowledging an
+// append before folding it into a snapshot first commits the batch here:
+// every Append writes one framed record and fsyncs before returning, so an
+// acknowledged batch survives a crash and is replayed on the next Open.
+//
+// # On-disk layout
+//
+// A log file is a 13-byte header followed by zero or more frames, all
+// little-endian:
+//
+//	header:
+//	  magic     4 bytes  "RWAL"
+//	  version   1 byte   currently 1
+//	  startSeq  8 bytes  uint64; sequence numbering resumes at
+//	                     max(startSeq, last frame seq + 1)
+//
+//	frame (one committed batch):
+//	  length    4 bytes  uint32, byte length of seq + payload
+//	  seq       8 bytes  uint64, strictly increasing across the file
+//	  payload   length−8 bytes (see below)
+//	  crc       4 bytes  CRC-32C (Castagnoli) over length, seq and payload
+//
+//	payload (one row batch):
+//	  nRows     uvarint
+//	  nDims     uvarint
+//	  nMeasures uvarint
+//	  per row, in order:
+//	    nDims × (uvarint byte length, raw value bytes)
+//	    nMeasures × 8-byte IEEE-754 float64 bits
+//
+// The CRC covers the frame's own length and sequence fields, so a frame whose
+// length bytes were themselves corrupted cannot smuggle a bogus payload past
+// the check.
+//
+// # Recovery semantics
+//
+// Open scans the file front to back and returns every intact batch. The scan
+// stops at the first frame that is torn (the file ends inside it — the
+// classic crash-mid-write tail), fails its CRC, decodes inconsistently, or
+// breaks the strictly-increasing sequence order; the file is truncated back
+// to the end of the last intact frame, because nothing after a broken frame
+// can be trusted. A missing file is created empty. Both outcomes leave the
+// log ready for new Appends.
+//
+// Reset atomically replaces the log with an empty one whose header carries
+// the next sequence number, so numbering never repeats across truncations.
+// Callers Reset after the logged batches are durably captured elsewhere
+// (e.g. a checkpoint snapshot written by internal/server); the checkpoint
+// records the last sequence it folded in, and recovery skips replayed frames
+// at or below it.
+package wal

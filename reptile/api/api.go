@@ -158,6 +158,16 @@ type RegisterDatasetRequest struct {
 	// root attribute of one of the dataset's hierarchies. Empty defaults to
 	// the first hierarchy's root.
 	ShardKey string `json:"shard_key,omitempty"`
+	// Retention, a Go duration string ("72h", "17520h"), bounds the dataset's
+	// history: rows whose event time on RetentionDim falls more than this
+	// window behind the newest event are dropped at the next flush. Empty
+	// defers to the server's configured default window.
+	Retention string `json:"retention,omitempty"`
+	// RetentionDim names the time dimension retention is measured on. Values
+	// parse as RFC 3339 timestamps down to bare years; rows with unparsable
+	// values are kept. Required when Retention is set (unless the server
+	// configures a default dimension).
+	RetentionDim string `json:"retention_dim,omitempty"`
 }
 
 // DatasetInfo describes one registered dataset's currently-served snapshot
@@ -186,10 +196,21 @@ type AppendRequest struct {
 	CSV string `json:"csv"`
 }
 
-// AppendResponse reports the hot-swapped successor version after an append.
+// AppendResponse reports the serving state after an append. On a dataset with
+// write-ahead logging, rows are durable (WALSeq) the moment the response
+// arrives but fold into the served version asynchronously: DatasetInfo then
+// describes the version still serving, and PendingRows counts rows logged but
+// not yet flushed. Without a WAL the swap is synchronous and both fields are
+// zero.
 type AppendResponse struct {
 	DatasetInfo
 	Appended int `json:"appended"`
+	// WALSeq is the write-ahead-log sequence number that made this batch
+	// durable; 0 when the dataset has no WAL.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
+	// PendingRows counts rows (this batch included) committed to the WAL but
+	// not yet folded into the served snapshot.
+	PendingRows int `json:"pending_rows,omitempty"`
 }
 
 // CreateSessionRequest starts a drill-down session (POST /v1/sessions).
@@ -323,6 +344,49 @@ type DatasetStats struct {
 	// page cache.
 	OpenMode            string `json:"open_mode"`
 	ResidentColumnBytes int64  `json:"resident_column_bytes"`
+	// WAL reports the dataset's write-ahead log and micro-batch flusher state;
+	// nil when the dataset is not WAL-backed.
+	WAL *WALStatus `json:"wal,omitempty"`
+	// Retention reports the dataset's time-window enforcement; nil when no
+	// retention window is configured.
+	Retention *RetentionStatus `json:"retention,omitempty"`
+}
+
+// WALStatus is one WAL-backed dataset's durability and flusher state.
+type WALStatus struct {
+	// LastSeq is the newest sequence number committed to the log.
+	LastSeq uint64 `json:"last_seq"`
+	// FlushedSeq is the newest sequence folded into the served snapshot;
+	// rows between FlushedSeq and LastSeq are durable but pending.
+	FlushedSeq uint64 `json:"flushed_seq"`
+	// PendingRows and PendingBytes size the micro-batch waiting to flush.
+	PendingRows  int   `json:"pending_rows"`
+	PendingBytes int   `json:"pending_bytes"`
+	SizeBytes    int64 `json:"size_bytes"`
+	// Flushes counts coalesced folds into the serving state since startup.
+	Flushes uint64 `json:"flushes"`
+	// DroppedRows counts logged rows the flusher could not fold (e.g. an FD
+	// violation discovered at build time); they remain in the log but are
+	// skipped on replay too.
+	DroppedRows uint64 `json:"dropped_rows,omitempty"`
+	// LastFlush is the RFC 3339 time of the newest successful flush; empty
+	// before the first one.
+	LastFlush string `json:"last_flush,omitempty"`
+	// LastError is the most recent flush or checkpoint failure, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// RetentionStatus is one dataset's time-window retention state.
+type RetentionStatus struct {
+	// Window is the configured retention window as a Go duration string, and
+	// Dim the time dimension it is measured on.
+	Window string `json:"window"`
+	Dim    string `json:"dim"`
+	// Horizon is the newest enforced cut-off (RFC 3339): rows older than it
+	// were dropped. Empty until a pass drops rows.
+	Horizon string `json:"horizon,omitempty"`
+	// DroppedRows counts rows dropped by retention since startup.
+	DroppedRows uint64 `json:"dropped_rows,omitempty"`
 }
 
 // CacheStats reports the recommendation LRU's counters.

@@ -30,12 +30,16 @@ package reptile
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/shard"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // config collects everything the functional options can set.
@@ -47,6 +51,10 @@ type config struct {
 	shards      int
 	shardKey    string
 	mappedIO    bool
+	useWAL      bool
+	walDir      string
+	retention   time.Duration
+	retDim      string
 	core        core.Options
 }
 
@@ -157,13 +165,56 @@ func WithShardKey(dim string) Option { return func(c *config) { c.shardKey = dim
 // Engine.Close to release the mapping.
 func WithMappedIO() Option { return func(c *config) { c.mappedIO = true } }
 
+// WithWAL attaches a write-ahead log to the engine: every Append commits its
+// rows to <dir>/<dataset>.wal (fsynced) before the in-memory rebuild, and
+// reopening the same dataset with the same directory replays the log, so
+// appended rows survive a crash between Append and Save. Engine.Save
+// checkpoints the full state into the .rst file and truncates the log; call
+// Engine.Close to release the log handle. An empty dir selects the current
+// directory. Incompatible with WithMappedIO (mapped engines reject appends).
+func WithWAL(dir string) Option {
+	return func(c *config) {
+		c.useWAL = true
+		c.walDir = dir
+	}
+}
+
+// WithRetention bounds the engine's history to a time window: after every
+// Append, rows whose event time on dim falls more than window behind the
+// dataset's newest event are dropped into a successor version. Values on dim
+// parse as RFC 3339 timestamps down to bare years ("2026-08-07", "2026");
+// rows with unparsable values are kept. The horizon is event-time based, not
+// wall-clock, so an idle engine never loses data.
+func WithRetention(window time.Duration, dim string) Option {
+	return func(c *config) {
+		c.retention = window
+		c.retDim = dim
+	}
+}
+
+// Row is one appended row: dimension values in the dataset's dimension
+// order and measure values in measure order.
+type Row = store.Row
+
 // Engine answers complaint-based drill-down queries over one dataset. It
 // wraps the core explanation engine behind a stable API and is safe for
-// concurrent use: many sessions may Recommend against it at once.
+// concurrent use: many sessions may Recommend against it at once, and
+// Append hot-swaps the served dataset without disturbing them.
 type Engine struct {
+	mu   sync.Mutex
 	eng  *core.Engine
 	snap *store.Snapshot // non-nil when opened from an unsharded snapshot
 	set  *shard.Set      // non-nil when serving sharded
+
+	// Ingestion state: the engine options appends rebuild with, the warm
+	// dictionary builder (unsharded), the optional write-ahead log, and the
+	// optional retention window.
+	opts      core.Options
+	builder   *store.Builder
+	log       *wal.WAL
+	retention time.Duration
+	retDim    string
+	closed    bool
 }
 
 // Open loads a dataset from path and builds an engine over it. A path ending
@@ -196,7 +247,13 @@ func Open(path string, opts ...Option) (*Engine, error) {
 			if err != nil {
 				return nil, err
 			}
-			return fromSet(set, cfg)
+			var log *wal.WAL
+			if cfg.useWAL {
+				if log, set, err = replaySetLog(cfg.walDir, set); err != nil {
+					return nil, err
+				}
+			}
+			return fromSet(set, cfg, log)
 		}
 		openFile := store.OpenFile
 		if cfg.mappedIO {
@@ -245,7 +302,7 @@ func New(ds *Dataset, opts ...Option) (*Engine, error) {
 	if cfg.mappedIO {
 		return nil, fmt.Errorf("reptile: WithMappedIO needs a .rst snapshot path; the dataset is already in memory")
 	}
-	if cfg.buildCube || cfg.shards >= 2 {
+	if cfg.buildCube || cfg.shards >= 2 || cfg.useWAL || cfg.retention > 0 {
 		return fromSnapshot(store.FromDataset(ds), cfg)
 	}
 	eng, err := core.NewEngine(ds, cfg.core)
@@ -255,46 +312,156 @@ func New(ds *Dataset, opts ...Option) (*Engine, error) {
 	return &Engine{eng: eng}, nil
 }
 
-// fromSnapshot builds the engine over a snapshot's code-backed dataset,
-// partitioning it first when sharding was requested and materializing the
-// rollup cube(s) when requested.
+// fromSnapshot builds the engine over a snapshot's code-backed dataset:
+// write-ahead-log replay first (so recovered rows shard, cube and serve like
+// any others), then partitioning when sharding was requested, a retention
+// pass, and the rollup cube when requested.
 func fromSnapshot(snap *store.Snapshot, cfg *config) (*Engine, error) {
+	var log *wal.WAL
+	if cfg.useWAL {
+		var err error
+		if log, snap, err = replaySnapshotLog(cfg.walDir, snap); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.shards >= 2 {
 		set, err := shard.Partition(snap, cfg.shards, cfg.shardKey)
 		if err != nil {
-			return nil, err
+			return nil, closeLogOn(log, err)
 		}
-		return fromSet(set, cfg)
+		return fromSet(set, cfg, log)
+	}
+	if cfg.retention > 0 {
+		next, _, _, err := store.Retain(snap, cfg.retDim, cfg.retention)
+		if err != nil {
+			return nil, closeLogOn(log, err)
+		}
+		snap = next
 	}
 	if cfg.buildCube {
 		if err := snap.BuildCube(); err != nil {
-			return nil, err
+			return nil, closeLogOn(log, err)
 		}
 	}
 	ds, err := snap.Dataset()
 	if err != nil {
-		return nil, err
+		return nil, closeLogOn(log, err)
 	}
 	eng, err := core.NewEngine(ds, cfg.core)
 	if err != nil {
-		return nil, err
+		return nil, closeLogOn(log, err)
 	}
-	return &Engine{eng: eng, snap: snap}, nil
+	return &Engine{
+		eng: eng, snap: snap, opts: cfg.core, builder: store.NewBuilder(snap),
+		log: log, retention: cfg.retention, retDim: cfg.retDim,
+	}, nil
 }
 
 // fromSet builds the sharded scatter-gather engine over a partitioned set,
-// materializing per-shard cubes when requested.
-func fromSet(set *shard.Set, cfg *config) (*Engine, error) {
+// applying the retention window and materializing per-shard cubes when
+// requested. log, when non-nil, is the already-replayed write-ahead log the
+// engine keeps appending to.
+func fromSet(set *shard.Set, cfg *config, log *wal.WAL) (*Engine, error) {
+	if cfg.retention > 0 {
+		next, _, _, err := set.Retain(cfg.retDim, cfg.retention)
+		if err != nil {
+			return nil, closeLogOn(log, err)
+		}
+		set = next
+	}
 	if cfg.buildCube {
 		if err := set.BuildCubes(); err != nil {
-			return nil, err
+			return nil, closeLogOn(log, err)
 		}
 	}
 	eng, err := set.Engine(cfg.core)
 	if err != nil {
-		return nil, err
+		return nil, closeLogOn(log, err)
 	}
-	return &Engine{eng: eng, set: set}, nil
+	return &Engine{
+		eng: eng, set: set, opts: cfg.core,
+		log: log, retention: cfg.retention, retDim: cfg.retDim,
+	}, nil
+}
+
+// closeLogOn releases a just-opened log when the rest of the open fails.
+func closeLogOn(log *wal.WAL, err error) error {
+	if log != nil {
+		log.Close()
+	}
+	return err
+}
+
+// logPath places a dataset's log inside dir, mapping file-hostile runes in
+// the name (CSV paths contain separators) to '_'.
+func logPath(dir, name string) string {
+	if dir == "" {
+		dir = "."
+	}
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if strings.Trim(b.String(), ".") == "" {
+		b.WriteString("dataset")
+	}
+	return filepath.Join(dir, b.String()+".wal")
+}
+
+// replaySnapshotLog opens the dataset's log and folds its surviving batches
+// into the snapshot — the whole backlog in one rebuild when it is clean,
+// batch by batch (skipping poisoned ones) when it is not.
+func replaySnapshotLog(dir string, snap *store.Snapshot) (*wal.WAL, *store.Snapshot, error) {
+	log, batches, err := wal.Open(logPath(dir, snap.Name))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(batches) == 0 {
+		return log, snap, nil
+	}
+	var all []Row
+	for _, b := range batches {
+		all = append(all, b.Rows...)
+	}
+	if next, err := store.NewBuilder(snap).Append(all); err == nil {
+		return log, next, nil
+	}
+	for _, b := range batches {
+		if next, err := store.NewBuilder(snap).Append(b.Rows); err == nil {
+			snap = next
+		}
+	}
+	return log, snap, nil
+}
+
+// replaySetLog is replaySnapshotLog for a partitioned set.
+func replaySetLog(dir string, set *shard.Set) (*wal.WAL, *shard.Set, error) {
+	log, batches, err := wal.Open(logPath(dir, set.Snaps[0].Name))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(batches) == 0 {
+		return log, set, nil
+	}
+	var all []Row
+	for _, b := range batches {
+		all = append(all, b.Rows...)
+	}
+	if next, err := set.Append(all); err == nil {
+		return log, next, nil
+	}
+	for _, b := range batches {
+		if next, err := set.Append(b.Rows); err == nil {
+			set = next
+		}
+	}
+	return log, set, nil
 }
 
 // buildConfig applies the options, converting option panics (bad hierarchy
@@ -319,6 +486,15 @@ func buildConfig(opts []Option) (cfg *config, err error) {
 	if cfg.shardKey != "" && cfg.shards < 2 {
 		return nil, fmt.Errorf("reptile: WithShardKey needs WithShards(n) with n >= 2")
 	}
+	if cfg.retention < 0 {
+		return nil, fmt.Errorf("reptile: WithRetention needs a positive window, got %v", cfg.retention)
+	}
+	if cfg.retention > 0 && cfg.retDim == "" {
+		return nil, fmt.Errorf("reptile: WithRetention needs a time dimension name")
+	}
+	if cfg.useWAL && cfg.mappedIO {
+		return nil, fmt.Errorf("reptile: WithWAL and WithMappedIO are incompatible; mapped engines reject appends")
+	}
 	return cfg, nil
 }
 
@@ -327,25 +503,117 @@ func buildConfig(opts []Option) (cfg *config, err error) {
 // the root). Sessions cache aggregations and factorised representations per
 // drill state, so repeated complaints are cheap.
 func (e *Engine) NewSession(groupBy []string) (*Session, error) {
-	cs, err := e.eng.NewSession(groupBy)
+	cs, err := e.coreEngine().NewSession(groupBy)
 	if err != nil {
 		return nil, err
 	}
 	return &Session{s: cs}, nil
 }
 
+// coreEngine reads the current engine pointer under the lock, so sessions
+// created during an Append bind to either the old or the new version, never
+// a torn mix.
+func (e *Engine) coreEngine() *core.Engine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.eng
+}
+
+// Append ingests rows, hot-swapping the engine's dataset: the successor
+// snapshot builds off to the side and replaces the served one atomically.
+// Existing sessions keep evaluating against the version they were created on;
+// new sessions see the appended rows. With WithWAL, the rows are committed to
+// the log (fsynced) before the rebuild, so they survive a crash and replay on
+// the next Open. With WithRetention, rows behind the updated event-time
+// horizon are dropped in the same swap. Mapped engines reject appends.
+func (e *Engine) Append(rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("reptile: the engine is closed")
+	}
+	if (e.snap != nil && e.snap.Mapped()) || (e.set != nil && e.set.Snaps[0].Mapped()) {
+		return fmt.Errorf("reptile: a mapped engine rejects appends; reopen eagerly to ingest")
+	}
+	if e.log != nil {
+		if _, err := e.log.Append(rows); err != nil {
+			return err
+		}
+	}
+	if e.set != nil {
+		next, err := e.set.Append(rows)
+		if err != nil {
+			return err
+		}
+		if e.retention > 0 {
+			if next, _, _, err = next.Retain(e.retDim, e.retention); err != nil {
+				return err
+			}
+		}
+		eng, err := next.Engine(e.opts)
+		if err != nil {
+			return err
+		}
+		e.set, e.eng = next, eng
+		return nil
+	}
+	if e.snap == nil {
+		// Engines built straight from an in-memory dataset materialize their
+		// snapshot on first append.
+		e.snap = store.FromDataset(e.eng.Dataset())
+	}
+	if e.builder == nil {
+		e.builder = store.NewBuilder(e.snap)
+	}
+	// Any failure below leaves the served state untouched; rewind the builder
+	// so the next append builds on what sessions actually see.
+	rewind := func(err error) error {
+		e.builder = store.NewBuilder(e.snap)
+		return err
+	}
+	next, err := e.builder.Append(rows)
+	if err != nil {
+		return rewind(err)
+	}
+	if e.retention > 0 {
+		filtered, dropped, _, err := store.Retain(next, e.retDim, e.retention)
+		if err != nil {
+			return rewind(err)
+		}
+		if dropped > 0 {
+			next = filtered
+			e.builder = store.NewBuilder(next)
+		}
+	}
+	ds, err := next.Dataset()
+	if err != nil {
+		return rewind(err)
+	}
+	eng, err := core.NewEngine(ds, e.opts)
+	if err != nil {
+		return rewind(err)
+	}
+	e.snap, e.eng = next, eng
+	return nil
+}
+
 // Dataset returns the engine's dataset. Callers must treat it as immutable.
 // On a sharded engine it returns the schema dataset — the first shard's, by
 // convention — whose rows are that shard's only; use sharded sessions (or
 // Save and reopen) rather than scanning it.
-func (e *Engine) Dataset() *Dataset { return e.eng.Dataset() }
+func (e *Engine) Dataset() *Dataset { return e.coreEngine().Dataset() }
 
 // Workers returns the resolved evaluation worker-pool size.
-func (e *Engine) Workers() int { return e.eng.Workers() }
+func (e *Engine) Workers() int { return e.coreEngine().Workers() }
 
 // Shards returns the number of partitions the engine serves from, 0 when
 // unsharded.
 func (e *Engine) Shards() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.set == nil {
 		return 0
 	}
@@ -355,24 +623,39 @@ func (e *Engine) Shards() int {
 // ShardKey returns the dimension the engine's shards are partitioned on,
 // "" when unsharded.
 func (e *Engine) ShardKey() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.set == nil {
 		return ""
 	}
 	return e.set.Key
 }
 
-// Close releases the memory mapping of an engine opened with WithMappedIO.
-// It is a no-op on eagerly loaded engines and safe to call on every Engine,
-// so `defer eng.Close()` is always correct. After Close, sessions over a
-// mapped engine must not be used.
+// Close releases the engine's file-backed resources: the memory mapping of a
+// WithMappedIO open and the write-ahead log of a WithWAL open (the log file
+// itself stays on disk for the next Open to replay). It is a no-op on plain
+// in-memory engines and safe to call on every Engine, so `defer eng.Close()`
+// is always correct. After Close, sessions over a mapped engine must not be
+// used and Append fails.
 func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	var err error
+	if e.log != nil {
+		err = e.log.Close()
+		e.log = nil
+	}
+	var cerr error
 	if e.set != nil {
-		return e.set.Close()
+		cerr = e.set.Close()
+	} else if e.snap != nil {
+		cerr = e.snap.Close()
 	}
-	if e.snap != nil {
-		return e.snap.Close()
+	if err == nil {
+		err = cerr
 	}
-	return nil
+	return err
 }
 
 // SnapshotInfo describes a snapshot written by Engine.Save.
@@ -397,7 +680,27 @@ type SnapshotInfo struct {
 // snapshot), plain snapshots store the cube too, so later Opens skip both
 // CSV parsing and cube building. Loading the written file yields
 // byte-identical recommendations to this engine.
+//
+// With WithWAL, a successful Save doubles as a checkpoint: the write-ahead
+// log truncates (its sequence numbering continues), since every logged row is
+// now captured in the .rst file. Reopen from the saved snapshot — reopening
+// the original source would replay nothing and lose the appends.
 func (e *Engine) Save(path string) (*SnapshotInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info, err := e.saveLocked(path)
+	if err != nil {
+		return nil, err
+	}
+	if e.log != nil {
+		if err := e.log.Reset(); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+func (e *Engine) saveLocked(path string) (*SnapshotInfo, error) {
 	if e.set != nil {
 		if err := e.set.WriteFile(path); err != nil {
 			return nil, err

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Runs the storage-layer benchmarks (CSV vs .rst snapshot load, eager vs
 # memory-mapped open, string-keyed vs dictionary-coded vs sharded
-# scatter-gather Recommend, cube vs coded-scan vs streamed GroupBy and
-# incremental cube maintenance) and writes the results to BENCH_load.json in
+# scatter-gather Recommend, cube vs coded-scan vs streamed GroupBy,
+# incremental cube maintenance, and per-row vs micro-batched append
+# ingestion) and writes the results to BENCH_load.json in
 # the repository root. Every run records allocation columns (-benchmem):
 # bytes_per_op and allocs_per_op are the figures of merit for the mapped
 # open, whose residency must stay flat in the row count. Override the
@@ -20,6 +21,7 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench 'BenchmarkLoad(CSV|Snapshot)$|BenchmarkOpenMapped$|BenchmarkGroupByStreamed$' -benchtime "$benchtime" -benchmem -count 1 ./internal/store > "$tmp"
 go test -run '^$' -bench 'BenchmarkRecommend(Sequential|Coded)$|BenchmarkRecommendSharded$' -benchtime "$benchtime" -benchmem -count 1 . >> "$tmp"
 go test -run '^$' -bench 'BenchmarkGroupBy(Coded|Cube)$|BenchmarkCubeAppendMerge$' -benchtime "$benchtime" -benchmem -count 1 ./internal/cube >> "$tmp"
+go test -run '^$' -bench 'BenchmarkAppendMicroBatch$' -benchtime "$benchtime" -benchmem -count 1 ./internal/server >> "$tmp"
 cat "$tmp"
 
 awk '
@@ -28,13 +30,18 @@ BEGIN { n = 0 }
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
-    bytes = 0; allocs = 0
+    bytes = 0; allocs = 0; rps = 0; rbk = 0
     for (i = 2; i <= NF; i++) {
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "rows/s") rps = $(i - 1)
+        if ($i == "rebuilds/krow") rbk = $(i - 1)
     }
+    extra = ""
+    if (rps) extra = extra sprintf(", \"rows_per_sec\": %s", rps)
+    if (rbk) extra = extra sprintf(", \"rebuilds_per_krow\": %s", rbk)
     if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, bytes, allocs
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", name, $2, $3, bytes, allocs, extra
 }
 END { if (n == 0) exit 1 }
 ' "$tmp" > "$out.body"
