@@ -1,7 +1,7 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race lint bench-load
+.PHONY: build test race lint bench-load bench-serve
 
 build:
 	go build ./...
@@ -10,7 +10,7 @@ test: build
 	go test ./...
 
 race:
-	go test -race ./internal/core/... ./internal/shard/... ./internal/server/... ./internal/store/... ./internal/cube/... ./internal/wal/... ./reptile/...
+	go test -race ./internal/core/... ./internal/shard/... ./internal/server/... ./internal/store/... ./internal/cube/... ./internal/wal/... ./internal/obs/... ./reptile/...
 
 # lint checks formatting, vets every package, and enforces the public-API
 # import boundary (examples/ and reptile/{api,client} never reach into
@@ -26,3 +26,10 @@ lint:
 # BENCHTIME overrides the per-benchmark iteration budget.
 bench-load:
 	sh scripts/bench_load.sh
+
+# bench-serve drives a live reptiled with reptile-bench (closed loop over the
+# native client against a generated fist dataset) and records client-side
+# p50/p95/p99 latency, achieved QPS, and the server's /v1/stats snapshot to
+# BENCH_serve.json. BENCH_DURATION / BENCH_WARMUP / BENCH_CONC tune the run.
+bench-serve:
+	sh scripts/bench_serve.sh

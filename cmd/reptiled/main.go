@@ -11,6 +11,7 @@
 //	         [-wal] [-wal-dir .] [-flush-rows 256] [-flush-bytes 1048576]
 //	         [-flush-interval 200ms] [-checkpoint-bytes 8388608]
 //	         [-retention 0] [-retention-dim dim]
+//	         [-pprof-addr addr] [-log-requests] [-version]
 //
 // The API is unauthenticated and POST /v1/datasets can name server-local CSV
 // paths, so the default bind is loopback; put a reverse proxy with
@@ -77,6 +78,16 @@
 // request's retention/retention_dim fields. GET /v1/stats reports each
 // dataset's WAL depth, flush statistics and retention horizon.
 //
+// Observability: GET /v1/metrics serves every endpoint's request, error,
+// in-flight and latency-histogram counters plus the recommend pipeline's
+// per-stage timing totals in the Prometheus text format, and GET /v1/stats
+// carries the same data as JSON alongside server identity (version, Go
+// version, start time, uptime). -log-requests logs one structured line per
+// request (request id, endpoint, status, latency) to stderr. -pprof-addr
+// serves net/http/pprof on a second listener, kept off the API address so
+// profiling never rides an exposed port. -version prints the build version
+// and exits.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests and then flushing every dataset's pending micro-batch (with a
 // final log fsync) before exiting.
@@ -86,8 +97,11 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -95,6 +109,10 @@ import (
 
 	"repro/internal/server"
 )
+
+// version is the build identifier reported by -version and /v1/stats;
+// override at build time with -ldflags "-X main.version=v1.2.3".
+var version = "dev"
 
 func main() {
 	var (
@@ -116,8 +134,21 @@ func main() {
 		ckptBytes   = flag.Int64("checkpoint-bytes", 8<<20, "checkpoint and truncate a WAL once it outgrows this size (negative disables)")
 		retention   = flag.Duration("retention", 0, "drop rows this far behind the newest event time (0 keeps everything; e.g. 17520h = 2 years)")
 		retDim      = flag.String("retention-dim", "", "time dimension retention is measured on (required with -retention)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty disables)")
+		logRequests = flag.Bool("log-requests", false, "log one structured line per request to stderr")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("reptiled %s\n", version)
+		return
+	}
+
+	var reqLog *slog.Logger
+	if *logRequests {
+		reqLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 
 	srv := server.New(server.Config{
 		SessionTTL:      *sessionTTL,
@@ -136,15 +167,38 @@ func main() {
 		CheckpointBytes: *ckptBytes,
 		Retention:       *retention,
 		RetentionDim:    *retDim,
+		Version:         version,
+		RequestLog:      reqLog,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: the default ServeMux
+		// would expose profiling on the API port, and the API mux never
+		// exposes profiling. Failures here are fatal — asking for a profiler
+		// and silently not getting one wastes an incident.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Addr: *pprofAddr, Handler: pm}
+		go func() {
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("pprof listener: %v", err)
+			}
+		}()
+		defer ps.Close()
+		log.Printf("reptiled pprof on %s", *pprofAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("reptiled listening on %s", *addr)
+	log.Printf("reptiled %s listening on %s", version, *addr)
 
 	select {
 	case err := <-errc:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -208,10 +209,13 @@ type Session struct {
 }
 
 // evalState is one Recommend call's consistent view of the session: the
-// drill-depth snapshot and the cache generation it was taken under.
+// drill-depth snapshot, the cache generation it was taken under, and the
+// call's span recorder (nil when untraced). Threading the recorder here keeps
+// it off the context on the hot path.
 type evalState struct {
 	depth map[string]int
 	gen   int
+	rec   SpanRecorder
 }
 
 // groupsEntry computes one drill state's agg.GroupBy result exactly once.
@@ -378,6 +382,18 @@ type Recommendation struct {
 // group's expected statistics with a multi-level model trained on the
 // parallel groups, and ranks the groups by the repaired complaint value.
 func (s *Session) Recommend(c Complaint) (*Recommendation, error) {
+	return s.recommend(nil, c)
+}
+
+// RecommendContext is Recommend with per-stage tracing: when the context
+// carries a SpanRecorder (WithSpanRecorder), the engine records spans for the
+// group-by/cube phase, the shard scatter-gather, and the model fits of every
+// candidate hierarchy. With no recorder the call is identical to Recommend.
+func (s *Session) RecommendContext(ctx context.Context, c Complaint) (*Recommendation, error) {
+	return s.recommend(spanRecorderFrom(ctx), c)
+}
+
+func (s *Session) recommend(rec SpanRecorder, c Complaint) (*Recommendation, error) {
 	if c.Measure == "" {
 		return nil, fmt.Errorf("core: complaint needs a measure attribute")
 	}
@@ -388,6 +404,7 @@ func (s *Session) Recommend(c Complaint) (*Recommendation, error) {
 		return nil, fmt.Errorf("core: unknown measure %q", c.Measure)
 	}
 	st := s.snapshot()
+	st.rec = rec
 	var cands []data.Hierarchy
 	for _, h := range s.eng.ds.Hierarchies {
 		if st.depth[h.Name] < len(h.Attrs) {
@@ -483,7 +500,7 @@ func (s *Session) cachedGroupBy(attrs []string, measure string, st evalState) (*
 	s.mu.Lock()
 	if s.gen != st.gen {
 		s.mu.Unlock()
-		return s.eng.groupBy(attrs, measure)
+		return s.eng.groupBy(st.rec, attrs, measure)
 	}
 	ent, ok := s.groups[key]
 	if !ok {
@@ -492,7 +509,7 @@ func (s *Session) cachedGroupBy(attrs []string, measure string, st evalState) (*
 	}
 	s.mu.Unlock()
 	ent.once.Do(func() {
-		ent.res, ent.err = s.eng.groupBy(attrs, measure)
+		ent.res, ent.err = s.eng.groupBy(st.rec, attrs, measure)
 	})
 	return ent.res, ent.err
 }
@@ -551,13 +568,17 @@ func (s *Session) evaluateHierarchy(h data.Hierarchy, c Complaint, st evalState)
 	attrs := s.drillAttrs(h, st)
 
 	// Parallel groups: the whole dataset at the drilled granularity.
+	endGroupBy := startSpan(st.rec, "groupby")
 	groups, err := s.cachedGroupBy(attrs, c.Measure, st)
+	endGroupBy()
 	if err != nil {
 		return nil, err
 	}
 
 	// One model per required base statistic.
+	endFit := startSpan(st.rec, "fit")
 	models, err := s.fitModels(h, groups, c, st)
+	endFit()
 	if err != nil {
 		return nil, err
 	}
@@ -1057,7 +1078,7 @@ func trainCross(fz *factor.Factorizer, groups *agg.Result, fs *feature.Set, y []
 // on its own, without complaint-driven ranking — the basis of the Outlier
 // baseline (§5.2.3).
 func (e *Engine) PredictGroupStats(attrs []string, measure string, stat agg.Func) ([]float64, *agg.Result, error) {
-	groups, err := e.groupBy(attrs, measure)
+	groups, err := e.groupBy(nil, attrs, measure)
 	if err != nil {
 		return nil, nil, err
 	}

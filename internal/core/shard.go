@@ -110,15 +110,18 @@ func (e *Engine) ShardKey() string { return e.shardKey }
 // otherwise. Partials are merged in shard-index order keyed by group key, then
 // reassembled through agg.NewResult — the same sort every GroupBy path funnels
 // through — so the merged ordering can never drift from the single-shard one.
-func (e *Engine) groupBy(attrs []string, measure string) (*agg.Result, error) {
+// rec, when non-nil, records the scatter-gather phase as a "scatter" span.
+func (e *Engine) groupBy(rec SpanRecorder, attrs []string, measure string) (*agg.Result, error) {
 	if len(e.shards) == 0 {
 		return agg.GroupBy(e.ds, attrs, measure), nil
 	}
+	endScatter := startSpan(rec, "scatter")
 	partials := make([]*agg.Result, len(e.shards))
 	errs := make([]error, len(e.shards))
 	e.forEach(len(e.shards), func(i int) {
 		partials[i], errs[i] = e.shards[i].PartialGroupBy(attrs, measure)
 	})
+	endScatter()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d group-by: %w", i, err)

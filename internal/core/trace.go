@@ -1,0 +1,38 @@
+package core
+
+import "context"
+
+// SpanRecorder receives the engine's pipeline spans during a Recommend call:
+// StartSpan opens a named span and returns the closure that ends it. The
+// serving layer implements it (internal/obs.Trace satisfies the interface
+// structurally) and carries it in the request context; core itself depends on
+// nothing. Implementations must tolerate concurrent StartSpan calls — the
+// engine records from its worker pool.
+type SpanRecorder interface {
+	StartSpan(name string) (end func())
+}
+
+type recorderKey struct{}
+
+// WithSpanRecorder returns a context carrying the recorder. The engine
+// resolves it once per RecommendContext call, so per-span cost is a method
+// call, not a context lookup.
+func WithSpanRecorder(ctx context.Context, r SpanRecorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+func spanRecorderFrom(ctx context.Context) SpanRecorder {
+	r, _ := ctx.Value(recorderKey{}).(SpanRecorder)
+	return r
+}
+
+// startSpan opens a span on a possibly-nil recorder; the no-op path is a
+// single comparison so untraced calls pay nothing.
+func startSpan(rec SpanRecorder, name string) func() {
+	if rec == nil {
+		return noopEnd
+	}
+	return rec.StartSpan(name)
+}
+
+func noopEnd() {}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/reptile/api"
+)
+
+func TestEndpointNamesStable(t *testing.T) {
+	seen := make(map[string]bool)
+	for e := Endpoint(0); e < NumEndpoints; e++ {
+		n := e.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("endpoint %d renders %q", e, n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestRegistryCountersAndErrors(t *testing.T) {
+	r := NewRegistry()
+	m := r.Endpoint(EndpointRecommend)
+	m.Requests.Add(3)
+	m.RecordError(api.CodeOverloaded)
+	m.RecordError(api.CodeOverloaded)
+	m.RecordError(api.CodeBadRequest)
+	m.RecordError("never-seen-before") // unknown classes fold into internal
+	errs := m.Errors()
+	if errs["overloaded"] != 2 || errs["bad_request"] != 1 || errs["internal"] != 1 {
+		t.Fatalf("errors = %v", errs)
+	}
+	if _, ok := errs["dataset_not_found"]; ok {
+		t.Fatal("zero-count codes must be omitted")
+	}
+}
+
+func TestObserveStagesAggregates(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveStages([]Stage{{Name: "groupby", Dur: ms(2)}, {Name: "fit", Dur: ms(5)}})
+	r.ObserveStages([]Stage{{Name: "fit", Dur: ms(7)}})
+	totals := r.StageTotals()
+	if len(totals) != 2 || totals[0].Name != "groupby" || totals[1].Name != "fit" {
+		t.Fatalf("totals = %+v, want groupby then fit in first-seen order", totals)
+	}
+	if totals[0].Count != 1 || totals[0].Total != ms(2) {
+		t.Errorf("groupby = %+v", totals[0])
+	}
+	if totals[1].Count != 2 || totals[1].Total != ms(12) {
+		t.Errorf("fit = %+v", totals[1])
+	}
+}
+
+// TestRegistryConcurrent is a -race canary for mixed recording and reading.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := r.Endpoint(Endpoint(g % int(NumEndpoints)))
+			for i := 0; i < 500; i++ {
+				m.InFlight.Add(1)
+				m.Requests.Add(1)
+				m.Latency.Observe(time.Duration(i) * time.Microsecond)
+				m.RecordError(api.CodeOverloaded)
+				m.InFlight.Add(-1)
+				r.ObserveStages([]Stage{{Name: "fit", Dur: time.Microsecond}})
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			var sb strings.Builder
+			r.WriteProm(&sb, nil)
+			_ = r.StageTotals()
+		}
+	}()
+	wg.Wait()
+	<-done
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	m := r.Endpoint(EndpointRecommend)
+	m.Requests.Add(2)
+	m.Latency.Observe(3 * time.Millisecond)
+	m.Latency.Observe(40 * time.Millisecond)
+	m.RecordError(api.CodeOverloaded)
+	m.CacheHits.Add(1)
+	m.CacheMisses.Add(4)
+	r.ObserveStages([]Stage{{Name: "fit", Dur: 10 * time.Millisecond}})
+
+	var sb strings.Builder
+	r.WriteProm(&sb, []Gauge{{Name: "reptile_sessions", Help: "Live sessions.", Value: 7}})
+	out := sb.String()
+
+	for _, want := range []string{
+		`reptile_requests_total{endpoint="recommend"} 2`,
+		`reptile_request_errors_total{endpoint="recommend",code="overloaded"} 1`,
+		`reptile_requests_in_flight{endpoint="recommend"} 0`,
+		`reptile_request_duration_seconds_count{endpoint="recommend"} 2`,
+		`reptile_request_duration_seconds_bucket{endpoint="recommend",le="+Inf"} 2`,
+		`reptile_cache_requests_total{endpoint="recommend",outcome="hit"} 1`,
+		`reptile_cache_requests_total{endpoint="recommend",outcome="miss"} 4`,
+		`reptile_stage_requests_total{stage="fit"} 1`,
+		`reptile_stage_duration_seconds_total{stage="fit"} 0.01`,
+		"reptile_sessions 7",
+		"# TYPE reptile_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every endpoint must appear even before its first request.
+	for e := Endpoint(0); e < NumEndpoints; e++ {
+		if !strings.Contains(out, `reptile_requests_total{endpoint="`+e.String()+`"}`) {
+			t.Errorf("exposition missing endpoint %q", e)
+		}
+	}
+	// Histogram buckets must be cumulative: the +Inf bucket equals _count.
+	if !strings.Contains(out, `reptile_request_duration_seconds_sum{endpoint="recommend"} 0.043`) {
+		t.Errorf("exposition sum line wrong:\n%s", out)
+	}
+	// Basic line shape: no naked newlines inside sample lines, HELP/TYPE pairs.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" {
+			t.Error("blank line in exposition")
+		}
+		if !strings.HasPrefix(line, "#") && !strings.Contains(line, " ") {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace records one request's stage spans. Spans may open and close from any
+// goroutine (the recommend pipeline fans hierarchies out over a worker pool),
+// and may nest or overlap freely; Stages() flattens them into an exclusive
+// per-stage decomposition of the request's busy time, so the stage durations
+// sum to (at most) the wall-clock time the request actually spent inside
+// instrumented code — the property the per-request timing breakdown and the
+// aggregated stage statistics both rely on.
+//
+// All methods are nil-receiver-safe: an uninstrumented call path can thread
+// a nil *Trace and every recording becomes a no-op.
+type Trace struct {
+	start time.Time
+	mu    sync.Mutex
+	spans []span
+}
+
+type span struct {
+	name       string
+	start, end time.Duration // offsets from trace start
+}
+
+// NewTrace starts a trace clock.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// StartSpan opens a named span and returns the closure that ends it. The
+// same name may be recorded many times (once per parallel hierarchy, say);
+// Stages sums them.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	s0 := time.Since(t.start)
+	return func() {
+		end := time.Since(t.start)
+		t.mu.Lock()
+		t.spans = append(t.spans, span{name: name, start: s0, end: end})
+		t.mu.Unlock()
+	}
+}
+
+// Elapsed returns the wall-clock time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Stage is one entry of a trace's exclusive decomposition: the total wall
+// time attributed to the named stage.
+type Stage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Stages decomposes the recorded spans into exclusive per-stage durations.
+// The timeline is cut at every span boundary; each elementary slice where at
+// least one span is active is attributed to the innermost active span (the
+// one that started latest), so nested spans carve their time out of their
+// parents and the returned durations sum exactly to the union of covered
+// time — never more than the request's wall clock. Stages are returned in
+// order of first attribution.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]span(nil), t.spans...)
+	t.mu.Unlock()
+	if len(spans) == 0 {
+		return nil
+	}
+	cuts := make([]time.Duration, 0, 2*len(spans))
+	for _, s := range spans {
+		cuts = append(cuts, s.start, s.end)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	totals := make(map[string]time.Duration)
+	var order []string
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		if b <= a {
+			continue
+		}
+		// Innermost active span: the latest-started one covering [a, b).
+		// Ties (spans opened at the same instant) resolve to the one that
+		// ends soonest — the tighter, and therefore deeper, of the two.
+		best := -1
+		for j, s := range spans {
+			if s.start <= a && s.end >= b {
+				if best < 0 || s.start > spans[best].start ||
+					(s.start == spans[best].start && s.end < spans[best].end) {
+					best = j
+				}
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		name := spans[best].name
+		if _, seen := totals[name]; !seen {
+			order = append(order, name)
+		}
+		totals[name] += b - a
+	}
+	out := make([]Stage, len(order))
+	for i, name := range order {
+		out[i] = Stage{Name: name, Dur: totals[name]}
+	}
+	return out
+}
+
+// Header renders stages in the Server-Timing-style syntax carried by the
+// X-Reptile-Trace response header: `name;dur=ms, ...` with a trailing
+// `total;dur=ms` entry for the wall time the stages decompose.
+func Header(stages []Stage, total time.Duration) string {
+	var b strings.Builder
+	for _, st := range stages {
+		fmt.Fprintf(&b, "%s;dur=%.3f, ", st.Name, float64(st.Dur)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "total;dur=%.3f", float64(total)/float64(time.Millisecond))
+	return b.String()
+}
+
+type traceKey struct{}
+
+// ContextWithTrace attaches a trace to a request context. The serving layer
+// installs it once per request; pipeline stages below pull it back out with
+// TraceFrom (or receive it through a recorder seam like
+// core.WithSpanRecorder, which keeps the engine free of this package).
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when the request is not
+// traced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

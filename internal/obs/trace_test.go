@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stagesOf builds a trace directly from span offsets (bypassing the wall
+// clock) so decomposition tests are deterministic.
+func stagesOf(spans ...span) []Stage {
+	t := &Trace{start: time.Now()}
+	t.spans = spans
+	return t.Stages()
+}
+
+func ms(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+
+func stageMap(stages []Stage) map[string]time.Duration {
+	m := make(map[string]time.Duration)
+	for _, s := range stages {
+		m[s.Name] = s.Dur
+	}
+	return m
+}
+
+func sumStages(stages []Stage) time.Duration {
+	var t time.Duration
+	for _, s := range stages {
+		t += s.Dur
+	}
+	return t
+}
+
+// TestStagesSequential: disjoint spans decompose to their own lengths.
+func TestStagesSequential(t *testing.T) {
+	got := stageMap(stagesOf(
+		span{"bind", ms(0), ms(2)},
+		span{"groupby", ms(2), ms(5)},
+		span{"fit", ms(5), ms(11)},
+	))
+	want := map[string]time.Duration{"bind": ms(2), "groupby": ms(3), "fit": ms(6)}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// TestStagesNested: a child span carves its time out of the parent, so the
+// sum equals the parent's wall span, not parent + child.
+func TestStagesNested(t *testing.T) {
+	stages := stagesOf(
+		span{"evaluate", ms(0), ms(10)},
+		span{"fit", ms(2), ms(8)},
+	)
+	got := stageMap(stages)
+	if got["evaluate"] != ms(4) || got["fit"] != ms(6) {
+		t.Errorf("decomposition = %v, want evaluate=4ms fit=6ms", got)
+	}
+	if sum := sumStages(stages); sum != ms(10) {
+		t.Errorf("sum = %v, want exactly the covered 10ms", sum)
+	}
+}
+
+// TestStagesOverlappingParallel: spans from parallel goroutines overlap; the
+// decomposition attributes each slice once, so the sum stays bounded by the
+// union of covered time even though raw span lengths sum to more.
+func TestStagesOverlappingParallel(t *testing.T) {
+	stages := stagesOf(
+		span{"groupby", ms(0), ms(6)},
+		span{"groupby", ms(1), ms(4)}, // second hierarchy, overlapping
+		span{"fit", ms(3), ms(9)},     // first hierarchy's fit overlaps both
+	)
+	if sum := sumStages(stages); sum != ms(9) {
+		t.Errorf("sum = %v, want the 9ms union of covered time", sum)
+	}
+	got := stageMap(stages)
+	if got["groupby"]+got["fit"] != ms(9) {
+		t.Errorf("decomposition = %v, want groupby+fit = 9ms", got)
+	}
+}
+
+// TestStagesSumWithinWallClock is the serving contract: recorded against the
+// real clock from concurrent goroutines, the exclusive stage sum never
+// exceeds the trace's wall time, and with contiguous instrumentation it
+// lands well within 10% of it.
+func TestStagesSumWithinWallClock(t *testing.T) {
+	tr := NewTrace()
+	endBind := tr.StartSpan("bind")
+	time.Sleep(5 * time.Millisecond)
+	endBind()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			endG := tr.StartSpan("groupby")
+			time.Sleep(10 * time.Millisecond)
+			endG()
+			endF := tr.StartSpan("fit")
+			time.Sleep(15 * time.Millisecond)
+			endF()
+		}()
+	}
+	wg.Wait()
+	total := tr.Elapsed()
+	sum := sumStages(tr.Stages())
+	if sum > total {
+		t.Fatalf("stage sum %v exceeds wall clock %v", sum, total)
+	}
+	if float64(sum) < 0.9*float64(total) {
+		t.Fatalf("stage sum %v below 90%% of wall clock %v", sum, total)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	end := tr.StartSpan("x")
+	end()
+	if tr.Stages() != nil || tr.Elapsed() != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestHeaderFormat(t *testing.T) {
+	h := Header([]Stage{{Name: "bind", Dur: ms(1.5)}, {Name: "fit", Dur: ms(20)}}, ms(25))
+	want := "bind;dur=1.500, fit;dur=20.000, total;dur=25.000"
+	if h != want {
+		t.Fatalf("header = %q, want %q", h, want)
+	}
+	if !strings.HasSuffix(h, "total;dur=25.000") {
+		t.Fatalf("header must end with the total entry: %q", h)
+	}
+}
+
+// TestTraceConcurrentRecording is a -race canary: spans recorded from many
+// goroutines while another computes decompositions.
+func TestTraceConcurrentRecording(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				end := tr.StartSpan("stage")
+				end()
+				_ = tr.Stages()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Stages()) != 1 {
+		t.Fatalf("stages = %v, want the single recorded name", tr.Stages())
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/reptile/api"
@@ -42,6 +43,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // code, and overload responses carry Retry-After both as a header and in the
 // envelope.
 func writeError(w http.ResponseWriter, code api.ErrorCode, err error) {
+	if sw, ok := w.(*statusWriter); ok {
+		// Surface the true error class to the instrumentation middleware, so
+		// error counters key on api codes rather than bare HTTP statuses.
+		sw.code = code
+	}
 	e := &api.Error{Message: err.Error(), Code: code}
 	if code == api.CodeOverloaded {
 		e.RetryAfter = 1
@@ -415,17 +421,28 @@ func (s *Server) handleReleaseSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	// The middleware's trace threads through the whole pipeline: the serving
+	// stages recorded here and the engine stages (groupby, scatter, fit)
+	// recorded through the core.SpanRecorder seam nest into one exclusive
+	// per-stage decomposition. A nil trace (direct handler calls in tests)
+	// records nothing.
+	tr := obs.TraceFrom(r.Context())
+	endBind := tr.StartSpan("bind")
 	view, code, err := s.lookupSession(r.PathValue("id"))
+	endBind()
 	if err != nil {
 		writeError(w, code, err)
 		return
 	}
+	endDecode := tr.StartSpan("decode")
 	var req api.RecommendRequest
 	if err := decodeJSON(r, &req); err != nil {
+		endDecode()
 		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	c, err := core.ParseComplaint(req.Complaint)
+	endDecode()
 	if err != nil {
 		writeError(w, api.CodeBadRequest, err)
 		return
@@ -436,28 +453,38 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		// The dataset version is part of the key: a request still evaluating
 		// the swapped-out version can only insert under the old version's
 		// key, which no rebound session will ever look up again.
+		endCache := tr.StartSpan("cache")
 		cacheKey = fmt.Sprintf("%s\x00v%d\x00%s\x00%s", view.id, view.version, state, ck)
-		if raw, ok := s.cache.Get(cacheKey); ok {
-			s.cacheHits.Add(1)
-			s.respondRecommend(w, state, "hit", raw)
+		raw, ok := s.cache.Get(cacheKey)
+		endCache()
+		if ok {
+			s.countCache(view.engine, true)
+			s.respondRecommend(w, r, tr, state, "hit", raw)
 			return
 		}
-		s.cacheMiss.Add(1)
+		s.countCache(view.engine, false)
 	}
 
-	if !view.engine.acquire(r.Context(), s.cfg.QueueWait) {
+	endAdmit := tr.StartSpan("admit")
+	admitted := view.engine.acquire(r.Context(), s.cfg.QueueWait)
+	endAdmit()
+	if !admitted {
 		writeError(w, api.CodeOverloaded,
 			fmt.Errorf("dataset %q is at its concurrent recommendation limit", view.engine.name))
 		return
 	}
 	defer view.engine.release()
 
-	rec, err := view.cs.Recommend(c)
+	endEval := tr.StartSpan("evaluate")
+	rec, err := view.cs.RecommendContext(r.Context(), c)
+	endEval()
 	if err != nil {
 		writeError(w, api.CodeUnprocessable, err)
 		return
 	}
+	endEncode := tr.StartSpan("encode")
 	raw, err := json.Marshal(rec)
+	endEncode()
 	if err != nil {
 		writeError(w, api.CodeInternal, err)
 		return
@@ -475,12 +502,41 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			s.cache.Add(cacheKey, raw)
 		}
 	}
-	s.respondRecommend(w, state, verdict, raw)
+	s.respondRecommend(w, r, tr, state, verdict, raw)
 }
 
-func (s *Server) respondRecommend(w http.ResponseWriter, state, verdict string, raw json.RawMessage) {
+// countCache records one recommendation-cache outcome at every granularity:
+// server-wide, per dataset, and per endpoint.
+func (s *Server) countCache(ent *engineEntry, hit bool) {
+	m := s.obs.Endpoint(obs.EndpointRecommend)
+	if hit {
+		s.cacheHits.Add(1)
+		ent.cacheHits.Add(1)
+		m.CacheHits.Add(1)
+	} else {
+		s.cacheMiss.Add(1)
+		ent.cacheMiss.Add(1)
+		m.CacheMisses.Add(1)
+	}
+}
+
+// respondRecommend writes the recommendation. When the client asked for
+// tracing (any non-empty X-Reptile-Trace request header), the response
+// carries the request's per-stage timing breakdown both as an
+// X-Reptile-Trace header ("bind;dur=0.4, ..., total;dur=12.3", milliseconds)
+// and as the stages field of the body.
+func (s *Server) respondRecommend(w http.ResponseWriter, r *http.Request, tr *obs.Trace, state, verdict string, raw json.RawMessage) {
 	w.Header().Set("X-Reptile-Cache", verdict)
-	writeJSON(w, http.StatusOK, api.RecommendResponse{State: state, Cache: verdict, Recommendation: raw})
+	resp := api.RecommendResponse{State: state, Cache: verdict, Recommendation: raw}
+	if tr != nil && r.Header.Get("X-Reptile-Trace") != "" {
+		stages := tr.Stages()
+		w.Header().Set("X-Reptile-Trace", obs.Header(stages, tr.Elapsed()))
+		resp.Stages = make([]api.StageTiming, len(stages))
+		for i, st := range stages {
+			resp.Stages[i] = api.StageTiming{Name: st.Name, DurationMS: float64(st.Dur) / float64(time.Millisecond)}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
@@ -555,10 +611,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			d.WAL = ent.ing.status()
 		}
 		d.Retention = ent.retentionStatus()
+		if hits, misses := ent.cacheHits.Load(), ent.cacheMiss.Load(); hits+misses > 0 {
+			d.Cache = &api.CacheStats{Hits: hits, Misses: misses}
+		}
 		resp.Datasets[name] = d
 	}
 	s.mu.Unlock()
 	resp.Cache = s.cacheStats()
+	resp.Server = s.serverInfo()
+	resp.Endpoints = s.endpointStats()
+	resp.Stages = s.stageStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

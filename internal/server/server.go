@@ -30,8 +30,14 @@
 //	POST   /v1/sessions/{id}/recommend   evaluate a complaint
 //	POST   /v1/sessions/{id}/drill       accept a recommendation
 //	GET    /v1/stats                     per-dataset versions, cube status,
-//	                                     session and cache counters
+//	                                     session, cache, endpoint and stage
+//	                                     counters
+//	GET    /v1/metrics                   Prometheus text exposition
 //	GET    /healthz                      liveness + registry/cache statistics
+//
+// Every route runs behind the observability middleware (internal/obs):
+// per-endpoint request/error/in-flight counters and latency histograms, plus
+// a per-request stage trace on the recommend pipeline.
 package server
 
 import (
@@ -40,6 +46,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -47,6 +54,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/reptile/api"
@@ -124,6 +132,12 @@ type Config struct {
 	// paused feed loses nothing.
 	Retention    time.Duration
 	RetentionDim string
+	// Version is the build identifier reported by /v1/stats (and printed by
+	// reptiled -version); empty when unset.
+	Version string
+	// RequestLog, when non-nil, receives one structured entry per request:
+	// request id, endpoint, method, path, status, and latency.
+	RequestLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -247,6 +261,10 @@ type engineEntry struct {
 	retMu      sync.Mutex
 	retDropped uint64
 	retHorizon time.Time
+	// cacheHits and cacheMiss count recommendation-cache outcomes for this
+	// dataset alone (the server-wide counters live on Server).
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
 }
 
 // acquire claims a recommendation slot, waiting up to wait. It returns false
@@ -305,6 +323,10 @@ type Server struct {
 	cache     *lruCache // nil when caching is disabled
 	cacheHits atomic.Uint64
 	cacheMiss atomic.Uint64
+
+	// obs holds the per-endpoint counters, latency histograms and stage
+	// aggregates behind GET /v1/metrics and the stats endpoint blocks.
+	obs *obs.Registry
 }
 
 // New builds a server from cfg (zero value = defaults).
@@ -315,6 +337,7 @@ func New(cfg Config) *Server {
 		now:      time.Now,
 		engines:  make(map[string]*engineEntry),
 		sessions: make(map[string]*session),
+		obs:      obs.NewRegistry(),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
@@ -618,18 +641,22 @@ func (s *Server) invalidateDataset(ent *engineEntry) {
 	s.mu.Unlock()
 }
 
-// Handler returns the server's HTTP routes.
+// Handler returns the server's HTTP routes, each wrapped in the
+// observability middleware (see instrument). Neither stats nor metrics ever
+// takes a recommendation slot, so both stay readable while every dataset is
+// answering 429s.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
-	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
-	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleReleaseSession)
-	mux.HandleFunc("POST /v1/sessions/{id}/recommend", s.handleRecommend)
-	mux.HandleFunc("POST /v1/sessions/{id}/drill", s.handleDrill)
+	mux.HandleFunc("GET /healthz", s.instrument(obs.EndpointHealthz, s.handleHealthz))
+	mux.HandleFunc("GET /v1/stats", s.instrument(obs.EndpointStats, s.handleStats))
+	mux.HandleFunc("GET /v1/metrics", s.instrument(obs.EndpointMetricsScrape, s.handleMetrics))
+	mux.HandleFunc("POST /v1/datasets", s.instrument(obs.EndpointRegister, s.handleRegisterDataset))
+	mux.HandleFunc("GET /v1/datasets", s.instrument(obs.EndpointListDatasets, s.handleListDatasets))
+	mux.HandleFunc("POST /v1/datasets/{name}/append", s.instrument(obs.EndpointAppend, s.handleAppend))
+	mux.HandleFunc("POST /v1/sessions", s.instrument(obs.EndpointCreateSession, s.handleCreateSession))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument(obs.EndpointReleaseSession, s.handleReleaseSession))
+	mux.HandleFunc("POST /v1/sessions/{id}/recommend", s.instrument(obs.EndpointRecommend, s.handleRecommend))
+	mux.HandleFunc("POST /v1/sessions/{id}/drill", s.instrument(obs.EndpointDrill, s.handleDrill))
 	return mux
 }
 

@@ -18,6 +18,7 @@
 //	POST   /v1/sessions/{id}/recommend   RecommendRequest → RecommendResponse
 //	POST   /v1/sessions/{id}/drill       DrillRequest → DrillResponse
 //	GET    /v1/stats                     → StatsResponse
+//	GET    /v1/metrics                   → Prometheus text exposition (not JSON)
 //	GET    /healthz                      → HealthResponse
 //
 // Every non-2xx response carries an Error envelope.
@@ -249,6 +250,18 @@ type RecommendResponse struct {
 	// encoding verbatim: the bytes equal json.Marshal of an in-process
 	// Session.Recommend result. Use Decode for a typed view.
 	Recommendation json.RawMessage `json:"recommendation"`
+	// Stages is the request's per-stage timing breakdown, present only when
+	// the request asked for it with an X-Reptile-Trace header. The stages
+	// form an exclusive decomposition: their durations sum to at most the
+	// request's wall time. The same breakdown travels compactly in the
+	// X-Reptile-Trace response header.
+	Stages []StageTiming `json:"stages,omitempty"`
+}
+
+// StageTiming is one pipeline stage of a traced recommend request.
+type StageTiming struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
 }
 
 // Decode parses the raw recommendation bytes into their typed form.
@@ -350,6 +363,9 @@ type DatasetStats struct {
 	// Retention reports the dataset's time-window enforcement; nil when no
 	// retention window is configured.
 	Retention *RetentionStatus `json:"retention,omitempty"`
+	// Cache reports the recommendation cache's hit/miss counters for this
+	// dataset alone (Size is meaningful only on the global CacheStats).
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // WALStatus is one WAL-backed dataset's durability and flusher state.
@@ -396,12 +412,64 @@ type CacheStats struct {
 	Size   int    `json:"size"`
 }
 
+// ServerInfo identifies the serving process in GET /v1/stats.
+type ServerInfo struct {
+	// Version is the build version the daemon was started with (also printed
+	// by reptiled -version); empty when unset.
+	Version string `json:"version,omitempty"`
+	// GoVersion is the runtime's Go version string.
+	GoVersion string `json:"go_version"`
+	// StartTime is the process start in RFC 3339; UptimeSeconds the elapsed
+	// time since then.
+	StartTime     string  `json:"start_time"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// LatencySummary summarizes one endpoint's latency distribution, derived from
+// its fixed-bucket histogram (quantiles are bucket-interpolated estimates,
+// clamped to the recorded maximum). All durations are milliseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// EndpointStats is one endpoint's serving counters in GET /v1/stats.
+type EndpointStats struct {
+	Requests uint64 `json:"requests"`
+	InFlight int64  `json:"in_flight"`
+	// Errors maps api error codes to counts; zero-count codes are omitted.
+	Errors  map[string]uint64 `json:"errors,omitempty"`
+	Latency LatencySummary    `json:"latency"`
+	// Cache carries the endpoint's recommendation-cache hit/miss counters,
+	// present only on cache-backed endpoints (recommend).
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// StageStats is one recommend-pipeline stage's aggregate across every traced
+// request since startup.
+type StageStats struct {
+	Name    string  `json:"name"`
+	Count   uint64  `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
 // StatsResponse is the GET /v1/stats payload.
 type StatsResponse struct {
 	Status   string                  `json:"status"`
+	Server   ServerInfo              `json:"server"`
 	Datasets map[string]DatasetStats `json:"datasets"`
 	Sessions int                     `json:"sessions"`
 	Cache    CacheStats              `json:"cache"`
+	// Endpoints maps endpoint labels ("recommend", "append", ...) to their
+	// serving counters; Stages aggregates the recommend pipeline's per-stage
+	// timings in first-seen order.
+	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
+	Stages    []StageStats             `json:"stages,omitempty"`
 }
 
 // HealthResponse is the GET /healthz payload.

@@ -75,6 +75,11 @@ const maxErrorBody = 1 << 20
 // bodies that carry no envelope (a proxy answered) get one synthesized from
 // the status code.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doHeaders(ctx, method, path, nil, in, out)
+}
+
+// doHeaders is do with extra request headers.
+func (c *Client) doHeaders(ctx context.Context, method, path string, hdr http.Header, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -86,6 +91,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("client: building request: %w", err)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -165,6 +175,29 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	return &out, nil
 }
 
+// Metrics fetches the Prometheus text exposition (GET /v1/metrics) verbatim:
+// per-endpoint request/error/in-flight counters, latency histograms, and the
+// recommend pipeline's per-stage totals.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: GET /v1/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return "", decodeError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: reading /v1/metrics response: %w", err)
+	}
+	return string(b), nil
+}
+
 // Health fetches the liveness payload (GET /healthz).
 func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
 	var out api.HealthResponse
@@ -220,6 +253,20 @@ func (s *Session) Recommend(ctx context.Context, complaint string) (*api.Recomme
 	var out api.RecommendResponse
 	path := "/v1/sessions/" + url.PathEscape(s.info.ID) + "/recommend"
 	if err := s.c.do(ctx, http.MethodPost, path, api.RecommendRequest{Complaint: complaint}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RecommendTraced is Recommend with per-stage timings: it sets the
+// X-Reptile-Trace request header, so the response's Stages field carries the
+// request's exclusive stage decomposition (the same data travels compactly in
+// the X-Reptile-Trace response header).
+func (s *Session) RecommendTraced(ctx context.Context, complaint string) (*api.RecommendResponse, error) {
+	var out api.RecommendResponse
+	path := "/v1/sessions/" + url.PathEscape(s.info.ID) + "/recommend"
+	hdr := http.Header{"X-Reptile-Trace": []string{"1"}}
+	if err := s.c.doHeaders(ctx, http.MethodPost, path, hdr, api.RecommendRequest{Complaint: complaint}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

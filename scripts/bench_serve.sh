@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# End-to-end serving benchmark: generates an examples dataset (gendata fist),
+# starts a reptiled on a loopback port, registers the dataset, drives it with
+# reptile-bench (closed loop over the native client, complaint mixes sampled
+# from the dataset's own rows, warmup excluded), and records the report —
+# client-side p50/p95/p99 latency, achieved QPS, and the server's /v1/stats
+# snapshot with per-endpoint histograms and per-stage timings — to
+# BENCH_serve.json in the repository root.
+#
+# Tunables (environment):
+#   BENCH_DURATION   measured run length            (default 10s)
+#   BENCH_WARMUP     span excluded from statistics  (default 2s)
+#   BENCH_CONC       closed-loop user count         (default 4)
+#   BENCH_ADDR       listen address                 (default 127.0.0.1:8377)
+#   BENCH_OUT        report path                    (default BENCH_serve.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+duration="${BENCH_DURATION:-10s}"
+warmup="${BENCH_WARMUP:-2s}"
+conc="${BENCH_CONC:-4}"
+addr="${BENCH_ADDR:-127.0.0.1:8377}"
+out="${BENCH_OUT:-BENCH_serve.json}"
+
+tmp="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    [ -n "$daemon_pid" ] && wait "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/reptiled" ./cmd/reptiled
+go build -o "$tmp/reptile-bench" ./cmd/reptile-bench
+go build -o "$tmp/gendata" ./cmd/gendata
+
+# fist is the fixed-size FIST survey dataset (6912 rows, measure "severity",
+# hierarchies geo:region,district,village and time:year).
+"$tmp/gendata" -dataset fist -out "$tmp/fist.csv"
+
+"$tmp/reptiled" -addr "$addr" &
+daemon_pid=$!
+
+# Wait for the daemon to accept requests (registration doubles as readiness
+# probing: retry until the listener is up).
+i=0
+until curl -sf -o /dev/null "http://$addr/healthz"; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && { echo "reptiled did not come up on $addr" >&2; exit 1; }
+    sleep 0.1
+done
+
+curl -sf -X POST "http://$addr/v1/datasets" \
+    -H 'Content-Type: application/json' \
+    -d "{\"name\":\"fist\",\"path\":\"$tmp/fist.csv\",\"measures\":[\"severity\"],\"hierarchies\":\"geo:region,district,village;time:year\"}" \
+    > /dev/null
+
+"$tmp/reptile-bench" \
+    -addr "http://$addr" -dataset fist \
+    -csv "$tmp/fist.csv" -measure severity -group-by region,year \
+    -mode closed -concurrency "$conc" \
+    -duration "$duration" -warmup "$warmup" \
+    -out "$out"
+
+echo "wrote $out"
