@@ -1,7 +1,7 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race lint bench-load bench-serve
+.PHONY: build test race lint fuzz-smoke bench-load bench-serve
 
 build:
 	go build ./...
@@ -12,13 +12,24 @@ test: build
 race:
 	go test -race ./internal/core/... ./internal/shard/... ./internal/server/... ./internal/store/... ./internal/cube/... ./internal/wal/... ./internal/obs/... ./reptile/...
 
-# lint checks formatting, vets every package, and enforces the public-API
-# import boundary (examples/ and reptile/{api,client} never reach into
-# repro/internal).
+# lint checks formatting, vets every package, and runs the full reptile-lint
+# static-analysis suite (import boundaries, determinism, error-code contract,
+# close-check — see internal/lint). `reptile-lint -list` names the analyzers;
+# suppress a false positive with `//lint:ignore <analyzer> <reason>`.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	go vet ./...
-	sh scripts/check_boundaries.sh
+	go run ./cmd/reptile-lint
+
+# fuzz-smoke runs each native fuzz target briefly (FUZZTIME overrides the
+# per-target budget): the binary parsers (.rst snapshots, WAL frames,
+# complaint specs, CSV) must error, never panic, on arbitrary bytes.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzOpenSnapshot$$' -fuzztime $(FUZZTIME) ./internal/store
+	go test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal
+	go test -run '^$$' -fuzz '^FuzzParseComplaint$$' -fuzztime $(FUZZTIME) ./internal/core
+	go test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/data
 
 # bench-load seeds the storage performance trajectory: CSV vs .rst snapshot
 # load, string-keyed vs dictionary-coded Recommend, and cube vs coded-scan

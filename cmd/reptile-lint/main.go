@@ -1,0 +1,101 @@
+// Command reptile-lint runs the repository's static-analysis suite
+// (internal/lint): the boundary, determinism, error-code, and close-check
+// invariants the engine's byte-identical-output guarantee depends on.
+//
+// Usage:
+//
+//	reptile-lint [-C dir] [-only a,b] [-json] [-list]
+//
+// With no flags it analyzes the enclosing repository (walking up from the
+// working directory to the nearest go.mod) with every analyzer and prints
+// findings as file:line:col: [analyzer] message. Exit status: 0 clean,
+// 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dir      = flag.String("C", "", "repository root to analyze (default: nearest go.mod above the working directory)")
+		only     = flag.String("only", "", "comma-separated analyzer subset (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array")
+		listOnly = flag.Bool("list", false, "list the available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	analyzers, err := lint.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reptile-lint:", err)
+		return 2
+	}
+
+	root := *dir
+	if root == "" {
+		root, err = findRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reptile-lint:", err)
+			return 2
+		}
+	}
+
+	repo, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reptile-lint:", err)
+		return 2
+	}
+
+	findings := lint.Run(repo, analyzers)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "reptile-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "reptile-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findRoot walks up from the working directory to the nearest go.mod.
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

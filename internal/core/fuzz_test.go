@@ -1,0 +1,27 @@
+package core
+
+import "testing"
+
+// FuzzParseComplaint feeds arbitrary specs to the complaint parser. The
+// contract: any string either parses into a Complaint or returns an error —
+// never a panic — and a successful parse must render back through Key()
+// without panicking (Key is what the recommendation cache hashes, so it runs
+// on every accepted complaint).
+func FuzzParseComplaint(f *testing.F) {
+	f.Add("agg=mean measure=severity dir=low district=Ofla year=1986")
+	f.Add(`agg=sum measure=votes dir=high district="New York" year=2020`)
+	f.Add(`agg=sum measure=votes "district=New York"`)
+	f.Add("dir=should target=3.5 measure=m")
+	f.Add(`a="unterminated`)
+	f.Add("==")
+	f.Add("")
+	f.Add("target=NaN dir=should measure=m agg=count")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseComplaint(spec)
+		if err != nil {
+			return
+		}
+		_, _ = c.Key()
+	})
+}

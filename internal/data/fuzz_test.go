@@ -1,0 +1,31 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV streams arbitrary text through the CSV loader, with and
+// without a hierarchy attached. The contract: any input either loads or
+// returns an error — the streaming dictionary encoder must never panic,
+// whatever the header or field shapes are.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("district,village,year,severity\nOfla,Adishim,1986,8\nRaya,Kukufto,1986,6\n")
+	f.Add("severity\n1\n2\n")
+	f.Add("district,severity\nOfla\n")           // short record
+	f.Add("district,severity\nOfla,NaN\n")       // non-numeric measure
+	f.Add("district,district,severity\na,b,1\n") // duplicate header
+	f.Add("\n")
+	f.Add("")
+	f.Add("district,severity\n\"unterminated")
+
+	hs := []Hierarchy{{Name: "geo", Attrs: []string{"district", "village"}}}
+	f.Fuzz(func(t *testing.T, text string) {
+		if _, err := ReadCSV(strings.NewReader(text), "fuzz", []string{"severity"}, nil); err != nil {
+			_ = err
+		}
+		if _, err := ReadCSV(strings.NewReader(text), "fuzz", []string{"severity"}, hs); err != nil {
+			_ = err
+		}
+	})
+}

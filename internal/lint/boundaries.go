@@ -1,0 +1,150 @@
+package lint
+
+// importRule is one declarative import constraint over a subtree of the
+// repository. Rules bind production code only; _test.go files are exempt
+// everywhere (the client's round-trip tests deliberately host the internal
+// server in-process).
+type importRule struct {
+	// Tree is the module-relative directory subtree the rule governs.
+	Tree string
+	// ForbidTrees lists module-relative package subtrees (the package and
+	// everything under it) the governed code must not import.
+	ForbidTrees []string
+	// ForbidExact lists single packages the governed code must not import;
+	// their subpackages stay importable unless listed themselves.
+	ForbidExact []string
+	// StdlibOnly restricts imports to the standard library plus AllowTrees.
+	StdlibOnly bool
+	// AllowTrees lists module-relative subtrees exempt from StdlibOnly.
+	AllowTrees []string
+	// Why is the one-line rationale quoted in findings.
+	Why string
+}
+
+// Boundaries enforces the public-API dependency arrows that
+// scripts/check_boundaries.sh used to grep for, as typed import-graph rules:
+//
+//   - examples/ may only use the public SDK: no internal/ imports.
+//   - reptile/api is the shared wire protocol: stdlib-only, vendorable.
+//   - reptile/client must compile into processes that never link the
+//     engine: stdlib plus reptile/api only.
+//   - internal/ must not import the facade, the client, or sampledata —
+//     the dependency arrow points one way (facade wraps engine).
+//     reptile/api is exempt: internal/server marshals it by design.
+//   - internal/core stays observability-free: it must not import
+//     internal/obs (the SpanRecorder seam exists precisely so it never
+//     has to).
+type Boundaries struct {
+	// Rules defaults to the repository's contract; tests may substitute.
+	Rules []importRule
+}
+
+// NewBoundaries returns the analyzer with the repository's standard rules.
+func NewBoundaries() *Boundaries {
+	return &Boundaries{Rules: []importRule{
+		{
+			Tree:        "examples",
+			ForbidTrees: []string{"internal"},
+			Why:         "examples must use only the public SDK",
+		},
+		{
+			Tree:       "reptile/api",
+			StdlibOnly: true,
+			Why:        "the wire protocol must stay vendorable by out-of-tree clients",
+		},
+		{
+			Tree:       "reptile/client",
+			StdlibOnly: true,
+			AllowTrees: []string{"reptile/api"},
+			Why:        "the client must compile without linking the engine",
+		},
+		{
+			Tree:        "internal",
+			ForbidExact: []string{"reptile"},
+			ForbidTrees: []string{"reptile/client", "reptile/sampledata"},
+			Why:         "the dependency arrow points one way: the facade wraps the engine",
+		},
+		{
+			Tree:        "internal/core",
+			ForbidTrees: []string{"internal/obs"},
+			Why:         "the engine reports spans through the core-owned SpanRecorder seam",
+		},
+	}}
+}
+
+// Name implements Analyzer.
+func (*Boundaries) Name() string { return "boundaries" }
+
+// Doc implements Analyzer.
+func (*Boundaries) Doc() string {
+	return "enforce the public-API import boundaries (examples/ and reptile/{api,client} vs internal/)"
+}
+
+// forbidden reports whether a module-relative import path violates the rule.
+func (rule *importRule) forbidden(rel string) bool {
+	for _, t := range rule.ForbidExact {
+		if rel == t {
+			return true
+		}
+	}
+	for _, t := range rule.ForbidTrees {
+		if inTree(rel, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Analyzer.
+func (b *Boundaries) Run(r *Repo) []Finding {
+	var out []Finding
+	for _, pkg := range r.Pkgs {
+		for ri := range b.Rules {
+			rule := &b.Rules[ri]
+			if !inTree(pkg.Dir, rule.Tree) {
+				continue
+			}
+			for _, f := range pkg.Files {
+				if f.Test {
+					continue
+				}
+				out = append(out, b.checkFile(r, rule, f)...)
+			}
+		}
+	}
+	return out
+}
+
+func (b *Boundaries) checkFile(r *Repo, rule *importRule, f *File) []Finding {
+	var out []Finding
+	for _, spec := range f.Ast.Imports {
+		path := importPathOf(spec)
+		if path == "" {
+			continue
+		}
+		rel, inMod := r.InModule(path)
+		if inMod && rule.forbidden(rel) {
+			out = append(out, r.finding(b.Name(), f, spec.Pos(),
+				"%s must not import %q: %s", rule.Tree, path, rule.Why))
+			continue
+		}
+		if !rule.StdlibOnly || r.Stdlib(path) {
+			continue
+		}
+		if inMod && allowed(rel, rule.AllowTrees) {
+			continue
+		}
+		out = append(out, r.finding(b.Name(), f, spec.Pos(),
+			"%s must stay stdlib-only but imports %q: %s", rule.Tree, path, rule.Why))
+	}
+	return out
+}
+
+func allowed(rel string, trees []string) bool {
+	for _, t := range trees {
+		if inTree(rel, t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,450 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Determinism enforces the byte-identical-output contract the engine's scale
+// claims rest on: recommendations and every serialized surface (wire JSON,
+// .rst snapshots, Prometheus exposition) must not depend on Go's randomized
+// map iteration order or on wall-clock state.
+//
+// Two checks run over the wire-output-producing packages:
+//
+//  1. A `range` over a map-typed expression whose body feeds an ordered sink
+//     (append to a slice, writes to an io.Writer or strings.Builder, an
+//     encode/marshal call) is flagged — unless every appended-to slice is
+//     passed to a sort call later in the same function (the canonical
+//     collect-keys-then-sort idiom), or the loop carries a
+//     `//lint:ignore determinism <reason>` directive.
+//
+//  2. In the core evaluation packages, `time.Now` / `time.Since` calls and
+//     any import of math/rand are flagged outright: the engine's outputs
+//     must be pure functions of its inputs (event-time retention, for
+//     example, derives its horizon from the data, never the clock).
+//
+// Map-typedness is resolved syntactically (the toolchain here is go/parser +
+// go/ast only, no type checker): named map types, map-typed struct fields,
+// map-returning functions, and map-typed locals/params declared in the
+// analyzed source are recognized. The heuristic is deliberately
+// conservative — an unrecognized map simply goes unflagged, while a flagged
+// non-map is suppressible.
+type Determinism struct {
+	// WireTrees are the module-relative subtrees whose output must be
+	// byte-deterministic (map-range check).
+	WireTrees []string
+	// PureTrees are the subtrees where wall-clock and randomness are
+	// forbidden outright.
+	PureTrees []string
+}
+
+// NewDeterminism returns the analyzer bound to the repository's
+// wire-output-producing and pure-evaluation package sets.
+func NewDeterminism() *Determinism {
+	return &Determinism{
+		WireTrees: []string{
+			"internal/core", "internal/agg", "internal/cube", "internal/shard",
+			"internal/obs", "internal/server", "reptile/api",
+		},
+		PureTrees: []string{
+			"internal/core", "internal/agg", "internal/cube", "internal/shard",
+		},
+	}
+}
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (*Determinism) Doc() string {
+	return "flag unsorted map iteration feeding encoded output, and wall-clock/rand use in the engine core"
+}
+
+// mapEnv is the repository-wide syntactic map-type index.
+type mapEnv struct {
+	namedTypes map[string]bool // type X map[...]Y declarations, by name
+	fields     map[string]bool // struct field names with map-ish declared type
+	funcs      map[string]bool // func/method names whose first result is map-ish
+	pkgVars    map[string]bool // package-level var names with map-ish type
+}
+
+// isMapTypeExpr reports whether a type expression denotes a map, directly or
+// through a named map type ("data.Predicate").
+func (e *mapEnv) isMapTypeExpr(t ast.Expr) bool {
+	switch t := t.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.Ident:
+		return e.namedTypes[t.Name]
+	case *ast.SelectorExpr:
+		return e.namedTypes[t.Sel.Name]
+	case *ast.ParenExpr:
+		return e.isMapTypeExpr(t.X)
+	}
+	return false
+}
+
+// buildMapEnv indexes every map-ish declaration in the repository. Names are
+// tracked unqualified; a cross-package collision between a map and a non-map
+// name would over-flag, which suppression covers, and never under-flags maps.
+func buildMapEnv(r *Repo) *mapEnv {
+	e := &mapEnv{
+		namedTypes: make(map[string]bool),
+		fields:     make(map[string]bool),
+		funcs:      make(map[string]bool),
+		pkgVars:    make(map[string]bool),
+	}
+	// Pass 1: named map types, so passes 2–3 resolve fields and results
+	// declared through them.
+	forEachFile(r, func(_ *Package, f *File) {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			if ts, ok := n.(*ast.TypeSpec); ok {
+				if _, isMap := ts.Type.(*ast.MapType); isMap {
+					e.namedTypes[ts.Name.Name] = true
+				}
+			}
+			return true
+		})
+	})
+	// Pass 2: fields, function results, package vars.
+	forEachFile(r, func(_ *Package, f *File) {
+		for _, decl := range f.Ast.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Type.Results != nil && len(d.Type.Results.List) > 0 {
+					if e.isMapTypeExpr(d.Type.Results.List[0].Type) {
+						e.funcs[d.Name.Name] = true
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if st, ok := s.Type.(*ast.StructType); ok {
+							for _, fl := range st.Fields.List {
+								if e.isMapTypeExpr(fl.Type) {
+									for _, name := range fl.Names {
+										e.fields[name.Name] = true
+									}
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						if d.Tok == token.VAR && s.Type != nil && e.isMapTypeExpr(s.Type) {
+							for _, name := range s.Names {
+								e.pkgVars[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return e
+}
+
+func forEachFile(r *Repo, fn func(p *Package, f *File)) {
+	for _, p := range r.Pkgs {
+		for _, f := range p.Files {
+			fn(p, f)
+		}
+	}
+}
+
+func inAnyTree(dir string, trees []string) bool {
+	for _, t := range trees {
+		if inTree(dir, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Analyzer.
+func (d *Determinism) Run(r *Repo) []Finding {
+	env := buildMapEnv(r)
+	var out []Finding
+	for _, pkg := range r.Pkgs {
+		wire := inAnyTree(pkg.Dir, d.WireTrees)
+		pure := inAnyTree(pkg.Dir, d.PureTrees)
+		if !wire && !pure {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			if pure {
+				out = append(out, d.checkPurity(r, f)...)
+			}
+			if wire {
+				out = append(out, d.checkMapRanges(r, env, f)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkPurity flags wall-clock reads and math/rand imports.
+func (d *Determinism) checkPurity(r *Repo, f *File) []Finding {
+	var out []Finding
+	timeName := localImportName(f.Ast, "time")
+	for _, spec := range f.Ast.Imports {
+		switch importPathOf(spec) {
+		case "math/rand", "math/rand/v2":
+			out = append(out, r.finding(d.Name(), f, spec.Pos(),
+				"the engine core must not import math/rand: outputs must be pure functions of the inputs"))
+		}
+	}
+	if timeName == "" {
+		return out
+	}
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok || x.Name != timeName {
+			return true
+		}
+		if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+			out = append(out, r.finding(d.Name(), f, sel.Pos(),
+				"the engine core must not read the wall clock (time.%s): outputs must be pure functions of the inputs", sel.Sel.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// localImportName returns the identifier a file refers to an import by, or
+// "" when the path is not imported. Dot and blank imports return "".
+func localImportName(f *ast.File, path string) string {
+	for _, spec := range f.Imports {
+		if importPathOf(spec) != path {
+			continue
+		}
+		if spec.Name != nil {
+			if spec.Name.Name == "." || spec.Name.Name == "_" {
+				return ""
+			}
+			return spec.Name.Name
+		}
+		if i := lastSlash(path); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkMapRanges flags order-sensitive loops over maps in one file.
+func (d *Determinism) checkMapRanges(r *Repo, env *mapEnv, f *File) []Finding {
+	var out []Finding
+	for _, decl := range f.Ast.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		locals := localMapIdents(env, fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapValue(env, locals, rs.X) {
+				return true
+			}
+			sinks := orderedSinks(rs.Body)
+			if len(sinks.targets) == 0 && !sinks.direct {
+				return true
+			}
+			if sinks.direct {
+				out = append(out, r.finding(d.Name(), f, rs.Pos(),
+					"map iteration order feeds encoded output directly; iterate sorted keys instead"))
+				return true
+			}
+			for _, tgt := range sinks.targets {
+				if !sortedAfter(fn.Body, rs, tgt) {
+					out = append(out, r.finding(d.Name(), f, rs.Pos(),
+						"map iteration order leaks into %q, which is never sorted; sort it before use or iterate sorted keys", tgt))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// localMapIdents scans a function for identifiers that hold map values:
+// map-typed parameters and receivers, `var x map[...]`, `x := make(map...)`,
+// map composite literals, and assignments from known map-returning calls or
+// map fields.
+func localMapIdents(env *mapEnv, fn *ast.FuncDecl) map[string]bool {
+	locals := make(map[string]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if env.isMapTypeExpr(field.Type) {
+				for _, name := range field.Names {
+					locals[name.Name] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Parallel assignment (x, ok := m[k]) never produces a map from
+			// a non-map, so only the aligned single-RHS form is tracked.
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				if valueIsMap(env, locals, n.Rhs[0]) {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						locals[id.Name] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && vs.Type != nil && env.isMapTypeExpr(vs.Type) {
+						for _, name := range vs.Names {
+							locals[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// valueIsMap reports whether an expression evaluates to a map under the
+// syntactic environment.
+func valueIsMap(env *mapEnv, locals map[string]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "make" && len(e.Args) > 0 {
+				return env.isMapTypeExpr(e.Args[0])
+			}
+			return env.funcs[fun.Name]
+		case *ast.SelectorExpr:
+			return env.funcs[fun.Sel.Name]
+		}
+	case *ast.CompositeLit:
+		return e.Type != nil && env.isMapTypeExpr(e.Type)
+	case *ast.Ident:
+		return locals[e.Name] || env.pkgVars[e.Name]
+	case *ast.SelectorExpr:
+		return env.fields[e.Sel.Name]
+	case *ast.ParenExpr:
+		return valueIsMap(env, locals, e.X)
+	}
+	return false
+}
+
+// isMapValue decides whether a range expression iterates a map.
+func isMapValue(env *mapEnv, locals map[string]bool, e ast.Expr) bool {
+	return valueIsMap(env, locals, e)
+}
+
+// sinkScan is the result of scanning a loop body for order-sensitive output.
+type sinkScan struct {
+	// targets are slice identifiers appended to inside the loop; their
+	// element order inherits the map's iteration order.
+	targets []string
+	// direct marks writes that emit bytes immediately (Fprintf, Write,
+	// Encode, WriteString, ...) — unsortable after the fact.
+	direct bool
+}
+
+// directSinkNames are method/function names that emit ordered output the
+// moment they run.
+var directSinkNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "Marshal": true, "MarshalJSON": true,
+	"AppendBinary": true, "WriteTo": true,
+}
+
+// orderedSinks scans a loop body for order-sensitive output operations.
+func orderedSinks(body *ast.BlockStmt) sinkScan {
+	var scan sinkScan
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && len(call.Args) > 0 {
+				if id, ok := call.Args[0].(*ast.Ident); ok && !seen[id.Name] {
+					seen[id.Name] = true
+					scan.targets = append(scan.targets, id.Name)
+				} else if !ok {
+					// Appending to a field or element: not locally sortable.
+					scan.direct = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if directSinkNames[fun.Sel.Name] {
+				scan.direct = true
+			}
+		}
+		return true
+	})
+	return scan
+}
+
+// sortNames are the recognized sorting calls (package sort and slices).
+var sortNames = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "SortFunc": true,
+	"SortStableFunc": true, "Stable": true,
+}
+
+// sortedAfter reports whether the identifier is passed to a recognized sort
+// call positioned after the range statement inside the function body — the
+// collect-then-sort idiom that makes map iteration order immaterial.
+func sortedAfter(body *ast.BlockStmt, rs *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortNames[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok && id.Name == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

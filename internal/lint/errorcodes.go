@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ErrorCodes verifies the closed api.ErrorCode contract end to end. The wire
+// protocol promises clients a stable, machine-readable error class on every
+// non-2xx response; that promise has three enforcement points that must agree
+// with the const block that declares the codes:
+//
+//   - ErrorCode.HTTPStatus must map every declared code (one code may ride
+//     the default arm, and it must be the same code CodeForStatus falls back
+//     to, so the two tables stay inverses).
+//   - CodeForStatus must return every declared code — a status with no
+//     reverse mapping would decode into the wrong class client-side.
+//   - internal/obs buckets errors per code in a fixed array; its errorCodes
+//     render table must list every declared code exactly once, and the
+//     backing array must be sized to the set.
+//
+// Adding a code and forgetting any of the three is exactly the drift this
+// analyzer exists to catch.
+type ErrorCodes struct {
+	// APIDir is the module-relative directory declaring ErrorCode.
+	APIDir string
+	// ObsDir is the module-relative directory bucketing errors by code.
+	ObsDir string
+}
+
+// NewErrorCodes returns the analyzer bound to the repository layout.
+func NewErrorCodes() *ErrorCodes {
+	return &ErrorCodes{APIDir: "reptile/api", ObsDir: "internal/obs"}
+}
+
+// Name implements Analyzer.
+func (*ErrorCodes) Name() string { return "errorcodes" }
+
+// Doc implements Analyzer.
+func (*ErrorCodes) Doc() string {
+	return "verify the closed api.ErrorCode set is covered by the status tables and obs error bucketing"
+}
+
+func pkgByDir(r *Repo, dir string) *Package {
+	for _, p := range r.Pkgs {
+		if p.Dir == dir {
+			return p
+		}
+	}
+	return nil
+}
+
+// Run implements Analyzer.
+func (e *ErrorCodes) Run(r *Repo) []Finding {
+	apiPkg := pkgByDir(r, e.APIDir)
+	if apiPkg == nil {
+		return nil
+	}
+	codes := declaredCodes(apiPkg)
+	if len(codes) == 0 {
+		return nil
+	}
+	declared := make(map[string]bool, len(codes))
+	for _, c := range codes {
+		declared[c] = true
+	}
+	var out []Finding
+	out = append(out, e.checkHTTPStatus(r, apiPkg, codes, declared)...)
+	out = append(out, e.checkCodeForStatus(r, apiPkg, codes, declared, statusGroups(apiPkg))...)
+	if obsPkg := pkgByDir(r, e.ObsDir); obsPkg != nil {
+		out = append(out, e.checkObs(r, obsPkg, codes, declared)...)
+	}
+	return out
+}
+
+// declaredCodes collects the ErrorCode-typed const names from the api
+// package, in declaration order.
+func declaredCodes(pkg *Package) (codes []string) {
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				id, ok := vs.Type.(*ast.Ident)
+				if !ok || id.Name != "ErrorCode" {
+					continue
+				}
+				for _, name := range vs.Names {
+					codes = append(codes, name.Name)
+				}
+			}
+		}
+	}
+	return codes
+}
+
+// findFunc locates a function declaration by name in a package's non-test
+// files.
+func findFunc(pkg *Package, name string) (*File, *ast.FuncDecl) {
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == name {
+				return f, fn
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkHTTPStatus verifies the code→status switch covers the declared set,
+// with at most the fallback code (CodeForStatus's final return) riding the
+// default arm.
+func (e *ErrorCodes) checkHTTPStatus(r *Repo, pkg *Package, codes []string, declared map[string]bool) []Finding {
+	f, fn := findFunc(pkg, "HTTPStatus")
+	if fn == nil {
+		return nil
+	}
+	var out []Finding
+	covered := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			id, ok := expr.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !declared[id.Name] {
+				out = append(out, r.finding(e.Name(), f, id.Pos(),
+					"HTTPStatus switches on %s, which is not a declared ErrorCode", id.Name))
+				continue
+			}
+			covered[id.Name] = true
+		}
+		return true
+	})
+	fallback := fallbackCode(pkg)
+	for _, c := range codes {
+		if covered[c] || c == fallback {
+			continue
+		}
+		out = append(out, r.finding(e.Name(), f, fn.Pos(),
+			"HTTPStatus does not map %s: every ErrorCode needs an HTTP status (only the CodeForStatus fallback %q may use the default arm)", c, fallback))
+	}
+	return out
+}
+
+// fallbackCode extracts the code CodeForStatus returns for unmapped statuses:
+// the ident in its final return statement.
+func fallbackCode(pkg *Package) string {
+	_, fn := findFunc(pkg, "CodeForStatus")
+	if fn == nil || fn.Body == nil || len(fn.Body.List) == 0 {
+		return ""
+	}
+	ret, ok := fn.Body.List[len(fn.Body.List)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return ""
+	}
+	if id, ok := ret.Results[0].(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// statusGroups partitions the declared codes into HTTP-status equivalence
+// classes: codes listed in the same HTTPStatus case clause travel under the
+// same status, so the reverse (status-keyed) table can only ever return one
+// of them.
+func statusGroups(pkg *Package) map[string]int {
+	groups := make(map[string]int)
+	_, fn := findFunc(pkg, "HTTPStatus")
+	if fn == nil {
+		return groups
+	}
+	clause := 0
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		clause++
+		for _, expr := range cc.List {
+			if id, ok := expr.(*ast.Ident); ok {
+				groups[id.Name] = clause
+			}
+		}
+		return true
+	})
+	return groups
+}
+
+// checkCodeForStatus verifies the status→code table can produce every
+// declared error class: each code must be returned itself or share an HTTP
+// status (per statusGroups) with a returned code.
+func (e *ErrorCodes) checkCodeForStatus(r *Repo, pkg *Package, codes []string, declared map[string]bool, groups map[string]int) []Finding {
+	f, fn := findFunc(pkg, "CodeForStatus")
+	if fn == nil {
+		return nil
+	}
+	var out []Finding
+	returned := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			id, ok := res.(*ast.Ident)
+			if !ok || !strings.HasPrefix(id.Name, "Code") {
+				continue
+			}
+			if !declared[id.Name] {
+				out = append(out, r.finding(e.Name(), f, id.Pos(),
+					"CodeForStatus returns %s, which is not a declared ErrorCode", id.Name))
+				continue
+			}
+			returned[id.Name] = true
+		}
+		return true
+	})
+	for _, c := range codes {
+		if returned[c] {
+			continue
+		}
+		// A status-sibling being returned covers the class: the table is
+		// keyed by status and can only pick one code per status.
+		if g, ok := groups[c]; ok {
+			covered := false
+			for rc := range returned {
+				if groups[rc] == g {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+		}
+		out = append(out, r.finding(e.Name(), f, fn.Pos(),
+			"CodeForStatus cannot produce %s (nor any code sharing its HTTP status): clients could not recover the class from a bare status", c))
+	}
+	return out
+}
+
+// checkObs verifies the obs error-bucketing table and its backing array track
+// the declared set exactly.
+func (e *ErrorCodes) checkObs(r *Repo, pkg *Package, codes []string, declared map[string]bool) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "errorCodes" || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						out = append(out, e.checkObsTable(r, f, name.Pos(), cl, codes, declared)...)
+					}
+				}
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					out = append(out, e.checkErrorArray(r, f, st, len(codes))...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkObsTable compares the errorCodes composite literal against the
+// declared set: every code exactly once, nothing else.
+func (e *ErrorCodes) checkObsTable(r *Repo, f *File, varPos token.Pos, cl *ast.CompositeLit, codes []string, declared map[string]bool) []Finding {
+	var out []Finding
+	seen := make(map[string]int)
+	for _, elt := range cl.Elts {
+		name := ""
+		switch elt := elt.(type) {
+		case *ast.SelectorExpr:
+			name = elt.Sel.Name
+		case *ast.Ident:
+			name = elt.Name
+		default:
+			continue
+		}
+		if !declared[name] {
+			out = append(out, r.finding(e.Name(), f, elt.Pos(),
+				"obs errorCodes lists %s, which is not a declared api.ErrorCode", name))
+			continue
+		}
+		seen[name]++
+		if seen[name] == 2 {
+			out = append(out, r.finding(e.Name(), f, elt.Pos(),
+				"obs errorCodes lists %s more than once: each code gets exactly one bucket", name))
+		}
+	}
+	for _, c := range codes {
+		if seen[c] == 0 {
+			out = append(out, r.finding(e.Name(), f, varPos,
+				"obs errorCodes omits %s: errors of that class would be bucketed as internal", c))
+		}
+	}
+	return out
+}
+
+// checkErrorArray verifies any fixed array field named "errors" in an obs
+// struct is sized to the declared code set.
+func (e *ErrorCodes) checkErrorArray(r *Repo, f *File, st *ast.StructType, want int) []Finding {
+	var out []Finding
+	for _, field := range st.Fields.List {
+		named := false
+		for _, name := range field.Names {
+			if name.Name == "errors" {
+				named = true
+			}
+		}
+		if !named {
+			continue
+		}
+		at, ok := field.Type.(*ast.ArrayType)
+		if !ok || at.Len == nil {
+			continue
+		}
+		lit, ok := at.Len.(*ast.BasicLit)
+		if !ok || lit.Kind != token.INT {
+			continue
+		}
+		n, err := strconv.Atoi(lit.Value)
+		if err != nil {
+			continue
+		}
+		if n != want {
+			out = append(out, r.finding(e.Name(), f, at.Pos(),
+				"error-bucket array is sized %d but %d ErrorCodes are declared; counts would alias", n, want))
+		}
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+// Fixture: examples must use only the public SDK.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core" // want: examples must not import internal/
+)
+
+func main() { fmt.Println(core.Value) }

@@ -1,0 +1,10 @@
+// Fixture: _test.go files are exempt from every boundary rule.
+package bar
+
+import (
+	"testing"
+
+	"repro/reptile"
+)
+
+func TestUsesFacade(t *testing.T) { _ = reptile.New() }

@@ -1,0 +1,6 @@
+// Fixture: the engine core must stay observability-free.
+package core
+
+import "repro/internal/obs" // want: core must not import obs
+
+var O = obs.NewRegistry()

@@ -1,0 +1,10 @@
+// Fixture: internal code must not import the facade or the client.
+package foo
+
+import (
+	"repro/reptile"        // want: facade import
+	"repro/reptile/api"    // allowed: the server marshals the wire structs
+	"repro/reptile/client" // want: client import
+)
+
+var F = reptile.New(client.New(api.Version))

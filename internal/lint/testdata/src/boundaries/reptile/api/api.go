@@ -1,0 +1,8 @@
+// Fixture: the wire protocol must stay stdlib-only.
+package api
+
+import (
+	"repro/internal/core" // want: stdlib-only violation
+)
+
+var X = core.Value

@@ -1,0 +1,9 @@
+// Fixture: the client may use reptile/api but never the engine.
+package client
+
+import (
+	"repro/internal/server" // want: stdlib-only violation
+	"repro/reptile/api"     // allowed
+)
+
+var C = server.New(api.Version)

@@ -1,0 +1,9 @@
+// Fixture: the engine core must be a pure function of its inputs.
+package core
+
+import (
+	"math/rand" // want: no randomness in core
+	"time"
+)
+
+func Seed() int64 { return time.Now().UnixNano() + int64(rand.Int()) } // want: time.Now

@@ -1,0 +1,15 @@
+// Fixture: a well-formed directive suppresses; a malformed one is reported.
+package core
+
+// Legacy keeps historical order semantics; the suppression below covers it.
+func Legacy(m map[string]int) []string {
+	var out []string
+	//lint:ignore determinism order is stitched downstream by the caller
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+//lint:ignore determinism
+func Placeholder() {}

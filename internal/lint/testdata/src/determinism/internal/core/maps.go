@@ -1,0 +1,43 @@
+// Fixture: map iteration order must never reach wire output unsorted.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys leaks map order into the returned slice. want: finding.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom. No finding.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump emits bytes mid-iteration: unsortable after the fact. want: finding.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Quiet reduces order-free. No finding.
+func Quiet(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

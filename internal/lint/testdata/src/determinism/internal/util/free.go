@@ -1,0 +1,14 @@
+// Fixture: packages outside the wire/pure sets are unconstrained.
+package util
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

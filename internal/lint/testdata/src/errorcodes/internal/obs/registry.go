@@ -1,0 +1,19 @@
+// Fixture: error bucketing that drifted from the declared code set.
+package obs
+
+import (
+	"sync/atomic"
+
+	"repro/reptile/api"
+)
+
+var errorCodes = []api.ErrorCode{
+	api.CodeBadRequest,
+	api.CodeNotFound,
+	api.CodeBadRequest,
+	api.CodeMystery,
+}
+
+type EndpointMetrics struct {
+	errors [3]atomic.Uint64
+}

@@ -1,0 +1,37 @@
+// Fixture: a drifted error-code contract. CodeGone is unmapped in both
+// tables, CodeForStatus returns an undeclared code, and the obs fixture
+// mismatches the set.
+package api
+
+import "net/http"
+
+type ErrorCode string
+
+const (
+	CodeBadRequest ErrorCode = "bad_request"
+	CodeNotFound   ErrorCode = "not_found"
+	CodeGone       ErrorCode = "gone"
+	CodeInternal   ErrorCode = "internal"
+)
+
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+func CodeForStatus(status int) ErrorCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusTeapot:
+		return CodeBogus
+	}
+	return CodeInternal
+}

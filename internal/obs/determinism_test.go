@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/reptile/api"
+)
+
+// stripVolatile drops the uptime sample — the one line whose value is
+// allowed to change between two back-to-back renders of an idle registry.
+func stripVolatile(prom string) string {
+	var keep []string
+	for _, line := range strings.Split(prom, "\n") {
+		if strings.HasPrefix(line, "reptile_uptime_seconds ") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestWritePromRepeatedRenderIdentical locks the exposition's determinism:
+// with no traffic in between, two renders of a populated registry are
+// byte-identical (modulo uptime). Error-code labels and stage lines come out
+// of maps internally; this pins the sorted/first-seen orderings that keep
+// scrape diffs meaningful.
+func TestWritePromRepeatedRenderIdentical(t *testing.T) {
+	r := NewRegistry()
+	m := r.Endpoint(EndpointRecommend)
+	m.Requests.Add(7)
+	for _, c := range []api.ErrorCode{
+		api.CodeOverloaded, api.CodeBadRequest, api.CodeInternal,
+		api.CodeSessionExpired, api.CodeUnprocessable,
+	} {
+		m.RecordError(c)
+	}
+	m.Latency.Observe(3 * time.Millisecond)
+	m.CacheHits.Add(2)
+	r.ObserveStages([]Stage{
+		{Name: "groupby", Dur: time.Millisecond},
+		{Name: "fit", Dur: 2 * time.Millisecond},
+		{Name: "rank", Dur: time.Microsecond},
+	})
+	extra := []Gauge{
+		{Name: "reptile_sessions", Help: "Live sessions.", Value: 3},
+		{Name: "reptile_build_info", Help: "Build identity.", Labels: `version="test"`, Value: 1},
+	}
+
+	var a, b strings.Builder
+	r.WriteProm(&a, extra)
+	r.WriteProm(&b, extra)
+	if stripVolatile(a.String()) != stripVolatile(b.String()) {
+		t.Errorf("two renders of an idle registry differ:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), `reptile_request_errors_total{endpoint="recommend",code="bad_request"} 1`) {
+		t.Errorf("exposition missing recorded error sample:\n%s", a.String())
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/reptile/api"
+)
+
+// TestListDatasetsRepeatedCallsByteIdentical locks the wire determinism of
+// GET /v1/datasets: the listing is assembled from the server's dataset map,
+// so without the collect-then-sort step its order would flap run to run.
+// Three back-to-back calls must produce byte-identical bodies, sorted by
+// name.
+func TestListDatasetsRepeatedCallsByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, name := range []string{"zebra", "drought", "alpha", "middle"} {
+		code, b := post(t, ts.URL+"/v1/datasets", api.RegisterDatasetRequest{
+			Name:         name,
+			CSV:          testCSV,
+			Measures:     []string{"severity"},
+			Hierarchies:  testHierarchies,
+			EMIterations: 2,
+		})
+		if code != http.StatusCreated {
+			t.Fatalf("register %s: %d %s", name, code, b)
+		}
+	}
+
+	var first []byte
+	for i := 0; i < 3; i++ {
+		code, b := get(t, ts.URL+"/v1/datasets")
+		if code != http.StatusOK {
+			t.Fatalf("list datasets: %d %s", code, b)
+		}
+		if i == 0 {
+			first = b
+			continue
+		}
+		if !bytes.Equal(b, first) {
+			t.Fatalf("call %d differs from call 0:\n%s\nvs\n%s", i, b, first)
+		}
+	}
+
+	var resp api.ListDatasetsResponse
+	if err := json.Unmarshal(first, &resp); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(resp.Datasets))
+	for i, d := range resp.Datasets {
+		names[i] = d.Name
+	}
+	want := []string{"alpha", "drought", "middle", "zebra"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("listing order = %v, want %v", names, want)
+	}
+}
+
+// TestStatsRepeatedScrapesStructurallyEqual locks /v1/stats: two scrapes of
+// an idle server must agree on every non-clock field — the dataset map and
+// the stage totals in particular, both assembled from internal maps.
+func TestStatsRepeatedScrapesStructurallyEqual(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerTestDataset(t, ts.URL)
+
+	fetch := func() api.StatsResponse {
+		t.Helper()
+		code, b := get(t, ts.URL+"/v1/stats")
+		if code != http.StatusOK {
+			t.Fatalf("stats: %d %s", code, b)
+		}
+		var resp api.StatsResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	a, b := fetch(), fetch()
+	if !reflect.DeepEqual(a.Datasets, b.Datasets) {
+		t.Errorf("dataset stats differ between idle scrapes:\n%+v\nvs\n%+v", a.Datasets, b.Datasets)
+	}
+	aNames := stageNames(a.Stages)
+	bNames := stageNames(b.Stages)
+	if !reflect.DeepEqual(aNames, bNames) {
+		t.Errorf("stage ordering differs between idle scrapes: %v vs %v", aNames, bNames)
+	}
+}
+
+func stageNames(stages []api.StageStats) []string {
+	out := make([]string, len(stages))
+	for i, s := range stages {
+		out[i] = s.Name
+	}
+	return out
+}

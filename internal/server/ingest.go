@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -261,6 +262,9 @@ func (s *Server) Close() error {
 		ents = append(ents, ent)
 	}
 	s.mu.Unlock()
+	// Drain in name order so shutdown (flush ordering, first-error
+	// reporting) is reproducible run to run.
+	sort.Slice(ents, func(i, j int) bool { return ents[i].name < ents[j].name })
 	var first error
 	for _, ent := range ents {
 		if ent.ing == nil {

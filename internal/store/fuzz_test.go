@@ -1,0 +1,63 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpenSnapshot throws arbitrary bytes at both snapshot decoders. The
+// contract under test: Open and OpenSharded return an error on any input
+// they dislike — they never panic, and anything they do accept must also
+// re-materialize into a Dataset without panicking. Seeds cover every on-disk
+// shape the writers produce: v1 legacy, v2, v2 with a cube section, and a
+// sharded container, plus a truncation of a valid file (the likeliest
+// real-world corruption).
+func FuzzOpenSnapshot(f *testing.F) {
+	snap := FromDataset(demoDataset())
+	var v2 bytes.Buffer
+	if err := snap.Write(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+
+	var v1 bytes.Buffer
+	if err := snap.writeLegacy(&v1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+
+	cubed := FromDataset(demoDataset())
+	if err := cubed.BuildCube(); err != nil {
+		f.Fatal(err)
+	}
+	var v2c bytes.Buffer
+	if err := cubed.Write(&v2c); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2c.Bytes())
+
+	var sh bytes.Buffer
+	if err := WriteSharded(&sh, "district", splitShards(f, demoDataset7(), 2)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sh.Bytes())
+
+	f.Add(v2.Bytes()[:v2.Len()/2])
+	f.Add([]byte("RSTSNAP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if s, err := Open(bytes.NewReader(b)); err == nil && s != nil {
+			if _, err := s.Dataset(); err != nil {
+				t.Fatalf("accepted snapshot failed to materialize: %v", err)
+			}
+		}
+		if _, shards, err := OpenSharded(bytes.NewReader(b)); err == nil {
+			for _, s := range shards {
+				if _, err := s.Dataset(); err != nil {
+					t.Fatalf("accepted shard failed to materialize: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -318,7 +318,7 @@ func TestBuilderAppendRejectsMappedSnapshot(t *testing.T) {
 // dictionary set — a store-level stand-in for internal/shard output (the
 // format validates key rootness and per-shard invariants, not routing, which
 // is an engine concern).
-func splitShards(t *testing.T, ds *data.Dataset, n int) []*Snapshot {
+func splitShards(t testing.TB, ds *data.Dataset, n int) []*Snapshot {
 	t.Helper()
 	src := FromDataset(ds)
 	shards := make([]*Snapshot, n)

@@ -1,61 +1,21 @@
 #!/bin/sh
-# check_boundaries.sh enforces the public-API import boundary:
+# check_boundaries.sh enforces the public-API import boundary. The rules
+# themselves now live as typed, AST-level import-graph checks in
+# internal/lint (the boundaries analyzer) — this wrapper survives so every
+# existing entrypoint (`make lint`, CI, muscle memory) keeps working. See
+# `go run ./cmd/reptile-lint -list` for the full analyzer suite and
+# internal/lint/boundaries.go for the rule table:
 #
-#   - examples/ may only use the public SDK (repro/reptile...): importing
-#     repro/internal/... anywhere under examples/ is an error.
-#   - reptile/api and reptile/client are pure protocol packages: they must
-#     not import repro/internal/... (api is stdlib-only; client is stdlib +
-#     reptile/api), so out-of-tree clients could vendor them verbatim.
-#   - internal/ must never import the repro/reptile facade or reptile/client:
-#     the dependency arrow points one way (facade wraps engine), and a
-#     back-edge would make the shard/server layers impossible to evolve under
-#     the facade. reptile/api is exempt — it is the shared wire protocol and
-#     internal/server marshals it by design.
+#   - examples/ may only use the public SDK: no repro/internal imports.
+#   - reptile/api is stdlib-only; reptile/client is stdlib + reptile/api.
+#   - internal/ must not import the facade, the client, or sampledata.
+#   - internal/core must not import internal/obs.
 #
-# The root reptile package (and reptile/sampledata) are the sanctioned
-# bridges over internal/ — that is their whole point — so they are not
-# checked. Test files (_test.go) are exempt everywhere: the client's
-# round-trip tests deliberately host the internal server in-process.
+# Test files (_test.go) are exempt everywhere: the client's round-trip tests
+# deliberately host the internal server in-process.
 #
 # Run from the repository root: sh scripts/check_boundaries.sh
 set -eu
 
-fail=0
-
-check_tree() {
-    tree="$1"
-    bad="$(grep -rn '"repro/internal' --include='*.go' "$tree" 2>/dev/null | grep -v '_test\.go:' || true)"
-    if [ -n "$bad" ]; then
-        echo "boundary violation: $tree must not import repro/internal/..." >&2
-        echo "$bad" >&2
-        fail=1
-    fi
-}
-
-check_tree examples
-check_tree reptile/api
-check_tree reptile/client
-
-# Belt and braces: the client package must not even import the facade (it
-# has to compile into processes that never link the engine).
-bad="$(grep -rn '"repro/reptile"' --include='*.go' reptile/client 2>/dev/null | grep -v '_test\.go:' || true)"
-if [ -n "$bad" ]; then
-    echo "boundary violation: reptile/client must depend only on stdlib and reptile/api" >&2
-    echo "$bad" >&2
-    fail=1
-fi
-
-# The inverse arrow: nothing under internal/ may import the facade or the
-# HTTP client. (reptile/api is fine — it is the shared wire protocol, and
-# internal/server marshals it by design.)
-bad="$(grep -rn -e '"repro/reptile"' -e '"repro/reptile/client"' --include='*.go' internal 2>/dev/null | grep -v '_test\.go:' || true)"
-if [ -n "$bad" ]; then
-    echo "boundary violation: internal/ must not import repro/reptile or repro/reptile/client" >&2
-    echo "$bad" >&2
-    fail=1
-fi
-
-if [ "$fail" -ne 0 ]; then
-    exit 1
-fi
-echo "API boundaries clean: examples/ and reptile/{api,client} import no repro/internal packages; internal/ imports neither the facade nor the client"
+go run ./cmd/reptile-lint -only boundaries
+echo "API boundaries clean (reptile-lint boundaries)"
